@@ -1,0 +1,31 @@
+//! Figure 12 regeneration: constrained-throughput runs per server class.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tts_dcsim::throttle::{run_constrained, ConstrainedConfig};
+use tts_pcm::PcmMaterial;
+use tts_server::{ServerClass, ServerWaxCharacteristics};
+use tts_units::{Celsius, Fraction};
+use tts_workload::GoogleTrace;
+
+fn bench_fig12(c: &mut Criterion) {
+    let trace = GoogleTrace::default_two_day();
+    let mut group = c.benchmark_group("fig12_constrained_throughput");
+    group.sample_size(10);
+    for class in ServerClass::ALL {
+        let spec = class.spec();
+        let chars = ServerWaxCharacteristics::extract(
+            &spec,
+            &PcmMaterial::commercial_paraffin(Celsius::new(45.0)),
+        );
+        let config =
+            ConstrainedConfig::oversubscribed(spec, 1008, chars, Fraction::new(0.71));
+        group.bench_function(format!("single_run_{class}"), |b| {
+            b.iter(|| black_box(run_constrained(&config, trace.total())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig12);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Performance of the PCM enthalpy model and melt/freeze stepping.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tts_pcm::{EnthalpyCurve, PcmMaterial, PcmState};
+use tts_units::{Celsius, Grams, Seconds, WattsPerKelvin};
+
+fn bench_enthalpy_curve(c: &mut Criterion) {
+    let wax = PcmMaterial::validation_wax();
+    let curve = EnthalpyCurve::for_material(&wax);
+    c.bench_function("enthalpy_round_trip", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..1000 {
+                let t = Celsius::new(20.0 + (i as f64) * 0.04);
+                let h = curve.enthalpy_at(black_box(t));
+                acc += curve.temperature_at(h).value();
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_pcm_step(c: &mut Criterion) {
+    let wax = PcmMaterial::validation_wax();
+    c.bench_function("pcm_state_step_10k", |b| {
+        b.iter(|| {
+            let mut s = PcmState::new(&wax, Grams::new(960.0), Celsius::new(25.0));
+            let g = WattsPerKelvin::new(5.0);
+            let mut q = 0.0;
+            for i in 0..10_000 {
+                let t = Celsius::new(25.0 + 25.0 * ((i as f64) * 0.001).sin().abs());
+                q += s.step(black_box(t), g, Seconds::new(60.0)).value();
+            }
+            black_box(q)
+        })
+    });
+}
+
+criterion_group!(benches, bench_enthalpy_curve, bench_pcm_step);
+criterion_main!(benches);

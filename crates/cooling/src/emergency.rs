@@ -1,0 +1,210 @@
+//! Cooling-failure ride-through.
+//!
+//! The paper's related work cites Intel's use of thermal storage for
+//! *emergency* datacenter cooling (Garday & Housley) and chilled-water
+//! tanks for "peak demand or emergencies" (Zheng et al.). In-server PCM
+//! provides the same service passively: when the plant trips, the room
+//! heats at `IT power / room capacitance`, and every watt the wax absorbs
+//! stretches the time until the critical temperature — the window for
+//! generators to start or workloads to drain.
+
+use serde::{Deserialize, Serialize};
+use tts_units::{Celsius, Joules, JoulesPerKelvin, Seconds, Watts, WattsPerKelvin};
+
+/// The thermal state of a machine room with the cooling plant offline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoomModel {
+    /// Lumped heat capacity of the room air + racks + structure, J/K.
+    /// A 1008-server room with containment: order 5–20 MJ/K.
+    pub capacitance: JoulesPerKelvin,
+    /// Room temperature when the failure starts.
+    pub start: Celsius,
+    /// Temperature at which servers must shut down (ASHRAE allowable
+    /// excursions end around 40–45 °C).
+    pub critical: Celsius,
+    /// Passive losses through the building envelope, W/K (to outside air
+    /// at `start` — conservative).
+    pub envelope_loss: WattsPerKelvin,
+}
+
+impl RoomModel {
+    /// A 1008-server machine room baseline.
+    pub fn cluster_room() -> Self {
+        Self {
+            capacitance: JoulesPerKelvin::new(8.0e6),
+            start: Celsius::new(25.0),
+            critical: Celsius::new(42.0),
+            envelope_loss: WattsPerKelvin::new(500.0),
+        }
+    }
+}
+
+/// Outcome of a ride-through simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RideThrough {
+    /// Time until the room reaches the critical temperature.
+    pub time_to_critical: Seconds,
+    /// Room temperature when the wax saturated (`None` if it never did
+    /// before the critical point).
+    pub wax_saturated_at: Option<Celsius>,
+}
+
+/// Simulates a cooling failure: the room heats under `it_power` while a
+/// wax bank of total `coupling` (W/K) and `latent_budget` (J, counted from
+/// the failure moment) absorbs heat whenever the room is above
+/// `wax_melting_point`.
+///
+/// Returns `None` if the room never reaches critical within 24 h (the
+/// envelope losses balance the IT power first).
+pub fn ride_through(
+    room: &RoomModel,
+    it_power: Watts,
+    coupling: WattsPerKelvin,
+    latent_budget: Joules,
+    wax_melting_point: Celsius,
+) -> Option<RideThrough> {
+    let dt = 1.0; // s
+    let mut t_room = room.start.value();
+    let mut remaining = latent_budget.value().max(0.0);
+    let mut saturated_at = None;
+    let mut elapsed = 0.0;
+    while t_room < room.critical.value() {
+        if elapsed > 86_400.0 {
+            return None;
+        }
+        let superheat = (t_room - wax_melting_point.value()).max(0.0);
+        let mut q_wax = coupling.value() * superheat;
+        if q_wax * dt > remaining {
+            q_wax = remaining / dt;
+        }
+        let q_env = room.envelope_loss.value() * (t_room - room.start.value());
+        let net = it_power.value() - q_wax - q_env;
+        if net <= 0.0 {
+            // Equilibrium below critical (wax + envelope carry the load) —
+            // but only while the wax lasts; if the wax is spent this is a
+            // true equilibrium.
+            if remaining <= 0.0 {
+                return None;
+            }
+        }
+        t_room += net * dt / room.capacitance.value();
+        remaining = (remaining - q_wax * dt).max(0.0);
+        if remaining <= 0.0 && saturated_at.is_none() {
+            saturated_at = Some(Celsius::new(t_room));
+        }
+        elapsed += dt;
+    }
+    Some(RideThrough {
+        time_to_critical: Seconds::new(elapsed),
+        wax_saturated_at: saturated_at,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const IT_POWER: f64 = 180_000.0; // a 1U cluster at full tilt
+
+    #[test]
+    fn bare_room_reaches_critical_in_minutes() {
+        let r = ride_through(
+            &RoomModel::cluster_room(),
+            Watts::new(IT_POWER),
+            WattsPerKelvin::ZERO,
+            Joules::ZERO,
+            Celsius::new(39.0),
+        )
+        .expect("must overheat");
+        let minutes = r.time_to_critical.value() / 60.0;
+        assert!(
+            (5.0..60.0).contains(&minutes),
+            "bare ride-through {minutes} min"
+        );
+    }
+
+    #[test]
+    fn wax_extends_the_ride_through_modestly() {
+        // The honest finding: although the fleet's wax holds *more* latent
+        // energy (≈ 200 MJ) than the whole room excursion (≈ 136 MJ), the
+        // passive air-to-wax coupling rate-limits it — unlike Intel's
+        // pumped chilled-water tanks, in-server wax buys minutes, not
+        // hours, against a full-power failure. A low-melting wax engaged
+        // for the whole climb gains ~10–60 %.
+        let room = RoomModel::cluster_room();
+        let bare = ride_through(
+            &room,
+            Watts::new(IT_POWER),
+            WattsPerKelvin::ZERO,
+            Joules::ZERO,
+            Celsius::new(28.0),
+        )
+        .unwrap();
+        let waxed = ride_through(
+            &room,
+            Watts::new(IT_POWER),
+            WattsPerKelvin::new(1008.0 * 5.0),
+            Joules::new(1008.0 * 2.0e5),
+            Celsius::new(28.0),
+        )
+        .unwrap();
+        let ratio = waxed.time_to_critical.value() / bare.time_to_critical.value();
+        assert!(
+            (1.08..2.0).contains(&ratio),
+            "expected a modest, rate-limited extension: ratio {ratio} ({} s vs {} s)",
+            waxed.time_to_critical.value(),
+            bare.time_to_critical.value()
+        );
+        // The budget never binds — the rate does.
+        assert!(waxed.wax_saturated_at.is_none());
+    }
+
+    #[test]
+    fn low_melting_wax_engages_earlier_and_buys_more_time() {
+        let room = RoomModel::cluster_room();
+        let run = |melt_c: f64| {
+            ride_through(
+                &room,
+                Watts::new(IT_POWER),
+                WattsPerKelvin::new(1008.0 * 3.0),
+                Joules::new(1008.0 * 2.0e5),
+                Celsius::new(melt_c),
+            )
+            .unwrap()
+            .time_to_critical
+            .value()
+        };
+        // A wax melting just above ambient engages for the whole climb; a
+        // 41 °C wax only engages at the end.
+        assert!(run(28.0) > run(41.0));
+    }
+
+    #[test]
+    fn modest_it_load_never_reaches_critical() {
+        // Envelope losses alone can hold 8 kW below the 17 K excursion
+        // (500 W/K × 17 K = 8.5 kW).
+        let r = ride_through(
+            &RoomModel::cluster_room(),
+            Watts::new(8_000.0),
+            WattsPerKelvin::ZERO,
+            Joules::ZERO,
+            Celsius::new(39.0),
+        );
+        assert!(r.is_none(), "{r:?}");
+    }
+
+    #[test]
+    fn saturation_temperature_is_reported() {
+        let r = ride_through(
+            &RoomModel::cluster_room(),
+            Watts::new(IT_POWER),
+            WattsPerKelvin::new(1008.0 * 5.0),
+            Joules::new(1008.0 * 5.0e3), // tiny budget: saturates en route
+            Celsius::new(28.0),
+        )
+        .unwrap();
+        let sat = r.wax_saturated_at.expect("tiny budget must saturate");
+        assert!(sat.value() < RoomModel::cluster_room().critical.value());
+        assert!(sat.value() > 28.0);
+    }
+}

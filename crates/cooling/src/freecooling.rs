@@ -1,0 +1,204 @@
+//! Free cooling (economizer) and the night-shift OpEx advantage.
+//!
+//! Figure 1 lists the off-peak advantages of thermal time shifting:
+//! "Nighttime: lower ambient temperature, more natural cooling
+//! opportunities" and "Off-peak time: power is cheaper". This module
+//! models both: a diurnal ambient-temperature cycle drives the plant's
+//! effective COP (air-side economizers approach free cooling when the
+//! outside air is cold), and a [`crate::Tariff`] prices the electricity.
+//! Shifting cooling work from a hot, expensive afternoon to a cold, cheap
+//! night is worth more than the plain kWh accounting suggests.
+
+use crate::system::CoolingSystem;
+use crate::tariff::Tariff;
+use serde::{Deserialize, Serialize};
+use tts_units::{Celsius, Dollars, Seconds, TempDelta, Watts};
+
+/// A sinusoidal diurnal ambient-temperature model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AmbientCycle {
+    /// Daily mean outdoor temperature.
+    pub mean: Celsius,
+    /// Half the peak-to-trough swing.
+    pub amplitude_k: f64,
+    /// Local hour of the daily maximum (mid-afternoon).
+    pub peak_hour: f64,
+}
+
+impl AmbientCycle {
+    /// A temperate-climate default: 18 °C mean, ±7 K swing, 15:00 peak.
+    pub fn temperate() -> Self {
+        Self {
+            mean: Celsius::new(18.0),
+            amplitude_k: 7.0,
+            peak_hour: 15.0,
+        }
+    }
+
+    /// Outdoor temperature at simulation time `t`.
+    pub fn at(&self, t: Seconds) -> Celsius {
+        let hour = (t.value().rem_euclid(86_400.0)) / 3600.0;
+        let phase = (hour - self.peak_hour) / 24.0 * std::f64::consts::TAU;
+        self.mean + TempDelta::new(self.amplitude_k * phase.cos())
+    }
+}
+
+/// An economizer-equipped plant: effective COP rises as the outdoor air
+/// cools below the return-air setpoint.
+///
+/// Model: mechanical COP at the design point, scaled by the approach to
+/// free cooling — when ambient is `free_cooling_threshold` or colder,
+/// the economizer carries the load at `free_cooling_cop` (fans only).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Economizer {
+    /// The mechanical plant.
+    pub plant: CoolingSystem,
+    /// Ambient at/below which the load runs on the economizer alone.
+    pub free_cooling_threshold: Celsius,
+    /// Ambient at/above which the mechanical plant carries everything.
+    pub mechanical_threshold: Celsius,
+    /// COP when fully on free cooling (moving air is nearly free: 10–20).
+    pub free_cooling_cop: f64,
+}
+
+impl Economizer {
+    /// A typical air-side economizer around a mechanical plant: free
+    /// cooling below 12 °C, fully mechanical above 24 °C.
+    pub fn around(plant: CoolingSystem) -> Self {
+        Self {
+            plant,
+            free_cooling_threshold: Celsius::new(12.0),
+            mechanical_threshold: Celsius::new(24.0),
+            free_cooling_cop: 15.0,
+        }
+    }
+
+    /// Effective COP at an outdoor temperature (linear blend between the
+    /// free-cooling and mechanical regimes).
+    pub fn effective_cop(&self, ambient: Celsius) -> f64 {
+        let lo = self.free_cooling_threshold.value();
+        let hi = self.mechanical_threshold.value();
+        let t = ambient.value();
+        if t <= lo {
+            return self.free_cooling_cop;
+        }
+        if t >= hi {
+            return self.plant.cop();
+        }
+        let f = (t - lo) / (hi - lo);
+        self.free_cooling_cop + f * (self.plant.cop() - self.free_cooling_cop)
+    }
+
+    /// Electrical power to remove `load` at an outdoor temperature.
+    pub fn electrical_power(&self, load: Watts, ambient: Celsius) -> Watts {
+        Watts::new(load.value().max(0.0) / self.effective_cop(ambient))
+    }
+}
+
+/// Integrates the electricity bill for a cooling-load trace under a tariff
+/// and ambient cycle. `loads` are sampled every `dt` starting at t = 0
+/// (midnight).
+pub fn cooling_electricity_cost(
+    loads_w: &[f64],
+    dt: Seconds,
+    economizer: &Economizer,
+    tariff: &Tariff,
+    ambient: &AmbientCycle,
+) -> Dollars {
+    let mut total = Dollars::ZERO;
+    for (i, &load) in loads_w.iter().enumerate() {
+        let t = Seconds::new(i as f64 * dt.value());
+        let power = economizer.electrical_power(Watts::new(load), ambient.at(t));
+        let energy = power * dt;
+        total += tariff.cost(energy, t);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tts_units::KiloWatts;
+
+    fn plant() -> CoolingSystem {
+        CoolingSystem::new(KiloWatts::new(200.0), 4.0)
+    }
+
+    #[test]
+    fn ambient_cycle_peaks_at_peak_hour() {
+        let a = AmbientCycle::temperate();
+        let at_peak = a.at(Seconds::new(15.0 * 3600.0)).value();
+        assert!((at_peak - 25.0).abs() < 1e-9);
+        let at_trough = a.at(Seconds::new(3.0 * 3600.0)).value();
+        assert!((at_trough - 11.0).abs() < 1e-9);
+        // Wraps across days.
+        assert!((a.at(Seconds::new((24.0 + 15.0) * 3600.0)).value() - at_peak).abs() < 1e-9);
+    }
+
+    #[test]
+    fn economizer_cop_blends_between_regimes() {
+        let e = Economizer::around(plant());
+        assert_eq!(e.effective_cop(Celsius::new(5.0)), 15.0);
+        assert_eq!(e.effective_cop(Celsius::new(30.0)), 4.0);
+        let mid = e.effective_cop(Celsius::new(18.0));
+        assert!(mid > 4.0 && mid < 15.0);
+    }
+
+    #[test]
+    fn night_cooling_is_cheaper_per_joule() {
+        let e = Economizer::around(plant());
+        let a = AmbientCycle::temperate();
+        let load = Watts::new(100_000.0);
+        let day = e.electrical_power(load, a.at(Seconds::new(15.0 * 3600.0)));
+        let night = e.electrical_power(load, a.at(Seconds::new(3.0 * 3600.0)));
+        assert!(
+            night.value() < 0.5 * day.value(),
+            "night {night} vs day {day}"
+        );
+    }
+
+    #[test]
+    fn shifting_load_to_night_cuts_the_bill() {
+        // Two 24 h load profiles with the same total energy: one peaks at
+        // 14:00, one at 02:00. The night-shifted profile must cost less
+        // under tariff + economizer.
+        let e = Economizer::around(plant());
+        let a = AmbientCycle::temperate();
+        let t = Tariff::paper_default();
+        let dt = Seconds::new(3600.0);
+        let day_profile: Vec<f64> = (0..24)
+            .map(|h| 50_000.0 + 50_000.0 * gauss(h as f64, 14.0))
+            .collect();
+        let night_profile: Vec<f64> = (0..24)
+            .map(|h| 50_000.0 + 50_000.0 * gauss_wrap(h as f64, 2.0))
+            .collect();
+        let day_cost = cooling_electricity_cost(&day_profile, dt, &e, &t, &a);
+        let night_cost = cooling_electricity_cost(&night_profile, dt, &e, &t, &a);
+        assert!(
+            night_cost.value() < 0.8 * day_cost.value(),
+            "night {night_cost} vs day {day_cost}"
+        );
+    }
+
+    #[test]
+    fn negative_loads_cost_nothing() {
+        let e = Economizer::around(plant());
+        let a = AmbientCycle::temperate();
+        let t = Tariff::paper_default();
+        let cost =
+            cooling_electricity_cost(&[-100.0; 24], Seconds::new(3600.0), &e, &t, &a);
+        assert_eq!(cost.value(), 0.0);
+    }
+
+    fn gauss(h: f64, center: f64) -> f64 {
+        (-(h - center).powi(2) / 8.0).exp()
+    }
+
+    fn gauss_wrap(h: f64, center: f64) -> f64 {
+        let mut d = (h - center).abs();
+        if d > 12.0 {
+            d = 24.0 - d;
+        }
+        (-d.powi(2) / 8.0).exp()
+    }
+}

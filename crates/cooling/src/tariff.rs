@@ -1,0 +1,95 @@
+//! Time-of-use electricity pricing.
+//!
+//! §4.3: "We assume a peak electricity cost of $0.13 per kWh and an
+//! off-peak electricity cost of $0.08 per kWh." Thermal time shifting
+//! moves cooling work from peak to off-peak hours, so the tariff shape
+//! matters to the OpEx story.
+
+use serde::{Deserialize, Serialize};
+use tts_units::{Dollars, DollarsPerKwh, Joules, Seconds};
+
+/// A two-rate time-of-use tariff with a daily peak window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Tariff {
+    /// Rate during the peak window.
+    pub peak_rate: DollarsPerKwh,
+    /// Rate outside the peak window.
+    pub offpeak_rate: DollarsPerKwh,
+    /// Peak window start, local hour.
+    pub peak_start_hour: f64,
+    /// Peak window end, local hour.
+    pub peak_end_hour: f64,
+}
+
+impl Tariff {
+    /// The paper's tariff: $0.13 peak / $0.08 off-peak, with the peak
+    /// window matching Figure 1's 7 AM – 7 PM day.
+    pub fn paper_default() -> Self {
+        Self {
+            peak_rate: DollarsPerKwh::new(0.13),
+            offpeak_rate: DollarsPerKwh::new(0.08),
+            peak_start_hour: 7.0,
+            peak_end_hour: 19.0,
+        }
+    }
+
+    /// The applicable rate at simulation time `t` (day wraps every 24 h).
+    pub fn rate_at(&self, t: Seconds) -> DollarsPerKwh {
+        let hour = (t.value().rem_euclid(86_400.0)) / 3600.0;
+        if hour >= self.peak_start_hour && hour < self.peak_end_hour {
+            self.peak_rate
+        } else {
+            self.offpeak_rate
+        }
+    }
+
+    /// Cost of consuming `energy` at time `t`.
+    pub fn cost(&self, energy: Joules, t: Seconds) -> Dollars {
+        self.rate_at(t) * energy.kilowatt_hours()
+    }
+
+    /// Flat-average rate assuming the paper's 12 h/12 h split.
+    pub fn mean_rate(&self) -> DollarsPerKwh {
+        let peak_frac = (self.peak_end_hour - self.peak_start_hour) / 24.0;
+        DollarsPerKwh::new(
+            self.peak_rate.value() * peak_frac + self.offpeak_rate.value() * (1.0 - peak_frac),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_follow_the_window() {
+        let t = Tariff::paper_default();
+        assert_eq!(t.rate_at(Seconds::new(12.0 * 3600.0)).value(), 0.13);
+        assert_eq!(t.rate_at(Seconds::new(3.0 * 3600.0)).value(), 0.08);
+        // Boundary behaviour: peak at 7:00 sharp, off-peak at 19:00 sharp.
+        assert_eq!(t.rate_at(Seconds::new(7.0 * 3600.0)).value(), 0.13);
+        assert_eq!(t.rate_at(Seconds::new(19.0 * 3600.0)).value(), 0.08);
+    }
+
+    #[test]
+    fn wraps_across_days() {
+        let t = Tariff::paper_default();
+        let noon_day3 = Seconds::new((2.0 * 24.0 + 12.0) * 3600.0);
+        assert_eq!(t.rate_at(noon_day3).value(), 0.13);
+    }
+
+    #[test]
+    fn cost_uses_the_right_rate() {
+        let t = Tariff::paper_default();
+        let one_kwh = Joules::new(3.6e6);
+        assert!((t.cost(one_kwh, Seconds::new(12.0 * 3600.0)).value() - 0.13).abs() < 1e-12);
+        assert!((t.cost(one_kwh, Seconds::new(2.0 * 3600.0)).value() - 0.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_rate_is_the_windowed_average() {
+        let t = Tariff::paper_default();
+        // 12 h at 0.13 + 12 h at 0.08 → 0.105.
+        assert!((t.mean_rate().value() - 0.105).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,140 @@
+//! Datacenter extrapolation (§4.3).
+//!
+//! DCSim "extrapolates the cluster model out for the whole datacenter".
+//! The paper's three 10 MW datacenters hold 55 clusters of 1U servers, 19
+//! clusters of 2U servers, or 29 clusters of Open Compute blades (1008
+//! servers per cluster).
+
+use serde::{Deserialize, Serialize};
+use tts_server::{ServerClass, ServerSpec};
+use tts_units::{Fraction, KiloWatts, MegaWatts};
+
+/// A homogeneous datacenter built from identical 1008-server clusters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Datacenter {
+    /// Server class deployed.
+    pub class: ServerClass,
+    /// Number of 1008-server clusters.
+    pub clusters: usize,
+    /// Critical (IT) power budget.
+    pub critical_power: MegaWatts,
+}
+
+/// Servers per cluster (paper constant).
+pub const SERVERS_PER_CLUSTER: usize = 1008;
+
+impl Datacenter {
+    /// The paper's 10 MW datacenter for a server class: "the first filled
+    /// with 55 clusters of 1U low power servers, the second with 19
+    /// clusters of 2U high throughput servers and the third with 29
+    /// clusters of Open Compute blades".
+    pub fn paper_10mw(class: ServerClass) -> Self {
+        let clusters = match class {
+            ServerClass::LowPower1U => 55,
+            ServerClass::HighThroughput2U => 19,
+            ServerClass::OpenComputeBlade => 29,
+        };
+        Self {
+            class,
+            clusters,
+            critical_power: MegaWatts::new(10.0),
+        }
+    }
+
+    /// Total server count.
+    pub fn servers(&self) -> usize {
+        self.clusters * SERVERS_PER_CLUSTER
+    }
+
+    /// Peak IT power of the whole datacenter (all servers at full load).
+    pub fn peak_it_power(&self) -> KiloWatts {
+        let spec = self.class.spec();
+        let per = spec.wall_power(Fraction::ONE, Fraction::ONE);
+        KiloWatts::new(per.value() * self.servers() as f64 / 1000.0)
+    }
+
+    /// Scales a per-cluster quantity to the datacenter.
+    pub fn scale_from_cluster(&self, per_cluster: f64) -> f64 {
+        per_cluster * self.clusters as f64
+    }
+
+    /// The spec of the deployed server.
+    pub fn spec(&self) -> ServerSpec {
+        self.class.spec()
+    }
+
+    /// How many additional servers (each with wax) fit under the original
+    /// no-wax peak cooling load, given the with-wax per-server peak
+    /// contribution: solves `N' · peak_wax ≤ N · peak_no_wax`.
+    ///
+    /// With every server carrying wax, each contributes `(1 − r)` of the
+    /// original peak, so the headroom is `r/(1−r)` — the reason the paper
+    /// can add 9.8 % more 1U servers from an 8.9 % reduction.
+    pub fn added_servers_under_same_cooling(&self, peak_reduction: Fraction) -> usize {
+        let r = peak_reduction.value();
+        if r >= 1.0 {
+            return usize::MAX;
+        }
+        let extra = self.servers() as f64 * r / (1.0 - r);
+        extra.floor() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cluster_counts() {
+        assert_eq!(Datacenter::paper_10mw(ServerClass::LowPower1U).clusters, 55);
+        assert_eq!(
+            Datacenter::paper_10mw(ServerClass::HighThroughput2U).clusters,
+            19
+        );
+        assert_eq!(
+            Datacenter::paper_10mw(ServerClass::OpenComputeBlade).clusters,
+            29
+        );
+    }
+
+    #[test]
+    fn cluster_counts_respect_critical_power() {
+        // Each configuration's peak IT power must come in at or under the
+        // 10 MW critical budget (the paper sizes cluster counts this way).
+        for class in ServerClass::ALL {
+            let dc = Datacenter::paper_10mw(class);
+            let peak = dc.peak_it_power().megawatts().value();
+            assert!(
+                peak <= 10.3,
+                "{class}: peak IT power {peak} MW exceeds critical power"
+            );
+            assert!(peak > 5.0, "{class}: datacenter implausibly empty: {peak} MW");
+        }
+    }
+
+    #[test]
+    fn server_counts() {
+        let dc = Datacenter::paper_10mw(ServerClass::LowPower1U);
+        assert_eq!(dc.servers(), 55 * 1008);
+    }
+
+    #[test]
+    fn added_servers_match_paper_arithmetic() {
+        // 8.9 % reduction → 9.8 % more servers (1U); 12 % → ~13.6 % (2U).
+        let dc = Datacenter::paper_10mw(ServerClass::LowPower1U);
+        let added = dc.added_servers_under_same_cooling(Fraction::new(0.089));
+        let pct = added as f64 / dc.servers() as f64;
+        assert!((pct - 0.0977).abs() < 0.002, "1U added fraction {pct}");
+
+        let dc2 = Datacenter::paper_10mw(ServerClass::HighThroughput2U);
+        let added2 = dc2.added_servers_under_same_cooling(Fraction::new(0.12));
+        let pct2 = added2 as f64 / dc2.servers() as f64;
+        assert!((pct2 - 0.1364).abs() < 0.002, "2U added fraction {pct2}");
+    }
+
+    #[test]
+    fn scale_from_cluster_multiplies() {
+        let dc = Datacenter::paper_10mw(ServerClass::OpenComputeBlade);
+        assert_eq!(dc.scale_from_cluster(2.0), 58.0);
+    }
+}

@@ -1,0 +1,536 @@
+//! The discrete job-level cluster simulator.
+//!
+//! Models exactly what the paper attributes to DCSim: "job arrival, load
+//! balancing, and work completion ... at the server, rack, and cluster
+//! levels". Each server runs up to `cores` jobs concurrently; excess jobs
+//! wait in a per-server FIFO. A pluggable [`Balancer`] routes arrivals.
+
+use crate::balancer::Balancer;
+use crate::event::EventQueue;
+use std::collections::VecDeque;
+use tts_units::Seconds;
+use tts_workload::{Job, JobType};
+
+/// A completion event.
+#[derive(Debug, Clone, Copy)]
+struct Completion {
+    server: usize,
+    arrival: f64,
+    job_type: JobType,
+}
+
+#[derive(Debug, Default)]
+struct ServerState {
+    active: usize,
+    queue: VecDeque<Job>,
+    busy_time: f64,
+    completed: u64,
+    last_change: f64,
+}
+
+impl ServerState {
+    fn account(&mut self, now: f64, cores: usize) {
+        self.busy_time += self.active.min(cores) as f64 * (now - self.last_change);
+        self.last_change = now;
+    }
+}
+
+/// Response-time statistics for one job type.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TypeQos {
+    /// The job type.
+    pub job_type: JobType,
+    /// Completed jobs of this type.
+    pub completed: u64,
+    /// Mean response time, seconds.
+    pub mean_response_s: f64,
+    /// 95th-percentile response time, seconds.
+    pub p95_response_s: f64,
+}
+
+/// Aggregate metrics of a discrete run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscreteMetrics {
+    /// Jobs that finished service.
+    pub completed: u64,
+    /// Jobs still in the system when the run ended.
+    pub in_flight: u64,
+    /// Mean response (sojourn) time, seconds.
+    pub mean_response_s: f64,
+    /// 95th-percentile response time, seconds.
+    pub p95_response_s: f64,
+    /// Per-server utilization (busy core-seconds / capacity).
+    pub server_utilization: Vec<f64>,
+    /// Per-rack mean utilization.
+    pub rack_utilization: Vec<f64>,
+    /// Cluster-level mean utilization.
+    pub cluster_utilization: f64,
+    /// Completed jobs per second of simulated time.
+    pub throughput_jobs_per_s: f64,
+    /// Per-job-type response-time statistics (QoS view; interactive types
+    /// suffer first when batch work monopolizes cores).
+    pub per_type: Vec<TypeQos>,
+}
+
+/// The discrete event-driven cluster simulator.
+#[derive(Debug)]
+pub struct DiscreteClusterSim<B: Balancer> {
+    servers: Vec<ServerState>,
+    cores_per_server: usize,
+    rack_size: usize,
+    balancer: B,
+    response_times: Vec<f64>,
+    response_by_type: Vec<(JobType, f64)>,
+    /// Busy core-seconds accumulated per recording interval (when
+    /// utilization recording is enabled).
+    util_recording: Option<UtilRecorder>,
+}
+
+#[derive(Debug)]
+struct UtilRecorder {
+    interval: f64,
+    /// Busy core-seconds per interval bucket.
+    busy: Vec<f64>,
+    /// Time of the last occupancy change, per server.
+    last_change: Vec<f64>,
+    /// Active jobs per server at `last_change`.
+    active: Vec<usize>,
+}
+
+impl UtilRecorder {
+    fn new(servers: usize, interval: f64) -> Self {
+        Self {
+            interval,
+            busy: Vec::new(),
+            last_change: vec![0.0; servers],
+            active: vec![0; servers],
+        }
+    }
+
+    /// Accounts server `s` busy time from its last change to `now`,
+    /// spreading across interval buckets.
+    fn account(&mut self, s: usize, now: f64, cores: usize) {
+        let mut t = self.last_change[s];
+        let active = self.active[s].min(cores) as f64;
+        while t < now {
+            let bucket = (t / self.interval) as usize;
+            while self.busy.len() <= bucket {
+                self.busy.push(0.0);
+            }
+            let bucket_end = (bucket as f64 + 1.0) * self.interval;
+            let seg_end = bucket_end.min(now);
+            self.busy[bucket] += active * (seg_end - t);
+            t = seg_end;
+        }
+        self.last_change[s] = now;
+    }
+}
+
+impl<B: Balancer> DiscreteClusterSim<B> {
+    /// A cluster of `servers` machines with `cores_per_server` slots each,
+    /// grouped into racks of `rack_size`.
+    ///
+    /// # Panics
+    /// Panics if any size is zero.
+    pub fn new(servers: usize, cores_per_server: usize, rack_size: usize, balancer: B) -> Self {
+        assert!(servers > 0, "need at least one server");
+        assert!(cores_per_server > 0, "need at least one core");
+        assert!(rack_size > 0, "need at least one server per rack");
+        Self {
+            servers: (0..servers).map(|_| ServerState::default()).collect(),
+            cores_per_server,
+            rack_size,
+            balancer,
+            response_times: Vec::new(),
+            response_by_type: Vec::new(),
+            util_recording: None,
+        }
+    }
+
+    /// Enables recording of the cluster's utilization as a time series
+    /// with the given bucket width. Call before [`Self::run`]; retrieve
+    /// with [`Self::utilization_trace`].
+    pub fn record_utilization(&mut self, interval: Seconds) {
+        assert!(interval.value() > 0.0, "interval must be positive");
+        self.util_recording = Some(UtilRecorder::new(self.servers.len(), interval.value()));
+    }
+
+    /// The recorded cluster-utilization trace (fraction of total core
+    /// capacity per bucket), or `None` if recording was not enabled.
+    ///
+    /// This is the bridge from the event-driven simulator to the thermal
+    /// pipeline: feed the result to
+    /// [`crate::cluster::run_cooling_load`] for a job-level Figure 11.
+    pub fn utilization_trace(&self) -> Option<tts_workload::TimeSeries> {
+        let rec = self.util_recording.as_ref()?;
+        if rec.busy.is_empty() {
+            return None;
+        }
+        let capacity =
+            (self.servers.len() * self.cores_per_server) as f64 * rec.interval;
+        let values: Vec<f64> = rec.busy.iter().map(|b| (b / capacity).min(1.0)).collect();
+        Some(tts_workload::TimeSeries::new(
+            Seconds::new(rec.interval),
+            values,
+        ))
+    }
+
+    /// Runs the full job list to completion (all jobs arrive, the run ends
+    /// at `horizon` — jobs still in service then count as in-flight).
+    ///
+    /// # Panics
+    /// Panics if jobs are not sorted by arrival time.
+    pub fn run(&mut self, jobs: &[Job], horizon: Seconds) -> DiscreteMetrics {
+        let mut queue: EventQueue<Completion> = EventQueue::new();
+        let horizon = horizon.value();
+        let mut job_iter = jobs.iter().peekable();
+        let mut last_arrival = f64::NEG_INFINITY;
+        let mut now = 0.0;
+
+        loop {
+            // Next event: job arrival or completion, whichever is earlier.
+            let next_arrival = job_iter.peek().map(|j| j.arrival.value());
+            let next_completion = queue.peek_time();
+            let (t, is_arrival) = match (next_arrival, next_completion) {
+                (Some(a), Some(c)) if a <= c => (a, true),
+                (Some(_), Some(c)) => (c, false),
+                (Some(a), None) => (a, true),
+                (None, Some(c)) => (c, false),
+                (None, None) => break,
+            };
+            if t > horizon {
+                break;
+            }
+            now = t;
+
+            if is_arrival {
+                let job = *job_iter.next().expect("peeked job exists");
+                assert!(
+                    job.arrival.value() >= last_arrival,
+                    "jobs must be sorted by arrival"
+                );
+                last_arrival = job.arrival.value();
+                let occupancy: Vec<usize> = self
+                    .servers
+                    .iter()
+                    .map(|s| s.active + s.queue.len())
+                    .collect();
+                let target = self.balancer.pick(&occupancy);
+                if let Some(rec) = self.util_recording.as_mut() {
+                    rec.account(target, now, self.cores_per_server);
+                }
+                let server = &mut self.servers[target];
+                server.account(now, self.cores_per_server);
+                if server.active < self.cores_per_server {
+                    server.active += 1;
+                    queue.push(
+                        now + job.service_time.value(),
+                        Completion {
+                            server: target,
+                            arrival: now,
+                            job_type: job.job_type,
+                        },
+                    );
+                } else {
+                    server.queue.push_back(job);
+                }
+                let active_now = self.servers[target].active;
+                if let Some(rec) = self.util_recording.as_mut() {
+                    rec.active[target] = active_now;
+                }
+            } else {
+                let (_, c) = queue.pop().expect("completion peeked");
+                if let Some(rec) = self.util_recording.as_mut() {
+                    rec.account(c.server, now, self.cores_per_server);
+                }
+                let server = &mut self.servers[c.server];
+                server.account(now, self.cores_per_server);
+                server.active -= 1;
+                server.completed += 1;
+                self.response_times.push(now - c.arrival);
+                self.response_by_type.push((c.job_type, now - c.arrival));
+                if let Some(next) = server.queue.pop_front() {
+                    server.active += 1;
+                    queue.push(
+                        now + next.service_time.value(),
+                        Completion {
+                            server: c.server,
+                            arrival: next.arrival.value(),
+                            job_type: next.job_type,
+                        },
+                    );
+                }
+                let active_now = self.servers[c.server].active;
+                if let Some(rec) = self.util_recording.as_mut() {
+                    rec.active[c.server] = active_now;
+                }
+            }
+        }
+
+        // Close the books at the horizon (or last event).
+        let end = now.max(horizon.min(now + 1.0));
+        if let Some(rec) = self.util_recording.as_mut() {
+            for s in 0..self.servers.len() {
+                rec.account(s, end, self.cores_per_server);
+            }
+        }
+        for s in &mut self.servers {
+            s.account(end, self.cores_per_server);
+        }
+        self.metrics(end, queue.len() as u64)
+    }
+
+    fn metrics(&self, end: f64, in_service: u64) -> DiscreteMetrics {
+        let completed: u64 = self.servers.iter().map(|s| s.completed).sum();
+        let queued: u64 = self.servers.iter().map(|s| s.queue.len() as u64).sum();
+        let mut sorted = self.response_times.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("response times are finite"));
+        let mean = if sorted.is_empty() {
+            0.0
+        } else {
+            sorted.iter().sum::<f64>() / sorted.len() as f64
+        };
+        let p95 = if sorted.is_empty() {
+            0.0
+        } else {
+            sorted[((sorted.len() as f64 * 0.95) as usize).min(sorted.len() - 1)]
+        };
+        let cap = self.cores_per_server as f64 * end;
+        let server_utilization: Vec<f64> =
+            self.servers.iter().map(|s| s.busy_time / cap).collect();
+        let rack_utilization: Vec<f64> = server_utilization
+            .chunks(self.rack_size)
+            .map(|rack| rack.iter().sum::<f64>() / rack.len() as f64)
+            .collect();
+        let cluster_utilization =
+            server_utilization.iter().sum::<f64>() / server_utilization.len() as f64;
+        let per_type = JobType::ALL
+            .iter()
+            .filter_map(|&jt| {
+                let mut times: Vec<f64> = self
+                    .response_by_type
+                    .iter()
+                    .filter(|(t, _)| *t == jt)
+                    .map(|(_, r)| *r)
+                    .collect();
+                if times.is_empty() {
+                    return None;
+                }
+                times.sort_by(|a, b| a.total_cmp(b));
+                let mean = times.iter().sum::<f64>() / times.len() as f64;
+                let p95 = times[((times.len() as f64 * 0.95) as usize).min(times.len() - 1)];
+                Some(TypeQos {
+                    job_type: jt,
+                    completed: times.len() as u64,
+                    mean_response_s: mean,
+                    p95_response_s: p95,
+                })
+            })
+            .collect();
+        DiscreteMetrics {
+            completed,
+            in_flight: in_service + queued,
+            mean_response_s: mean,
+            p95_response_s: p95,
+            server_utilization,
+            rack_utilization,
+            cluster_utilization,
+            throughput_jobs_per_s: completed as f64 / end.max(1e-9),
+            per_type,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::balancer::{LeastLoaded, RoundRobin};
+    use tts_units::Seconds;
+    use tts_workload::series::TimeSeries;
+    use tts_workload::{JobStream, JobType};
+
+    fn flat_jobs(util: f64, servers: usize, hours: f64, seed: u64) -> Vec<Job> {
+        let n = (hours * 60.0) as usize;
+        let trace = TimeSeries::new(Seconds::new(60.0), vec![util; n]);
+        JobStream::new(trace, JobType::SocialNetworking, servers, seed).collect_all()
+    }
+
+    #[test]
+    fn conservation_of_jobs() {
+        let jobs = flat_jobs(0.5, 8, 0.5, 1);
+        let total = jobs.len() as u64;
+        let mut sim = DiscreteClusterSim::new(8, 4, 4, RoundRobin::new());
+        let m = sim.run(&jobs, Seconds::new(3600.0));
+        assert_eq!(m.completed + m.in_flight, total);
+        assert!(m.completed > 0);
+    }
+
+    #[test]
+    fn measured_utilization_tracks_offered_load() {
+        // Offered load 0.6 of cluster core capacity.
+        let servers = 10;
+        // JobStream offers util×servers server-equivalents of work; with
+        // `cores` slots per server, the per-core utilization is util/cores.
+        let jobs = flat_jobs(0.6, servers, 2.0, 2);
+        let mut sim = DiscreteClusterSim::new(servers, 1, 5, RoundRobin::new());
+        let m = sim.run(&jobs, Seconds::new(2.0 * 3600.0));
+        assert!(
+            (m.cluster_utilization - 0.6).abs() < 0.05,
+            "measured {}",
+            m.cluster_utilization
+        );
+    }
+
+    #[test]
+    fn round_robin_spreads_load_evenly() {
+        let jobs = flat_jobs(0.5, 8, 1.0, 3);
+        let mut sim = DiscreteClusterSim::new(8, 4, 4, RoundRobin::new());
+        let m = sim.run(&jobs, Seconds::new(3600.0));
+        let max = m.server_utilization.iter().cloned().fold(f64::MIN, f64::max);
+        let min = m.server_utilization.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max - min < 0.08, "spread {}..{}", min, max);
+    }
+
+    #[test]
+    fn rack_metrics_aggregate_servers() {
+        let jobs = flat_jobs(0.5, 8, 0.5, 4);
+        let mut sim = DiscreteClusterSim::new(8, 4, 4, RoundRobin::new());
+        let m = sim.run(&jobs, Seconds::new(1800.0));
+        assert_eq!(m.rack_utilization.len(), 2);
+        let rack_mean = (m.rack_utilization[0] + m.rack_utilization[1]) / 2.0;
+        assert!((rack_mean - m.cluster_utilization).abs() < 1e-9);
+    }
+
+    #[test]
+    fn response_time_grows_under_overload() {
+        let light = {
+            let jobs = flat_jobs(0.3, 4, 1.0, 5);
+            let mut sim = DiscreteClusterSim::new(4, 2, 2, RoundRobin::new());
+            sim.run(&jobs, Seconds::new(3600.0)).mean_response_s
+        };
+        let heavy = {
+            // Offered load ~1.9× core capacity → queues build.
+            let n = 60;
+            let trace = TimeSeries::new(Seconds::new(60.0), vec![0.95; n]);
+            let jobs = JobStream::new(trace, JobType::SocialNetworking, 16, 5).collect_all();
+            let mut sim = DiscreteClusterSim::new(4, 2, 2, RoundRobin::new());
+            sim.run(&jobs, Seconds::new(3600.0)).mean_response_s
+        };
+        assert!(
+            heavy > 3.0 * light,
+            "overload must inflate response times: {light} vs {heavy}"
+        );
+    }
+
+    #[test]
+    fn least_loaded_beats_round_robin_under_bursts() {
+        // With highly variable service times and tight capacity, JSQ should
+        // not be (much) worse than blind round-robin.
+        let jobs = {
+            let trace = TimeSeries::new(Seconds::new(60.0), vec![0.85; 60]);
+            JobStream::new(trace, JobType::MapReduce, 6, 9).collect_all()
+        };
+        let rr = {
+            let mut sim = DiscreteClusterSim::new(6, 2, 3, RoundRobin::new());
+            sim.run(&jobs, Seconds::new(3600.0)).mean_response_s
+        };
+        let ll = {
+            let mut sim = DiscreteClusterSim::new(6, 2, 3, LeastLoaded::new());
+            sim.run(&jobs, Seconds::new(3600.0)).mean_response_s
+        };
+        assert!(ll <= rr * 1.05, "JSQ {ll} should not lose to RR {rr}");
+    }
+
+    #[test]
+    fn p95_at_least_mean() {
+        let jobs = flat_jobs(0.7, 8, 1.0, 6);
+        let mut sim = DiscreteClusterSim::new(8, 4, 4, RoundRobin::new());
+        let m = sim.run(&jobs, Seconds::new(3600.0));
+        assert!(m.p95_response_s >= m.mean_response_s * 0.9);
+        assert!(m.throughput_jobs_per_s > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_panics() {
+        DiscreteClusterSim::new(0, 1, 1, RoundRobin::new());
+    }
+
+    #[test]
+    fn per_type_qos_separates_interactive_from_batch() {
+        // Offer a mix of short (search) and long (MapReduce) jobs; the
+        // per-type stats must reflect their service-time scales.
+        let trace = TimeSeries::new(Seconds::new(60.0), vec![0.35; 60]);
+        let mut jobs =
+            JobStream::new(trace.clone(), JobType::WebSearch, 16, 1).collect_all();
+        jobs.extend(JobStream::new(trace, JobType::MapReduce, 16, 2).collect_all());
+        jobs.sort_by(|a, b| a.arrival.value().total_cmp(&b.arrival.value()));
+        let mut sim = DiscreteClusterSim::new(16, 4, 8, RoundRobin::new());
+        let m = sim.run(&jobs, Seconds::new(3600.0));
+        let qos: std::collections::HashMap<_, _> = m
+            .per_type
+            .iter()
+            .map(|q| (q.job_type, q))
+            .collect();
+        let search = qos.get(&JobType::WebSearch).expect("search jobs ran");
+        let mapreduce = qos.get(&JobType::MapReduce).expect("batch jobs ran");
+        assert!(
+            mapreduce.mean_response_s > 10.0 * search.mean_response_s,
+            "batch {} vs interactive {}",
+            mapreduce.mean_response_s,
+            search.mean_response_s
+        );
+        assert!(search.completed > 0 && mapreduce.completed > 0);
+        assert!(search.p95_response_s >= search.mean_response_s * 0.5);
+        // Per-type counts sum to the total.
+        let type_sum: u64 = m.per_type.iter().map(|q| q.completed).sum();
+        assert_eq!(type_sum, m.completed);
+    }
+
+    #[test]
+    fn recorded_utilization_matches_aggregate_metric() {
+        let jobs = flat_jobs(0.6, 10, 2.0, 8);
+        let mut sim = DiscreteClusterSim::new(10, 1, 5, RoundRobin::new());
+        sim.record_utilization(Seconds::new(300.0));
+        let horizon = Seconds::new(2.0 * 3600.0);
+        let m = sim.run(&jobs, horizon);
+        let trace = sim.utilization_trace().expect("recording enabled");
+        // The trace's mean must agree with the run's aggregate utilization.
+        assert!(
+            (trace.mean() - m.cluster_utilization).abs() < 0.03,
+            "trace mean {} vs aggregate {}",
+            trace.mean(),
+            m.cluster_utilization
+        );
+        // Samples are valid utilizations.
+        assert!(trace.values().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!(trace.len() >= 23, "expected ~24 five-minute buckets");
+    }
+
+    #[test]
+    fn utilization_trace_requires_recording() {
+        let jobs = flat_jobs(0.5, 4, 0.5, 9);
+        let mut sim = DiscreteClusterSim::new(4, 2, 2, RoundRobin::new());
+        sim.run(&jobs, Seconds::new(1800.0));
+        assert!(sim.utilization_trace().is_none());
+    }
+
+    #[test]
+    fn recorded_trace_follows_a_varying_offered_load() {
+        // Low hour then high hour: the recorded trace must show the step.
+        let mut vals = vec![0.2; 60];
+        vals.extend(vec![0.8; 60]);
+        let trace_in = TimeSeries::new(Seconds::new(60.0), vals);
+        let jobs = JobStream::new(trace_in, JobType::SocialNetworking, 20, 4).collect_all();
+        let mut sim = DiscreteClusterSim::new(20, 1, 10, RoundRobin::new());
+        sim.record_utilization(Seconds::new(600.0));
+        sim.run(&jobs, Seconds::new(7200.0));
+        let out = sim.utilization_trace().unwrap();
+        let first_hour: f64 = out.values()[..6].iter().sum::<f64>() / 6.0;
+        let second_hour: f64 = out.values()[6..12].iter().sum::<f64>() / 6.0;
+        assert!(
+            second_hour > 2.5 * first_hour,
+            "step not visible: {first_hour} vs {second_hour}"
+        );
+    }
+}

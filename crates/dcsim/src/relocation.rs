@@ -1,0 +1,182 @@
+//! Job relocation: the other thermal-management lever.
+//!
+//! §5.2 names two ways to keep an oversubscribed datacenter under its
+//! thermal limit: "downclocking/DVFS or relocating work to other
+//! datacenters [18–20]". The main Figure 12 experiment uses DVFS; this
+//! extension models relocation — excess work ships to a remote site over
+//! the WAN — and compares the two against thermal time shifting.
+//!
+//! Relocation serves everything (the remote site has capacity) but pays a
+//! per-work cost: WAN egress, remote capacity premium, and latency-driven
+//! revenue loss, folded into one `$ per server-hour of relocated work`
+//! figure. The wax serves the same excess *locally* for the price of the
+//! paraffin — the comparison this module quantifies.
+
+use crate::throttle::{run_constrained, ConstrainedConfig};
+use serde::{Deserialize, Serialize};
+use tts_units::{Dollars, Fraction, Seconds};
+use tts_workload::TimeSeries;
+
+/// Cost of serving one server-hour of work at the remote site instead of
+/// locally (egress + remote premium + SLA penalty), $.
+pub const DEFAULT_RELOCATION_COST_PER_SERVER_HOUR: f64 = 0.12;
+
+/// Result of the relocation analysis over a trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RelocationRun {
+    /// Sample times, hours.
+    pub times_h: Vec<f64>,
+    /// Work served locally (normalized like Figure 12).
+    pub local: Vec<f64>,
+    /// Work relocated (same normalization).
+    pub relocated: Vec<f64>,
+    /// Total relocated work, server-hours across the whole cluster.
+    pub relocated_server_hours: f64,
+    /// Fraction of all offered work that had to move.
+    pub relocated_fraction: Fraction,
+    /// Relocation bill at the given rate.
+    pub relocation_cost: Dollars,
+}
+
+/// Runs the relocation policy: the local cluster serves what its thermal
+/// budget allows (with DVFS, no wax); everything else ships out.
+pub fn run_relocation(
+    config: &ConstrainedConfig,
+    trace: &TimeSeries,
+    cost_per_server_hour: Dollars,
+) -> RelocationRun {
+    // The no-wax arm of the constrained run *is* the local service curve.
+    let base = run_constrained(config, trace);
+    let dt_h = trace.dt().value() / 3600.0;
+    let n = config.servers as f64;
+
+    let mut relocated = Vec::with_capacity(base.times_h.len());
+    let mut relocated_work = 0.0; // normalized-throughput × hours
+    let mut offered_work = 0.0;
+    for i in 0..base.times_h.len() {
+        let excess = (base.ideal[i] - base.no_wax[i]).max(0.0);
+        relocated.push(excess);
+        relocated_work += excess * dt_h;
+        offered_work += base.ideal[i] * dt_h;
+    }
+    // Convert normalized work to server-hours: 1.0 of normalized
+    // throughput = `norm_base` × N server-equivalents of work.
+    let server_hours = relocated_work * base.norm_base * n;
+    RelocationRun {
+        times_h: base.times_h,
+        local: base.no_wax,
+        relocated,
+        relocated_server_hours: server_hours,
+        relocated_fraction: Fraction::new(relocated_work / offered_work.max(1e-12)),
+        relocation_cost: cost_per_server_hour * server_hours,
+    }
+}
+
+/// Head-to-head: what the wax saves in relocation costs over one trace.
+///
+/// Returns `(relocation_only_cost, relocation_cost_with_wax)`: the second
+/// run still relocates whatever the *wax-assisted* cluster cannot serve.
+pub fn wax_vs_relocation(
+    config: &ConstrainedConfig,
+    trace: &TimeSeries,
+    cost_per_server_hour: Dollars,
+) -> (Dollars, Dollars) {
+    let base = run_constrained(config, trace);
+    let dt_h = trace.dt().value() / 3600.0;
+    let n = config.servers as f64;
+    let mut excess_nowax = 0.0;
+    let mut excess_wax = 0.0;
+    for i in 0..base.times_h.len() {
+        excess_nowax += (base.ideal[i] - base.no_wax[i]).max(0.0) * dt_h;
+        excess_wax += (base.ideal[i] - base.with_wax[i]).max(0.0) * dt_h;
+    }
+    let to_dollars =
+        |work: f64| -> Dollars { cost_per_server_hour * (work * base.norm_base * n) };
+    (to_dollars(excess_nowax), to_dollars(excess_wax))
+}
+
+/// Scales a per-trace relocation saving to a yearly figure (the trace
+/// covers `trace.duration()`).
+pub fn yearly_saving(saving_per_trace: Dollars, trace: &TimeSeries) -> Dollars {
+    let days = trace.duration() / Seconds::DAY;
+    saving_per_trace * (365.25 / days)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tts_pcm::PcmMaterial;
+    use tts_server::{ServerClass, ServerWaxCharacteristics};
+    use tts_units::Celsius;
+    use tts_workload::GoogleTrace;
+
+    fn config() -> ConstrainedConfig {
+        let spec = ServerClass::LowPower1U.spec();
+        let chars = ServerWaxCharacteristics::extract(
+            &spec,
+            &PcmMaterial::commercial_paraffin(Celsius::new(40.0)),
+        );
+        ConstrainedConfig::oversubscribed(spec, 1008, chars, Fraction::new(0.71))
+    }
+
+    #[test]
+    fn relocation_serves_exactly_the_excess() {
+        let cfg = config();
+        let trace = GoogleTrace::default_two_day();
+        let run = run_relocation(
+            &cfg,
+            trace.total(),
+            Dollars::new(DEFAULT_RELOCATION_COST_PER_SERVER_HOUR),
+        );
+        // local + relocated = ideal at every tick.
+        let base = run_constrained(&cfg, trace.total());
+        for i in 0..run.times_h.len() {
+            let total = run.local[i] + run.relocated[i];
+            assert!(
+                (total - base.ideal[i]).abs() < 1e-9,
+                "tick {i}: {total} vs ideal {}",
+                base.ideal[i]
+            );
+        }
+        assert!(run.relocated_fraction.value() > 0.0);
+        assert!(run.relocation_cost.value() > 0.0);
+    }
+
+    #[test]
+    fn wax_cuts_the_relocation_bill() {
+        let cfg = config();
+        let trace = GoogleTrace::default_two_day();
+        let (without, with) = wax_vs_relocation(
+            &cfg,
+            trace.total(),
+            Dollars::new(DEFAULT_RELOCATION_COST_PER_SERVER_HOUR),
+        );
+        assert!(
+            with.value() < without.value(),
+            "wax must absorb some excess: {with} vs {without}"
+        );
+        // And meaningfully so — at least 10 % of the bill.
+        assert!(with.value() < 0.9 * without.value());
+    }
+
+    #[test]
+    fn relocated_fraction_is_moderate() {
+        // With cooling sized for 71 % throttled utilization, a 50 %-mean
+        // trace mostly fits: well under half the work relocates.
+        let cfg = config();
+        let trace = GoogleTrace::default_two_day();
+        let run = run_relocation(&cfg, trace.total(), Dollars::new(0.12));
+        assert!(
+            run.relocated_fraction.value() < 0.45,
+            "relocated {}",
+            run.relocated_fraction
+        );
+    }
+
+    #[test]
+    fn yearly_scaling() {
+        let trace = GoogleTrace::default_two_day();
+        let yearly = yearly_saving(Dollars::new(100.0), trace.total());
+        assert!((yearly.value() - 100.0 * 365.25 / 2.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,228 @@
+//! Blends of two paraffin grades: multi-plateau storage.
+//!
+//! §2.1 notes that commercial paraffin is "a mixture of paraffin
+//! molecules" — vendors tune the melting point by blending chain lengths.
+//! Taken further, a *coarse* blend of two distinct grades produces an
+//! enthalpy curve with two latent plateaus. For thermal time shifting this
+//! is interesting: a low plateau that melts at moderate load plus a high
+//! plateau held in reserve for the deepest peaks, in one box.
+//!
+//! The blend model composes component enthalpy curves by mass fraction
+//! (components exchange heat fast compared to the melt timescale, so they
+//! share one temperature).
+
+use crate::enthalpy::EnthalpyCurve;
+use crate::material::PcmMaterial;
+use serde::{Deserialize, Serialize};
+use tts_units::{Celsius, Fraction, Grams, Joules, JoulesPerGram, Seconds, Watts, WattsPerKelvin};
+
+/// A two-component paraffin blend in thermal equilibrium.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlendState {
+    curve_a: EnthalpyCurve,
+    curve_b: EnthalpyCurve,
+    /// Mass fraction of component A.
+    fraction_a: Fraction,
+    mass: Grams,
+    /// Shared temperature (the state variable; the blend's h(T) is strictly
+    /// increasing so T is equivalent to total enthalpy).
+    temp: Celsius,
+    temp_ref: Celsius,
+}
+
+impl BlendState {
+    /// A blend of `fraction_a` of `a` and the rest `b`, equilibrated at
+    /// `initial`.
+    ///
+    /// # Panics
+    /// Panics on non-positive mass.
+    pub fn new(
+        a: &PcmMaterial,
+        b: &PcmMaterial,
+        fraction_a: Fraction,
+        mass: Grams,
+        initial: Celsius,
+    ) -> Self {
+        assert!(mass.value() > 0.0, "PCM mass must be positive");
+        Self {
+            curve_a: EnthalpyCurve::for_material(a),
+            curve_b: EnthalpyCurve::for_material(b),
+            fraction_a,
+            mass,
+            temp: initial,
+            temp_ref: initial,
+        }
+    }
+
+    /// Blend specific enthalpy at a temperature (mass-weighted).
+    pub fn enthalpy_at(&self, t: Celsius) -> JoulesPerGram {
+        let fa = self.fraction_a.value();
+        JoulesPerGram::new(
+            fa * self.curve_a.enthalpy_at(t).value()
+                + (1.0 - fa) * self.curve_b.enthalpy_at(t).value(),
+        )
+    }
+
+    /// Blend effective heat capacity at a temperature.
+    pub fn effective_heat_capacity(&self, t: Celsius) -> f64 {
+        let fa = self.fraction_a.value();
+        fa * self.curve_a.effective_heat_capacity(t)
+            + (1.0 - fa) * self.curve_b.effective_heat_capacity(t)
+    }
+
+    /// Advances the blend against air through a lumped coupling, returning
+    /// absorbed heat (negative = released).
+    pub fn step(&mut self, air_temp: Celsius, coupling: WattsPerKelvin, dt: Seconds) -> Watts {
+        if dt.value() <= 0.0 || coupling.value() <= 0.0 {
+            return Watts::ZERO;
+        }
+        let cp_eff = self.effective_heat_capacity(self.temp); // J/(g·K)
+        let c_total = cp_eff * self.mass.value();
+        let tau = c_total / coupling.value();
+        let alpha = 1.0 - (-dt.value() / tau).exp();
+        let mut dt_k = (air_temp - self.temp).value() * alpha;
+        // Never overshoot the air temperature.
+        if dt_k >= 0.0 {
+            dt_k = dt_k.min((air_temp - self.temp).value().max(0.0));
+        } else {
+            dt_k = dt_k.max((air_temp - self.temp).value().min(0.0));
+        }
+        let before = self.enthalpy_at(self.temp);
+        self.temp += tts_units::TempDelta::new(dt_k);
+        let after = self.enthalpy_at(self.temp);
+        Watts::new((after.value() - before.value()) * self.mass.value() / dt.value())
+    }
+
+    /// Overall melt fraction: latent energy released so far over total
+    /// latent capacity (0 = both solid, 1 = both molten).
+    pub fn melt_fraction(&self) -> Fraction {
+        let fa = self.fraction_a.value();
+        let f = fa * self.curve_a.melt_fraction_at(self.temp).value()
+            + (1.0 - fa) * self.curve_b.melt_fraction_at(self.temp).value();
+        Fraction::new(f)
+    }
+
+    /// Energy stored relative to the initial state.
+    pub fn stored_energy(&self) -> Joules {
+        Joules::new(
+            (self.enthalpy_at(self.temp).value() - self.enthalpy_at(self.temp_ref).value())
+                * self.mass.value(),
+        )
+    }
+
+    /// Current blend temperature.
+    pub fn temperature(&self) -> Celsius {
+        self.temp
+    }
+
+    /// Total latent capacity across both plateaus, J.
+    pub fn latent_capacity(&self) -> Joules {
+        let fa = self.fraction_a.value();
+        Joules::new(
+            (fa * self.curve_a.transition_storage().value()
+                + (1.0 - fa) * self.curve_b.transition_storage().value())
+                * self.mass.value(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blend() -> BlendState {
+        // 40 °C and 52 °C grades, half and half.
+        BlendState::new(
+            &PcmMaterial::commercial_paraffin(Celsius::new(40.0)),
+            &PcmMaterial::commercial_paraffin(Celsius::new(52.0)),
+            Fraction::new(0.5),
+            Grams::new(1000.0),
+            Celsius::new(25.0),
+        )
+    }
+
+    #[test]
+    fn two_plateaus_exist() {
+        let b = blend();
+        // Effective cp spikes near both melting points and is ordinary
+        // between them.
+        let at_40 = b.effective_heat_capacity(Celsius::new(40.0));
+        let at_46 = b.effective_heat_capacity(Celsius::new(46.0));
+        let at_52 = b.effective_heat_capacity(Celsius::new(52.0));
+        assert!(at_40 > 5.0 * at_46, "{at_40} vs {at_46}");
+        assert!(at_52 > 5.0 * at_46, "{at_52} vs {at_46}");
+    }
+
+    #[test]
+    fn half_melted_between_the_plateaus() {
+        let mut b = blend();
+        let g = WattsPerKelvin::new(8.0);
+        // Hold at 46 °C: the 40 °C component is molten, the 52 °C is not.
+        for _ in 0..2000 {
+            b.step(Celsius::new(46.0), g, Seconds::new(60.0));
+        }
+        let f = b.melt_fraction().value();
+        assert!((f - 0.5).abs() < 0.05, "melt fraction {f}");
+    }
+
+    #[test]
+    fn full_melt_uses_both_plateaus() {
+        let mut b = blend();
+        let g = WattsPerKelvin::new(8.0);
+        let mut absorbed = 0.0;
+        for _ in 0..4000 {
+            absorbed += b.step(Celsius::new(60.0), g, Seconds::new(60.0)).value() * 60.0;
+        }
+        assert!(b.melt_fraction().value() > 0.99);
+        // Absorbed ≥ total latent capacity (plus sensible heat).
+        assert!(absorbed > b.latent_capacity().value());
+        // And the energy account closes.
+        assert!(
+            (absorbed - b.stored_energy().value()).abs() < 1e-6 * absorbed,
+            "{absorbed} vs {}",
+            b.stored_energy().value()
+        );
+    }
+
+    #[test]
+    fn pure_blend_reduces_to_single_component() {
+        let mut pure = BlendState::new(
+            &PcmMaterial::commercial_paraffin(Celsius::new(45.0)),
+            &PcmMaterial::commercial_paraffin(Celsius::new(52.0)),
+            Fraction::ONE, // 100 % component A
+            Grams::new(500.0),
+            Celsius::new(25.0),
+        );
+        let mut single = crate::PcmState::new(
+            &PcmMaterial::commercial_paraffin(Celsius::new(45.0)),
+            Grams::new(500.0),
+            Celsius::new(25.0),
+        );
+        let g = WattsPerKelvin::new(5.0);
+        for _ in 0..1500 {
+            pure.step(Celsius::new(50.0), g, Seconds::new(60.0));
+            single.step(Celsius::new(50.0), g, Seconds::new(60.0));
+        }
+        assert!(
+            (pure.melt_fraction().value() - single.melt_fraction().value()).abs() < 0.05,
+            "pure-blend {} vs single {}",
+            pure.melt_fraction().value(),
+            single.melt_fraction().value()
+        );
+    }
+
+    #[test]
+    fn refreezes_in_stages() {
+        let mut b = blend();
+        let g = WattsPerKelvin::new(8.0);
+        for _ in 0..4000 {
+            b.step(Celsius::new(60.0), g, Seconds::new(60.0));
+        }
+        // Cool to 46 °C: only the high-melting half refreezes.
+        for _ in 0..4000 {
+            b.step(Celsius::new(46.0), g, Seconds::new(60.0));
+        }
+        let f = b.melt_fraction().value();
+        assert!((f - 0.5).abs() < 0.05, "staged refreeze: {f}");
+    }
+}

@@ -1,0 +1,200 @@
+//! Rack-level thermal structure: recirculation and per-position inlets.
+//!
+//! The cluster model treats every server as seeing the same room-supply
+//! air. In a real rack, exhaust recirculates over the top and around the
+//! sides, so upper positions breathe warmer air — which matters for wax:
+//! a top-of-rack server's wax zone runs hotter and its wax melts at a
+//! lower *load* than a bottom-of-rack peer with the identical box. This
+//! module models the per-position inlet profile and the spread it induces
+//! in melt-onset power, quantifying how uniform the paper's "same melting
+//! temperature everywhere" assumption really is.
+
+use crate::melt_curve::ServerWaxCharacteristics;
+use crate::spec::ServerSpec;
+use serde::{Deserialize, Serialize};
+use tts_units::{Celsius, Fraction, TempDelta, Watts};
+
+/// A rack of identical servers with exhaust recirculation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RackModel {
+    /// The server populating the rack.
+    pub spec: ServerSpec,
+    /// Number of servers (1U: 42; 2U: 20 per the paper).
+    pub positions: usize,
+    /// Fraction of a server's inlet drawn from recirculated exhaust at the
+    /// *top* position (linearly decreasing to zero at the bottom).
+    /// Well-managed hot-aisle containment: 0.05–0.15.
+    pub top_recirculation: Fraction,
+}
+
+impl RackModel {
+    /// A paper-consistent rack for a spec: 42 × 1U, 20 × 2U, 24 OCP blades
+    /// per chassis-group.
+    pub fn paper_rack(spec: ServerSpec) -> Self {
+        let positions = match spec.class {
+            crate::spec::ServerClass::LowPower1U => 42,
+            crate::spec::ServerClass::HighThroughput2U => 20,
+            crate::spec::ServerClass::OpenComputeBlade => 24,
+        };
+        Self {
+            spec,
+            positions,
+            top_recirculation: Fraction::new(0.10),
+        }
+    }
+
+    /// Per-position inlet temperatures at a given utilization, bottom to
+    /// top.
+    ///
+    /// Position `i`'s recirculation fraction is
+    /// `top_recirculation × i/(positions−1)`; the recirculated stream is
+    /// the rack's mean exhaust at this load.
+    pub fn inlet_profile(&self, room_supply: Celsius, utilization: Fraction) -> Vec<Celsius> {
+        let exhaust = self.mean_exhaust(room_supply, utilization);
+        (0..self.positions)
+            .map(|i| {
+                let f = if self.positions > 1 {
+                    self.top_recirculation.value() * i as f64 / (self.positions - 1) as f64
+                } else {
+                    0.0
+                };
+                Celsius::new(
+                    room_supply.value() * (1.0 - f) + exhaust.value() * f,
+                )
+            })
+            .collect()
+    }
+
+    /// Mean exhaust temperature of the rack at a utilization: supply plus
+    /// the per-server temperature rise (all heat into the per-server
+    /// airflow at the loaded operating point).
+    pub fn mean_exhaust(&self, room_supply: Celsius, utilization: Fraction) -> Celsius {
+        use tts_thermal::airflow::{FanCurve, FlowPath};
+        let fan = FanCurve::new(self.spec.fan_stall_pressure, self.spec.fan_free_flow);
+        let path = FlowPath::new(
+            fan,
+            self.spec.fans.count,
+            self.spec.base_impedance,
+            self.spec.duct_area,
+        )
+        .with_orifice_zeta(self.spec.orifice_zeta);
+        let op = path.operating_point(Fraction::ZERO, self.spec.fans.speed(utilization));
+        let mcp = tts_units::air_heat_capacity_flow(op.flow);
+        let wall = self.spec.wall_power(utilization, Fraction::ONE);
+        room_supply + TempDelta::new(wall.value() / mcp.value())
+    }
+
+    /// The spread in melt-onset *power* across the rack for a given wax:
+    /// `(bottom_onset, top_onset)`. A hotter inlet shifts the onset to a
+    /// lower server power.
+    pub fn melt_onset_spread(
+        &self,
+        chars: &ServerWaxCharacteristics,
+        room_supply: Celsius,
+        utilization: Fraction,
+    ) -> (Watts, Watts) {
+        let inlets = self.inlet_profile(room_supply, utilization);
+        let onset_for = |inlet: Celsius| -> Watts {
+            // The characteristics were extracted at the spec's inlet; a
+            // different inlet shifts the whole line by the difference.
+            let shift = inlet - self.spec.inlet_temp;
+            let effective_solidus = chars.material.solidus() - shift;
+            chars.air_temp_model.power_for(effective_solidus)
+        };
+        (
+            onset_for(inlets[0]),
+            onset_for(*inlets.last().expect("rack has positions")),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ServerClass;
+    use tts_pcm::PcmMaterial;
+
+    fn rack() -> RackModel {
+        RackModel::paper_rack(ServerClass::LowPower1U.spec())
+    }
+
+    #[test]
+    fn paper_rack_sizes() {
+        assert_eq!(rack().positions, 42);
+        assert_eq!(
+            RackModel::paper_rack(ServerClass::HighThroughput2U.spec()).positions,
+            20
+        );
+        assert_eq!(
+            RackModel::paper_rack(ServerClass::OpenComputeBlade.spec()).positions,
+            24
+        );
+    }
+
+    #[test]
+    fn top_of_rack_breathes_warmer_air() {
+        let r = rack();
+        let inlets = r.inlet_profile(Celsius::new(25.0), Fraction::ONE);
+        assert_eq!(inlets.len(), 42);
+        assert!((inlets[0].value() - 25.0).abs() < 1e-9, "bottom = supply");
+        let top = inlets.last().copied().expect("non-empty");
+        assert!(top.value() > 25.5, "top inlet {top}");
+        for w in inlets.windows(2) {
+            assert!(w[1] >= w[0], "inlet profile must be monotone");
+        }
+    }
+
+    #[test]
+    fn recirculation_scales_with_load() {
+        let r = rack();
+        let idle_top = *r
+            .inlet_profile(Celsius::new(25.0), Fraction::ZERO)
+            .last()
+            .expect("non-empty");
+        let loaded_top = *r
+            .inlet_profile(Celsius::new(25.0), Fraction::ONE)
+            .last()
+            .expect("non-empty");
+        assert!(
+            loaded_top > idle_top,
+            "loaded exhaust is hotter: {idle_top} vs {loaded_top}"
+        );
+    }
+
+    #[test]
+    fn melt_onset_shifts_down_the_rack() {
+        let r = rack();
+        let chars = ServerWaxCharacteristics::extract(
+            &r.spec,
+            &PcmMaterial::commercial_paraffin(Celsius::new(45.0)),
+        );
+        let (bottom, top) = r.melt_onset_spread(&chars, Celsius::new(25.0), Fraction::ONE);
+        assert!(
+            top.value() < bottom.value(),
+            "the hotter top position must melt at lower power: bottom {bottom} vs top {top}"
+        );
+        // The spread is modest for contained aisles (< 20 % of the onset).
+        let spread = (bottom.value() - top.value()) / bottom.value();
+        assert!(spread < 0.20, "spread {spread}");
+    }
+
+    #[test]
+    fn zero_recirculation_means_uniform_inlets() {
+        let mut r = rack();
+        r.top_recirculation = Fraction::ZERO;
+        let inlets = r.inlet_profile(Celsius::new(25.0), Fraction::ONE);
+        assert!(inlets
+            .iter()
+            .all(|t| (t.value() - 25.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn mean_exhaust_matches_wall_power_over_mcp() {
+        let r = rack();
+        let exhaust = r.mean_exhaust(Celsius::new(25.0), Fraction::ONE);
+        // Server-level sanity: the 1U's loaded ΔT is ~8–12 K at its
+        // operating point.
+        let rise = exhaust.value() - 25.0;
+        assert!((5.0..20.0).contains(&rise), "rack exhaust rise {rise}");
+    }
+}

@@ -1,0 +1,156 @@
+//! The four §5 cost analyses.
+
+use crate::model::{MonthlyTco, TcoInput};
+use crate::params::{Table2, COOLING_PLANT_LIFETIME_MONTHS};
+use tts_server::ServerClass;
+use tts_units::{Dollars, Fraction};
+
+/// Interest multiplier applied to deferred-capital comparisons (Barroso &
+/// Hölzle-style financing: Table 2's `DCInterest` row is ~65 % of the
+/// summed infrastructure CapEx rows, i.e. capital is carried at a ~1.35×
+/// financed cost).
+pub const CAPITAL_INTEREST_FACTOR: f64 = 1.35;
+
+/// §5.1, use 1: yearly savings from installing a cooling system downsized
+/// by the PCM peak reduction.
+///
+/// The avoided cost is the reduction's share of the *cooling-related*
+/// infrastructure: the cooling plant itself, the power-delivery capacity
+/// that feeds it (a plant at COP ≈ 4 draws ~25 % of critical power), and
+/// the interest carried on both.
+pub fn cooling_downsize_savings_per_year(
+    table: &Table2,
+    critical_kw: f64,
+    peak_reduction: Fraction,
+) -> Dollars {
+    let cooling_capex = table.cooling_infra_capex_per_kw.mid();
+    let cooling_power_share = 0.25 * table.power_infra_capex_per_kw.mid();
+    let monthly_per_kw =
+        (cooling_capex + cooling_power_share) * CAPITAL_INTEREST_FACTOR;
+    Dollars::new(monthly_per_kw * critical_kw * 12.0 * peak_reduction.value())
+}
+
+/// §5.1, use 2: how many extra wax-equipped servers fit under the original
+/// peak cooling load.
+///
+/// Every added server also carries wax, so each contributes only `1 − r`
+/// of a no-wax server's peak: the fleet can grow by `r/(1−r)`.
+pub fn added_servers(current_servers: usize, peak_reduction: Fraction) -> usize {
+    let r = peak_reduction.value();
+    if r >= 1.0 {
+        return usize::MAX;
+    }
+    (current_servers as f64 * r / (1.0 - r)).floor() as usize
+}
+
+/// §5.1, use 3: the retrofit scenario.
+///
+/// Old servers retire after 4 years; the cooling plant has 6 useful years
+/// left. Re-densifying without PCM would force buying a new, larger plant
+/// now. With PCM on the new fleet, the purchase is avoided entirely for
+/// this server generation. The yearly savings are the financed cost of
+/// that plant — capital (Table 2's `CoolingInfraCapEx` over the plant's
+/// 120-month life), grown by the extra capacity the denser fleet needs,
+/// with interest — spread over the 4-year server generation.
+pub fn retrofit_savings_per_year(
+    table: &Table2,
+    critical_kw: f64,
+    peak_reduction: Fraction,
+) -> Dollars {
+    let plant_capital =
+        table.cooling_infra_capex_per_kw.mid() * COOLING_PLANT_LIFETIME_MONTHS * critical_kw;
+    let growth = 1.0 + peak_reduction.value() / (1.0 - peak_reduction.value());
+    let financed = plant_capital * growth * CAPITAL_INTEREST_FACTOR;
+    Dollars::new(financed / 4.0)
+}
+
+/// §5.2: TCO efficiency of the constrained-throughput gain.
+///
+/// "The ratio of TCO with increased peak throughput from PCM to the TCO
+/// required to achieve the same peak throughput without PCM": buying
+/// `+gain` peak throughput conventionally means `+gain` more machines and
+/// datacenter to house them (capital scales with capacity), while the
+/// server-related OpEx grows with served throughput either way. Returns
+/// the relative improvement `1 − TCO_pcm / TCO_scaled`.
+pub fn tco_efficiency(class: ServerClass, throughput_gain: Fraction) -> f64 {
+    let table = Table2::paper();
+    let base = MonthlyTco::compute(&TcoInput::paper_10mw(class, true), &table);
+    let g = throughput_gain.value();
+    // With PCM: same plant, same servers; only throughput-proportional
+    // OpEx rises.
+    let tco_pcm = base.total().value() + g * base.opex.value();
+    // Without PCM: the whole capacity-scaling TCO grows by `g`, plus the
+    // same OpEx growth.
+    let capex_part = base.total().value() - base.opex.value();
+    let tco_scaled = capex_part * (1.0 + g) + base.opex.value() * (1.0 + g);
+    1.0 - tco_pcm / tco_scaled
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn downsize_savings_match_paper_scale() {
+        // Paper: $187 k (1U, 8.9 %), $254 k (2U, 12 %), $174 k (OCP,
+        // 8.3 %) per year for a 10 MW datacenter.
+        let t = Table2::paper();
+        let s_1u =
+            cooling_downsize_savings_per_year(&t, 10_000.0, Fraction::new(0.089)).value();
+        let s_2u = cooling_downsize_savings_per_year(&t, 10_000.0, Fraction::new(0.12)).value();
+        let s_ocp =
+            cooling_downsize_savings_per_year(&t, 10_000.0, Fraction::new(0.083)).value();
+        assert!((120e3..260e3).contains(&s_1u), "1U {s_1u}");
+        assert!((170e3..340e3).contains(&s_2u), "2U {s_2u}");
+        assert!((110e3..250e3).contains(&s_ocp), "OCP {s_ocp}");
+        assert!(s_2u > s_1u && s_1u > s_ocp);
+    }
+
+    #[test]
+    fn added_servers_match_paper_arithmetic() {
+        // 8.9 % → 9.8 % more 1U servers; 12 % → ~13.6 % more 2U servers.
+        let n_1u = 55 * 1008;
+        let added = added_servers(n_1u, Fraction::new(0.089));
+        assert!((added as f64 / n_1u as f64 - 0.0977).abs() < 0.002);
+        let n_2u = 19 * 1008;
+        let added = added_servers(n_2u, Fraction::new(0.12));
+        assert!((added as f64 / n_2u as f64 - 0.1364).abs() < 0.002);
+    }
+
+    #[test]
+    fn retrofit_savings_match_paper_scale() {
+        // Paper: $3.0 M–3.2 M per year.
+        let t = Table2::paper();
+        for (r, label) in [(0.089, "1U"), (0.12, "2U"), (0.083, "OCP")] {
+            let s = retrofit_savings_per_year(&t, 10_000.0, Fraction::new(r)).value();
+            assert!((2.2e6..4.2e6).contains(&s), "{label}: {s:.3e}");
+        }
+        // More reduction → larger avoided plant → larger savings.
+        let lo = retrofit_savings_per_year(&t, 10_000.0, Fraction::new(0.083)).value();
+        let hi = retrofit_savings_per_year(&t, 10_000.0, Fraction::new(0.12)).value();
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn tco_efficiency_matches_paper_scale() {
+        // Paper: 23 % (1U, +33 %), 39 % (2U, +69 %), 24 % (OCP, +34 %).
+        let e_1u = tco_efficiency(ServerClass::LowPower1U, Fraction::new(0.33));
+        let e_2u = tco_efficiency(ServerClass::HighThroughput2U, Fraction::new(0.69));
+        let e_ocp = tco_efficiency(ServerClass::OpenComputeBlade, Fraction::new(0.34));
+        assert!((0.12..0.35).contains(&e_1u), "1U {e_1u}");
+        assert!((0.25..0.50).contains(&e_2u), "2U {e_2u}");
+        assert!((0.12..0.35).contains(&e_ocp), "OCP {e_ocp}");
+        assert!(e_2u > e_1u && e_2u > e_ocp);
+    }
+
+    #[test]
+    fn zero_reduction_means_zero_savings() {
+        let t = Table2::paper();
+        assert_eq!(
+            cooling_downsize_savings_per_year(&t, 10_000.0, Fraction::ZERO).value(),
+            0.0
+        );
+        assert_eq!(added_servers(1000, Fraction::ZERO), 0);
+        assert!(tco_efficiency(ServerClass::LowPower1U, Fraction::ZERO).abs() < 1e-9);
+    }
+}

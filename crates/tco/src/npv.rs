@@ -1,0 +1,194 @@
+//! Net present value of the wax investment.
+//!
+//! The paper prices the wax (WaxCapEx, < 0.1 % of ServerCapEx) and the
+//! savings ($174k–254k/yr on the cooling plant) separately; this module
+//! closes the loop: up-front wax cost against a discounted stream of
+//! yearly savings that *fades* as the wax degrades (the
+//! `tts_pcm::degradation` model). The punchline the paper gestures at —
+//! the wax pays for itself absurdly fast — becomes a number.
+
+use serde::{Deserialize, Serialize};
+use tts_units::{Dollars, Fraction};
+
+/// Inputs to the NPV computation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NpvInputs {
+    /// Up-front wax + container cost for the whole fleet.
+    pub wax_capex: Dollars,
+    /// First-year savings enabled by the wax.
+    pub savings_year_one: Dollars,
+    /// Yearly discount rate (e.g. 0.08).
+    pub discount_rate: f64,
+    /// Latent-capacity fade per year of daily cycling (savings are assumed
+    /// proportional to remaining capacity).
+    pub capacity_fade_per_year: f64,
+    /// Evaluation horizon, years.
+    pub horizon_years: u32,
+}
+
+/// The NPV breakdown.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NpvResult {
+    /// Present value of the savings stream.
+    pub savings_present_value: Dollars,
+    /// The up-front cost (repeated for convenience).
+    pub capex: Dollars,
+    /// Net present value.
+    pub npv: Dollars,
+    /// Year in which cumulative discounted savings first exceed the capex
+    /// (`None` if never within the horizon).
+    pub payback_year: Option<u32>,
+    /// Per-year discounted savings.
+    pub yearly_discounted: Vec<f64>,
+}
+
+/// Computes the NPV of a wax deployment.
+///
+/// Savings in year `k` (1-based) are
+/// `savings_year_one × (1 − fade)^(k−1) / (1 + r)^k`.
+///
+/// # Panics
+/// Panics if the discount rate is not in `[0, 1)` or the fade is not in
+/// `[0, 1]`.
+pub fn wax_npv(inputs: &NpvInputs) -> NpvResult {
+    assert!(
+        (0.0..1.0).contains(&inputs.discount_rate),
+        "discount rate out of range"
+    );
+    assert!(
+        (0.0..=1.0).contains(&inputs.capacity_fade_per_year),
+        "fade out of range"
+    );
+    let mut pv = 0.0;
+    let mut payback_year = None;
+    let mut yearly = Vec::with_capacity(inputs.horizon_years as usize);
+    for k in 1..=inputs.horizon_years {
+        let capacity = (1.0 - inputs.capacity_fade_per_year).powi(k as i32 - 1);
+        let discounted = inputs.savings_year_one.value() * capacity
+            / (1.0 + inputs.discount_rate).powi(k as i32);
+        pv += discounted;
+        yearly.push(discounted);
+        if payback_year.is_none() && pv >= inputs.wax_capex.value() {
+            payback_year = Some(k);
+        }
+    }
+    NpvResult {
+        savings_present_value: Dollars::new(pv),
+        capex: inputs.wax_capex,
+        npv: Dollars::new(pv - inputs.wax_capex.value()),
+        payback_year,
+        yearly_discounted: yearly,
+    }
+}
+
+/// Convenience: the capacity-fade-per-year implied by a per-cycle fade at
+/// one cycle per day.
+pub fn yearly_fade_from_daily_cycles(fade_per_cycle: f64) -> f64 {
+    Fraction::new(1.0 - (1.0 - fade_per_cycle).powf(365.25)).value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_deployment_pays_back_in_year_one() {
+        // 10 MW of 1U servers: ~55k servers × ~$4.5 wax+boxes ≈ $250k
+        // CapEx against ~$131k/yr of downsizing savings — payback year 2.
+        let r = wax_npv(&NpvInputs {
+            wax_capex: Dollars::new(250_000.0),
+            savings_year_one: Dollars::new(131_000.0),
+            discount_rate: 0.08,
+            capacity_fade_per_year: 0.02,
+            horizon_years: 10,
+        });
+        assert_eq!(r.payback_year, Some(3));
+        assert!(r.npv.value() > 0.0, "{:?}", r.npv);
+    }
+
+    #[test]
+    fn retrofit_scale_savings_dwarf_the_wax() {
+        // Against the $3M/yr retrofit savings, the wax pays back
+        // immediately.
+        let r = wax_npv(&NpvInputs {
+            wax_capex: Dollars::new(250_000.0),
+            savings_year_one: Dollars::new(3.0e6),
+            discount_rate: 0.08,
+            capacity_fade_per_year: 0.02,
+            horizon_years: 4,
+        });
+        assert_eq!(r.payback_year, Some(1));
+        assert!(r.npv.value() > 9e6);
+    }
+
+    #[test]
+    fn heavy_degradation_kills_the_investment() {
+        // A salt-hydrate-class fade (~72 %/yr at daily cycles) destroys
+        // the savings stream.
+        let fade = yearly_fade_from_daily_cycles(3.5e-3);
+        assert!(fade > 0.7, "fade {fade}");
+        let healthy = wax_npv(&NpvInputs {
+            wax_capex: Dollars::new(250_000.0),
+            savings_year_one: Dollars::new(131_000.0),
+            discount_rate: 0.08,
+            capacity_fade_per_year: 0.02,
+            horizon_years: 10,
+        });
+        let degraded = wax_npv(&NpvInputs {
+            capacity_fade_per_year: fade,
+            ..NpvInputs {
+                wax_capex: Dollars::new(250_000.0),
+                savings_year_one: Dollars::new(131_000.0),
+                discount_rate: 0.08,
+                capacity_fade_per_year: 0.0,
+                horizon_years: 10,
+            }
+        });
+        assert!(degraded.npv.value() < healthy.npv.value());
+        assert!(
+            degraded.npv.value() < 0.0,
+            "poor-stability PCM must not pay back: {:?}",
+            degraded.npv
+        );
+    }
+
+    #[test]
+    fn discounting_orders_the_years() {
+        let r = wax_npv(&NpvInputs {
+            wax_capex: Dollars::new(1000.0),
+            savings_year_one: Dollars::new(1000.0),
+            discount_rate: 0.10,
+            capacity_fade_per_year: 0.01,
+            horizon_years: 5,
+        });
+        for w in r.yearly_discounted.windows(2) {
+            assert!(w[1] < w[0], "later years must be worth less");
+        }
+        assert_eq!(r.yearly_discounted.len(), 5);
+    }
+
+    #[test]
+    fn zero_horizon_never_pays_back() {
+        let r = wax_npv(&NpvInputs {
+            wax_capex: Dollars::new(100.0),
+            savings_year_one: Dollars::new(1000.0),
+            discount_rate: 0.05,
+            capacity_fade_per_year: 0.0,
+            horizon_years: 0,
+        });
+        assert_eq!(r.payback_year, None);
+        assert!(r.npv.value() < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "discount rate")]
+    fn bad_discount_rate_panics() {
+        wax_npv(&NpvInputs {
+            wax_capex: Dollars::new(1.0),
+            savings_year_one: Dollars::new(1.0),
+            discount_rate: 1.5,
+            capacity_fade_per_year: 0.0,
+            horizon_years: 1,
+        });
+    }
+}

@@ -1,0 +1,116 @@
+//! Sensitivity of the cost analyses to Table 2's parameter bands.
+//!
+//! Table 2 prints several rows as ranges (PowerInfraCapEx 15.9–16.2,
+//! DCInterest 31.8–36.3, …). The §5 savings claims should hold across the
+//! whole band, not just at the midpoint — this module evaluates each
+//! analysis at the low and high ends and reports the spread.
+
+use crate::analyses::{cooling_downsize_savings_per_year, retrofit_savings_per_year};
+use crate::params::{Range, Table2};
+use serde::{Deserialize, Serialize};
+use tts_units::{Dollars, Fraction};
+
+/// A `[low, mid, high]` evaluation of one analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SensitivityBand {
+    /// Value with every ranged parameter at its low end.
+    pub low: Dollars,
+    /// Value at the midpoints (the headline number).
+    pub mid: Dollars,
+    /// Value with every ranged parameter at its high end.
+    pub high: Dollars,
+}
+
+impl SensitivityBand {
+    /// Relative half-width of the band around the midpoint.
+    pub fn relative_spread(&self) -> f64 {
+        if self.mid.value().abs() < 1e-12 {
+            return 0.0;
+        }
+        (self.high.value() - self.low.value()).abs() / (2.0 * self.mid.value())
+    }
+}
+
+fn table_at(f: f64) -> Table2 {
+    let t = Table2::paper();
+    let squeeze = |r: Range| Range::point(r.at(f));
+    Table2 {
+        facility_space_capex_per_sqft: squeeze(t.facility_space_capex_per_sqft),
+        ups_capex_per_server: squeeze(t.ups_capex_per_server),
+        power_infra_capex_per_kw: squeeze(t.power_infra_capex_per_kw),
+        cooling_infra_capex_per_kw: squeeze(t.cooling_infra_capex_per_kw),
+        rest_capex_per_kw: squeeze(t.rest_capex_per_kw),
+        dc_interest_per_kw: squeeze(t.dc_interest_per_kw),
+        server_capex_per_server: squeeze(t.server_capex_per_server),
+        wax_capex_per_server: squeeze(t.wax_capex_per_server),
+        server_interest_per_server: squeeze(t.server_interest_per_server),
+        datacenter_opex_per_kw: squeeze(t.datacenter_opex_per_kw),
+        server_energy_opex_per_kw: squeeze(t.server_energy_opex_per_kw),
+        server_power_opex_per_kw: squeeze(t.server_power_opex_per_kw),
+        cooling_energy_opex_per_kw: squeeze(t.cooling_energy_opex_per_kw),
+        rest_opex_per_kw: squeeze(t.rest_opex_per_kw),
+    }
+}
+
+/// Cooling-downsizing savings across the Table 2 band.
+pub fn downsize_band(critical_kw: f64, reduction: Fraction) -> SensitivityBand {
+    SensitivityBand {
+        low: cooling_downsize_savings_per_year(&table_at(0.0), critical_kw, reduction),
+        mid: cooling_downsize_savings_per_year(&Table2::paper(), critical_kw, reduction),
+        high: cooling_downsize_savings_per_year(&table_at(1.0), critical_kw, reduction),
+    }
+}
+
+/// Retrofit savings across the Table 2 band.
+pub fn retrofit_band(critical_kw: f64, reduction: Fraction) -> SensitivityBand {
+    SensitivityBand {
+        low: retrofit_savings_per_year(&table_at(0.0), critical_kw, reduction),
+        mid: retrofit_savings_per_year(&Table2::paper(), critical_kw, reduction),
+        high: retrofit_savings_per_year(&table_at(1.0), critical_kw, reduction),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bands_are_ordered() {
+        let b = downsize_band(10_000.0, Fraction::new(0.1));
+        assert!(b.low.value() <= b.mid.value());
+        assert!(b.mid.value() <= b.high.value());
+        let r = retrofit_band(10_000.0, Fraction::new(0.1));
+        assert!(r.low.value() <= r.high.value());
+    }
+
+    #[test]
+    fn conclusions_hold_across_the_band() {
+        // Even at the low end of every parameter, the savings stay
+        // six-figure (downsize) and seven-figure (retrofit) for a 10 MW
+        // datacenter with a ~9 % reduction.
+        let d = downsize_band(10_000.0, Fraction::new(0.089));
+        assert!(d.low.value() > 1e5, "downsize low end {}", d.low);
+        let r = retrofit_band(10_000.0, Fraction::new(0.089));
+        assert!(r.low.value() > 2e6, "retrofit low end {}", r.low);
+    }
+
+    #[test]
+    fn spreads_are_modest() {
+        // Table 2's ranges are narrow; the analyses should not blow them
+        // up: under ±10 % around the midpoint.
+        let d = downsize_band(10_000.0, Fraction::new(0.1));
+        assert!(d.relative_spread() < 0.10, "{}", d.relative_spread());
+        let r = retrofit_band(10_000.0, Fraction::new(0.1));
+        assert!(r.relative_spread() < 0.10, "{}", r.relative_spread());
+    }
+
+    #[test]
+    fn zero_mid_band_spread_is_zero() {
+        let b = SensitivityBand {
+            low: Dollars::ZERO,
+            mid: Dollars::ZERO,
+            high: Dollars::ZERO,
+        };
+        assert_eq!(b.relative_spread(), 0.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Error-controlled adaptive time stepping.
+//!
+//! The exponential-Euler step is unconditionally stable but not exact when
+//! nodes are strongly coupled: one long step can differ visibly from many
+//! short ones. [`step_adaptive`] uses step doubling — compare one full
+//! step against two half steps on a clone — and recursively subdivides
+//! until the difference is within tolerance. Long validation runs can then
+//! take hour-scale macro steps through quiescent periods and fine steps
+//! through the load transitions, with a bounded error instead of a guessed
+//! `dt`.
+
+use crate::network::ThermalNetwork;
+use tts_units::Seconds;
+
+/// Statistics from an adaptive step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveReport {
+    /// Number of elementary steps actually taken.
+    pub steps_taken: usize,
+    /// The largest per-node discrepancy (K) accepted between the coarse
+    /// and fine solutions at any subdivision level.
+    pub max_error_k: f64,
+}
+
+/// The deepest subdivision allowed (2^10 = 1024 sub-steps per call).
+const MAX_DEPTH: u32 = 10;
+
+/// Advances the network by `dt`, subdividing wherever one step and two
+/// half steps disagree by more than `tol_k` on any node temperature.
+///
+/// # Panics
+/// Panics if `dt` or `tol_k` is not positive.
+pub fn step_adaptive(net: &mut ThermalNetwork, dt: Seconds, tol_k: f64) -> AdaptiveReport {
+    assert!(dt.value() > 0.0, "dt must be positive");
+    assert!(tol_k > 0.0, "tolerance must be positive");
+    let mut report = AdaptiveReport {
+        steps_taken: 0,
+        max_error_k: 0.0,
+    };
+    recurse(net, dt.value(), tol_k, 0, &mut report);
+    report
+}
+
+fn max_node_diff(a: &ThermalNetwork, b: &ThermalNetwork) -> f64 {
+    (0..a.node_count())
+        .map(|i| (a.temperature_index(i) - b.temperature_index(i)).abs())
+        .fold(0.0, f64::max)
+}
+
+fn recurse(net: &mut ThermalNetwork, dt: f64, tol_k: f64, depth: u32, report: &mut AdaptiveReport) {
+    // Candidate: one coarse step on a clone.
+    let mut coarse = net.clone();
+    coarse.step(Seconds::new(dt));
+    // Reference: two half steps on a second clone.
+    let mut fine = net.clone();
+    fine.step(Seconds::new(dt / 2.0));
+    fine.step(Seconds::new(dt / 2.0));
+
+    let err = max_node_diff(&coarse, &fine);
+    if err <= tol_k || depth >= MAX_DEPTH {
+        // Accept the fine solution (it is the better of the two and we
+        // already paid for it).
+        *net = fine;
+        report.steps_taken += 2;
+        report.max_error_k = report.max_error_k.max(err);
+    } else {
+        recurse(net, dt / 2.0, tol_k, depth + 1, report);
+        recurse(net, dt / 2.0, tol_k, depth + 1, report);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tts_units::{Celsius, JoulesPerKelvin, Watts, WattsPerKelvin};
+
+    /// Two strongly coupled solids: coarse exponential-Euler steps are
+    /// visibly wrong here.
+    fn stiff_rig() -> ThermalNetwork {
+        let mut net = ThermalNetwork::new();
+        let amb = net.add_boundary("amb", Celsius::new(20.0));
+        let a = net.add_capacitive("a", JoulesPerKelvin::new(50.0), Celsius::new(90.0));
+        let b = net.add_capacitive("b", JoulesPerKelvin::new(2000.0), Celsius::new(20.0));
+        net.connect(a, b, WattsPerKelvin::new(5.0));
+        net.connect(b, amb, WattsPerKelvin::new(0.5));
+        net.set_power(a, Watts::new(5.0));
+        net
+    }
+
+    #[test]
+    fn adaptive_matches_a_tightly_stepped_reference() {
+        let mut reference = stiff_rig();
+        for _ in 0..36_000 {
+            reference.step(Seconds::new(0.1));
+        }
+
+        let mut adaptive = stiff_rig();
+        let mut total_steps = 0;
+        for _ in 0..6 {
+            let r = step_adaptive(&mut adaptive, Seconds::new(600.0), 0.05);
+            total_steps += r.steps_taken;
+        }
+        let diff = max_node_diff(&reference, &adaptive);
+        assert!(diff < 0.5, "adaptive drifted {diff} K from the reference");
+        // ... with far fewer steps than the reference's 36k.
+        assert!(total_steps < 4000, "took {total_steps} steps");
+    }
+
+    #[test]
+    fn tight_tolerance_takes_more_steps() {
+        let mut a = stiff_rig();
+        let loose = step_adaptive(&mut a, Seconds::new(600.0), 1.0);
+        let mut b = stiff_rig();
+        let tight = step_adaptive(&mut b, Seconds::new(600.0), 0.01);
+        assert!(
+            tight.steps_taken > loose.steps_taken,
+            "tight {} vs loose {}",
+            tight.steps_taken,
+            loose.steps_taken
+        );
+        assert!(loose.max_error_k <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn quiescent_network_takes_the_macro_step() {
+        // Already at equilibrium: one coarse/fine pair suffices.
+        let mut net = stiff_rig();
+        net.run_to_steady_state(Seconds::new(5.0), 1e-9, Seconds::new(1e7))
+            .expect("settles");
+        let r = step_adaptive(&mut net, Seconds::new(3600.0), 0.1);
+        assert_eq!(r.steps_taken, 2, "no subdivision needed at equilibrium");
+        assert!(r.max_error_k < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance must be positive")]
+    fn zero_tolerance_panics() {
+        let mut net = stiff_rig();
+        step_adaptive(&mut net, Seconds::new(1.0), 0.0);
+    }
+
+    #[test]
+    fn time_advances_by_exactly_dt() {
+        let mut net = stiff_rig();
+        let t0 = net.time().value();
+        step_adaptive(&mut net, Seconds::new(600.0), 0.05);
+        assert!((net.time().value() - t0 - 600.0).abs() < 1e-6);
+    }
+}

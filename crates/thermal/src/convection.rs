@@ -1,0 +1,94 @@
+//! Forced-convection film coefficients.
+//!
+//! The wax boxes and heat sinks couple to the air stream through a film
+//! coefficient that grows with local velocity. We use the standard
+//! flat-plate forced-convection power law `h = h_nat + c·v^0.8` — the same
+//! correlation family CFD packages fall back to for compact models — with
+//! coefficients chosen for small-channel server airflow.
+
+use tts_units::{MetersPerSecond, WattsPerSquareMeterKelvin};
+
+/// Still-air (natural convection) floor, W/(m²·K).
+pub const NATURAL_H: f64 = 5.0;
+
+/// Forced-convection coefficient for `v^0.8` growth, W/(m²·K)/(m/s)^0.8.
+pub const FORCED_COEFF: f64 = 13.0;
+
+/// Film coefficient for air moving at `v` over a surface.
+///
+/// ```
+/// use tts_thermal::convection::film_coefficient;
+/// use tts_units::MetersPerSecond;
+///
+/// let still = film_coefficient(MetersPerSecond::ZERO);
+/// let breezy = film_coefficient(MetersPerSecond::new(3.0));
+/// assert!(breezy.value() > 5.0 * still.value() / 2.0);
+/// ```
+pub fn film_coefficient(v: MetersPerSecond) -> WattsPerSquareMeterKelvin {
+    let v = v.value().max(0.0);
+    WattsPerSquareMeterKelvin::new(NATURAL_H + FORCED_COEFF * v.powf(0.8))
+}
+
+/// Velocity scaling for a finned heat sink's thermal resistance: the
+/// sink-to-air conductance scales with the same `v^0.8` law, normalized to
+/// 1.0 at the reference velocity.
+///
+/// Used to degrade CPU cooling as blockage reduces flow (Figure 7's rising
+/// CPU temperatures).
+pub fn sink_conductance_scale(v: MetersPerSecond, v_ref: MetersPerSecond) -> f64 {
+    let vr = v_ref.value().max(1e-6);
+    let scale = (v.value().max(0.0) / vr).powf(0.8);
+    // Even in stalled flow some conduction/natural convection remains.
+    scale.max(0.05)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn still_air_gives_natural_floor() {
+        assert_eq!(film_coefficient(MetersPerSecond::ZERO).value(), NATURAL_H);
+    }
+
+    #[test]
+    fn typical_server_velocities_give_sane_film() {
+        // 1–4 m/s duct velocities → h in the 15–60 W/(m²·K) range.
+        let h1 = film_coefficient(MetersPerSecond::new(1.0)).value();
+        let h4 = film_coefficient(MetersPerSecond::new(4.0)).value();
+        assert!((10.0..30.0).contains(&h1), "{h1}");
+        assert!((30.0..70.0).contains(&h4), "{h4}");
+    }
+
+    #[test]
+    fn sink_scale_is_unity_at_reference() {
+        let v = MetersPerSecond::new(2.5);
+        assert!((sink_conductance_scale(v, v) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sink_scale_has_a_floor() {
+        let s = sink_conductance_scale(MetersPerSecond::ZERO, MetersPerSecond::new(2.5));
+        assert_eq!(s, 0.05);
+    }
+
+    proptest! {
+        #[test]
+        fn film_is_monotone_in_velocity(a in 0.0f64..20.0, b in 0.0f64..20.0) {
+            let ha = film_coefficient(MetersPerSecond::new(a)).value();
+            let hb = film_coefficient(MetersPerSecond::new(b)).value();
+            if a < b {
+                prop_assert!(ha <= hb);
+            }
+        }
+
+        #[test]
+        fn sink_scale_in_unit_band(v in 0.0f64..10.0) {
+            let s = sink_conductance_scale(
+                MetersPerSecond::new(v), MetersPerSecond::new(2.5));
+            prop_assert!(s >= 0.05);
+            prop_assert!(s.is_finite());
+        }
+    }
+}

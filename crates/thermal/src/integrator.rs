@@ -1,0 +1,106 @@
+//! Time integrators for the capacitive (solid) nodes.
+
+use serde::{Deserialize, Serialize};
+
+/// The integration scheme used for capacitive nodes.
+///
+/// The air nodes are always solved quasi-steadily (they carry negligible
+/// heat capacity compared to solids, and resolving their microsecond time
+/// constants explicitly would force absurd step sizes); this enum selects
+/// how the *solid* temperatures advance. The ablation bench
+/// (`integrator_ablation`) compares the three.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Integrator {
+    /// Per-node exponential relaxation toward the local equilibrium
+    /// temperature. Unconditionally stable and exact for an isolated RC
+    /// node; the default.
+    #[default]
+    ExponentialEuler,
+    /// Classic fourth-order Runge–Kutta on the coupled solid ODE system
+    /// (air refrozen at step start). Most accurate per step but can go
+    /// unstable for steps much longer than the smallest solid time
+    /// constant.
+    Rk4,
+    /// Forward Euler. Cheapest and least stable; included as the ablation
+    /// baseline.
+    ExplicitEuler,
+}
+
+/// One RK4 step of `dy/dt = f(t, y)`.
+///
+/// `f` fills `dydt` from `y`; scratch buffers are caller-provided so the
+/// hot loop allocates nothing.
+pub fn rk4_step<F>(f: F, y: &mut [f64], t: f64, dt: f64)
+where
+    F: Fn(f64, &[f64], &mut [f64]),
+{
+    let n = y.len();
+    let mut k1 = vec![0.0; n];
+    let mut k2 = vec![0.0; n];
+    let mut k3 = vec![0.0; n];
+    let mut k4 = vec![0.0; n];
+    let mut tmp = vec![0.0; n];
+
+    f(t, y, &mut k1);
+    for i in 0..n {
+        tmp[i] = y[i] + 0.5 * dt * k1[i];
+    }
+    f(t + 0.5 * dt, &tmp, &mut k2);
+    for i in 0..n {
+        tmp[i] = y[i] + 0.5 * dt * k2[i];
+    }
+    f(t + 0.5 * dt, &tmp, &mut k3);
+    for i in 0..n {
+        tmp[i] = y[i] + dt * k3[i];
+    }
+    f(t + dt, &tmp, &mut k4);
+    for i in 0..n {
+        y[i] += dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rk4_matches_exponential_decay() {
+        // dy/dt = -y, y(0)=1 → y(1)=e^-1.
+        let mut y = vec![1.0];
+        let mut t = 0.0;
+        let dt = 0.05;
+        while t < 1.0 - 1e-9 {
+            rk4_step(|_, y, d| d[0] = -y[0], &mut y, t, dt);
+            t += dt;
+        }
+        assert!((y[0] - (-1.0f64).exp()).abs() < 1e-7, "{}", y[0]);
+    }
+
+    #[test]
+    fn rk4_handles_coupled_system() {
+        // Harmonic oscillator: energy conserved to 4th order.
+        let mut y = vec![1.0, 0.0];
+        let dt = 0.01;
+        let mut t = 0.0;
+        for _ in 0..628 {
+            rk4_step(
+                |_, y, d| {
+                    d[0] = y[1];
+                    d[1] = -y[0];
+                },
+                &mut y,
+                t,
+                dt,
+            );
+            t += dt;
+        }
+        // After ~2π the state returns to the start.
+        assert!((y[0] - 1.0).abs() < 1e-3, "{:?}", y);
+        assert!(y[1].abs() < 2e-2, "{:?}", y);
+    }
+
+    #[test]
+    fn integrator_default_is_exponential() {
+        assert_eq!(Integrator::default(), Integrator::ExponentialEuler);
+    }
+}

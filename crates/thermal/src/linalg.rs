@@ -1,0 +1,196 @@
+//! A small dense linear solver for the quasi-steady air balance.
+//!
+//! Server thermal networks have tens of air nodes, so a dense LU with
+//! partial pivoting is both simple and fast. No external numerics crates
+//! are used anywhere in the workspace.
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// An `n × n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        Self {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.n + c]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.n + c] = v;
+    }
+
+    /// In-place element update.
+    #[inline]
+    pub fn add(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.n + c] += v;
+    }
+
+    /// Solves `A x = b` by LU decomposition with partial pivoting,
+    /// consuming the matrix.
+    ///
+    /// Returns `None` when the matrix is numerically singular (pivot below
+    /// `1e-12` in magnitude after scaling).
+    ///
+    /// # Panics
+    /// Panics if `b.len() != n`.
+    #[allow(clippy::needless_range_loop)] // index loops mirror the LU math
+    pub fn solve(mut self, b: &[f64]) -> Option<Vec<f64>> {
+        let n = self.n;
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        let mut x: Vec<f64> = b.to_vec();
+        let mut perm: Vec<usize> = (0..n).collect();
+
+        for k in 0..n {
+            // Partial pivot: largest magnitude in column k at/below row k.
+            let mut p = k;
+            let mut best = self.get(k, k).abs();
+            for r in (k + 1)..n {
+                let v = self.get(r, k).abs();
+                if v > best {
+                    best = v;
+                    p = r;
+                }
+            }
+            if best < 1e-12 {
+                return None;
+            }
+            if p != k {
+                for c in 0..n {
+                    let tmp = self.get(k, c);
+                    self.set(k, c, self.get(p, c));
+                    self.set(p, c, tmp);
+                }
+                x.swap(k, p);
+                perm.swap(k, p);
+            }
+            let pivot = self.get(k, k);
+            for r in (k + 1)..n {
+                let factor = self.get(r, k) / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                for c in k..n {
+                    let v = self.get(r, c) - factor * self.get(k, c);
+                    self.set(r, c, v);
+                }
+                x[r] -= factor * x[k];
+            }
+        }
+
+        // Back substitution.
+        for k in (0..n).rev() {
+            let mut sum = x[k];
+            for c in (k + 1)..n {
+                sum -= self.get(k, c) * x[c];
+            }
+            x[k] = sum / self.get(k, k);
+        }
+        Some(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn solves_identity() {
+        let mut a = Matrix::zeros(3);
+        for i in 0..3 {
+            a.set(i, i, 1.0);
+        }
+        let x = a.solve(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solves_known_system() {
+        // [2 1; 1 3] x = [5; 10] → x = [1; 3]? 2+3=5 ✓ 1+9=10 ✓
+        let mut a = Matrix::zeros(2);
+        a.set(0, 0, 2.0);
+        a.set(0, 1, 1.0);
+        a.set(1, 0, 1.0);
+        a.set(1, 1, 3.0);
+        let x = a.solve(&[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivots_when_leading_zero() {
+        let mut a = Matrix::zeros(2);
+        a.set(0, 0, 0.0);
+        a.set(0, 1, 1.0);
+        a.set(1, 0, 1.0);
+        a.set(1, 1, 0.0);
+        let x = a.solve(&[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_singularity() {
+        let mut a = Matrix::zeros(2);
+        a.set(0, 0, 1.0);
+        a.set(0, 1, 2.0);
+        a.set(1, 0, 2.0);
+        a.set(1, 1, 4.0);
+        assert!(a.solve(&[1.0, 2.0]).is_none());
+    }
+
+    proptest! {
+        #[test]
+        #[allow(clippy::needless_range_loop)]
+        fn residual_is_small_for_diagonally_dominant_systems(
+            n in 1usize..12,
+            seed_vals in proptest::collection::vec(-1.0f64..1.0, 144 + 12),
+        ) {
+            // Build a strictly diagonally dominant matrix (always solvable),
+            // the exact structure the air balance produces.
+            let mut a = Matrix::zeros(n);
+            let mut idx = 0;
+            for r in 0..n {
+                let mut row_sum = 0.0;
+                for c in 0..n {
+                    if r != c {
+                        let v = seed_vals[idx % seed_vals.len()];
+                        idx += 1;
+                        a.set(r, c, v);
+                        row_sum += v.abs();
+                    }
+                }
+                a.set(r, r, row_sum + 1.0);
+            }
+            let b: Vec<f64> = (0..n).map(|i| seed_vals[(i + 77) % seed_vals.len()] * 10.0).collect();
+            let a2 = a.clone();
+            let x = a.solve(&b).unwrap();
+            // Verify A x ≈ b.
+            for r in 0..n {
+                let mut dot = 0.0;
+                for c in 0..n {
+                    dot += a2.get(r, c) * x[c];
+                }
+                prop_assert!((dot - b[r]).abs() < 1e-8);
+            }
+        }
+    }
+}

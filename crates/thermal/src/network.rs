@@ -1,0 +1,867 @@
+//! The RC thermal network with quasi-steady air nodes and PCM elements.
+
+use crate::integrator::{rk4_step, Integrator};
+use crate::linalg::Matrix;
+use tts_pcm::PcmState;
+use tts_units::{Celsius, JoulesPerKelvin, Seconds, Watts, WattsPerKelvin};
+
+/// Handle to a node in a [`ThermalNetwork`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// The raw node index (for crate-internal solvers/audits).
+    pub(crate) fn index(self) -> usize {
+        self.0
+    }
+
+    /// Rebuilds a handle from a raw index (crate-internal).
+    pub(crate) fn from_index(i: usize) -> Self {
+        NodeId(i)
+    }
+}
+
+/// Handle to a PCM element attached to a network node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PcmId(usize);
+
+/// Handle to an advection (air-stream) edge, used to change flow at runtime
+/// (fan speed steps, blockage changes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AdvectionId(usize);
+
+/// Handle to a conductance edge, used to change coupling at runtime
+/// (heat-sink conductance degrading as airflow drops).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EdgeId(usize);
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum NodeKind {
+    /// A solid with thermal mass (J/K). Integrated in time.
+    Capacitive { capacitance: f64 },
+    /// An air volume, solved quasi-steadily each step.
+    Air,
+    /// A fixed-temperature boundary (inlet air, ambient, exhaust sink).
+    Boundary,
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    name: String,
+    kind: NodeKind,
+    temp: f64,
+    power: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Edge {
+    a: usize,
+    b: usize,
+    g: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Advection {
+    from: usize,
+    to: usize,
+    mcp: f64,
+}
+
+#[derive(Debug, Clone)]
+struct PcmElement {
+    node: usize,
+    state: PcmState,
+    coupling: f64,
+    last_heat: f64,
+}
+
+/// A lumped thermal network: the Icepak substitute.
+///
+/// Three node kinds (capacitive solids, quasi-steady air, fixed boundaries),
+/// conductance edges between any nodes, directional ṁ·cp advection edges
+/// along the air path, and PCM elements attached to nodes. See the crate
+/// docs for a worked example.
+#[derive(Debug, Clone)]
+pub struct ThermalNetwork {
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+    advections: Vec<Advection>,
+    pcm: Vec<PcmElement>,
+    integrator: Integrator,
+    time: f64,
+    /// node index → adjacent (edge index) list, rebuilt lazily.
+    adjacency: Vec<Vec<usize>>,
+    adjacency_dirty: bool,
+}
+
+impl Default for ThermalNetwork {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ThermalNetwork {
+    /// An empty network using the default (exponential-Euler) integrator.
+    pub fn new() -> Self {
+        Self {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            advections: Vec::new(),
+            pcm: Vec::new(),
+            integrator: Integrator::default(),
+            time: 0.0,
+            adjacency: Vec::new(),
+            adjacency_dirty: true,
+        }
+    }
+
+    /// Selects the integrator for capacitive nodes.
+    pub fn set_integrator(&mut self, integrator: Integrator) {
+        self.integrator = integrator;
+    }
+
+    /// Adds a solid node with heat capacity `capacitance` at `initial`.
+    ///
+    /// # Panics
+    /// Panics if the capacitance is not positive.
+    pub fn add_capacitive(
+        &mut self,
+        name: impl Into<String>,
+        capacitance: JoulesPerKelvin,
+        initial: Celsius,
+    ) -> NodeId {
+        assert!(
+            capacitance.value() > 0.0,
+            "capacitance must be positive; use add_air for massless volumes"
+        );
+        self.push_node(name.into(), NodeKind::Capacitive {
+            capacitance: capacitance.value(),
+        }, initial)
+    }
+
+    /// Adds a quasi-steady air node.
+    pub fn add_air(&mut self, name: impl Into<String>, initial: Celsius) -> NodeId {
+        self.push_node(name.into(), NodeKind::Air, initial)
+    }
+
+    /// Adds a fixed-temperature boundary node.
+    pub fn add_boundary(&mut self, name: impl Into<String>, temperature: Celsius) -> NodeId {
+        self.push_node(name.into(), NodeKind::Boundary, temperature)
+    }
+
+    fn push_node(&mut self, name: String, kind: NodeKind, initial: Celsius) -> NodeId {
+        self.nodes.push(Node {
+            name,
+            kind,
+            temp: initial.value(),
+            power: 0.0,
+        });
+        self.adjacency_dirty = true;
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Connects two nodes with a thermal conductance. Returns a handle for
+    /// later adjustment via [`Self::set_conductance`].
+    ///
+    /// # Panics
+    /// Panics on a negative conductance or a self-loop.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, g: WattsPerKelvin) -> EdgeId {
+        assert!(g.value() >= 0.0, "conductance must be non-negative");
+        assert_ne!(a, b, "self-loop conductance is meaningless");
+        self.edges.push(Edge {
+            a: a.0,
+            b: b.0,
+            g: g.value(),
+        });
+        self.adjacency_dirty = true;
+        EdgeId(self.edges.len() - 1)
+    }
+
+    /// Updates an edge's conductance (e.g. a heat sink losing effectiveness
+    /// as airflow drops).
+    pub fn set_conductance(&mut self, id: EdgeId, g: WattsPerKelvin) {
+        assert!(g.value() >= 0.0, "conductance must be non-negative");
+        self.edges[id.0].g = g.value();
+    }
+
+    /// Adds a directional air stream carrying `mcp` (W/K) of heat-capacity
+    /// flow from `from` to `to`.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is a capacitive node — advection models
+    /// bulk air motion, which only makes sense between air/boundary nodes.
+    pub fn advect(&mut self, from: NodeId, to: NodeId, mcp: WattsPerKelvin) -> AdvectionId {
+        for (label, id) in [("from", from), ("to", to)] {
+            assert!(
+                !matches!(self.nodes[id.0].kind, NodeKind::Capacitive { .. }),
+                "advection {label}-endpoint {:?} is a solid node",
+                self.nodes[id.0].name
+            );
+        }
+        assert!(mcp.value() >= 0.0, "advective flow must be non-negative");
+        self.advections.push(Advection {
+            from: from.0,
+            to: to.0,
+            mcp: mcp.value(),
+        });
+        AdvectionId(self.advections.len() - 1)
+    }
+
+    /// Attaches a PCM element to a node through the given lumped air-to-wax
+    /// conductance. Returns a handle for querying the wax state.
+    pub fn attach_pcm(&mut self, node: NodeId, state: PcmState, coupling: WattsPerKelvin) -> PcmId {
+        assert!(coupling.value() >= 0.0, "PCM coupling must be non-negative");
+        self.pcm.push(PcmElement {
+            node: node.0,
+            state,
+            coupling: coupling.value(),
+            last_heat: 0.0,
+        });
+        PcmId(self.pcm.len() - 1)
+    }
+
+    /// Sets the heat dissipated into a node (CPU power, drive power, ...).
+    pub fn set_power(&mut self, node: NodeId, power: Watts) {
+        self.nodes[node.0].power = power.value();
+    }
+
+    /// Current heat dissipated into a node.
+    pub fn power(&self, node: NodeId) -> Watts {
+        Watts::new(self.nodes[node.0].power)
+    }
+
+    /// Updates a boundary node's fixed temperature.
+    ///
+    /// # Panics
+    /// Panics if the node is not a boundary.
+    pub fn set_boundary_temp(&mut self, node: NodeId, temperature: Celsius) {
+        assert!(
+            matches!(self.nodes[node.0].kind, NodeKind::Boundary),
+            "set_boundary_temp on non-boundary node {:?}",
+            self.nodes[node.0].name
+        );
+        self.nodes[node.0].temp = temperature.value();
+    }
+
+    /// Updates the heat-capacity flow on an advection edge (fan steps,
+    /// blockage changes).
+    pub fn set_advection_flow(&mut self, id: AdvectionId, mcp: WattsPerKelvin) {
+        assert!(mcp.value() >= 0.0, "advective flow must be non-negative");
+        self.advections[id.0].mcp = mcp.value();
+    }
+
+    /// Updates a PCM element's air-to-wax coupling (convection changes with
+    /// airflow).
+    pub fn set_pcm_coupling(&mut self, id: PcmId, coupling: WattsPerKelvin) {
+        assert!(coupling.value() >= 0.0, "PCM coupling must be non-negative");
+        self.pcm[id.0].coupling = coupling.value();
+    }
+
+    /// Current temperature of a node.
+    pub fn temperature(&self, node: NodeId) -> Celsius {
+        Celsius::new(self.nodes[node.0].temp)
+    }
+
+    /// Node name (for reporting).
+    pub fn node_name(&self, node: NodeId) -> &str {
+        &self.nodes[node.0].name
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The attached PCM state.
+    pub fn pcm(&self, id: PcmId) -> &PcmState {
+        &self.pcm[id.0].state
+    }
+
+    /// Heat absorbed by a PCM element during the last step (positive =
+    /// melting/absorbing).
+    pub fn pcm_heat_flow(&self, id: PcmId) -> Watts {
+        Watts::new(self.pcm[id.0].last_heat)
+    }
+
+    /// Total heat currently absorbed by all PCM elements (W, last step).
+    pub fn total_pcm_heat_flow(&self) -> Watts {
+        Watts::new(self.pcm.iter().map(|p| p.last_heat).sum())
+    }
+
+    /// Simulation time.
+    pub fn time(&self) -> Seconds {
+        Seconds::new(self.time)
+    }
+
+    fn rebuild_adjacency(&mut self) {
+        if !self.adjacency_dirty {
+            return;
+        }
+        self.adjacency = vec![Vec::new(); self.nodes.len()];
+        for (ei, e) in self.edges.iter().enumerate() {
+            self.adjacency[e.a].push(ei);
+            self.adjacency[e.b].push(ei);
+        }
+        self.adjacency_dirty = false;
+    }
+
+    /// Solves the quasi-steady air balance given current solid/boundary
+    /// temperatures and PCM states, writing the solved temperatures back
+    /// into the air nodes.
+    ///
+    /// # Panics
+    /// Panics if the air system is singular — an air node with no thermal
+    /// connection at all, which is a model-construction bug.
+    fn solve_air(&mut self) {
+        let air_nodes: Vec<usize> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n.kind, NodeKind::Air))
+            .map(|(i, _)| i)
+            .collect();
+        if air_nodes.is_empty() {
+            return;
+        }
+        let col_of: std::collections::HashMap<usize, usize> = air_nodes
+            .iter()
+            .enumerate()
+            .map(|(c, &i)| (i, c))
+            .collect();
+        let n = air_nodes.len();
+        let mut a = Matrix::zeros(n);
+        let mut rhs = vec![0.0; n];
+
+        for (r, &i) in air_nodes.iter().enumerate() {
+            let mut diag = 0.0;
+            rhs[r] += self.nodes[i].power;
+            for e in &self.edges {
+                let (me, other) = if e.a == i {
+                    (true, e.b)
+                } else if e.b == i {
+                    (true, e.a)
+                } else {
+                    (false, 0)
+                };
+                if !me {
+                    continue;
+                }
+                diag += e.g;
+                if let Some(&c) = col_of.get(&other) {
+                    a.add(r, c, -e.g);
+                } else {
+                    rhs[r] += e.g * self.nodes[other].temp;
+                }
+            }
+            for adv in &self.advections {
+                if adv.to == i {
+                    diag += adv.mcp;
+                    if let Some(&c) = col_of.get(&adv.from) {
+                        a.add(r, c, -adv.mcp);
+                    } else {
+                        rhs[r] += adv.mcp * self.nodes[adv.from].temp;
+                    }
+                }
+            }
+            for p in &self.pcm {
+                if p.node == i {
+                    diag += p.coupling;
+                    rhs[r] += p.coupling * p.state.temperature().value();
+                }
+            }
+            if diag == 0.0 {
+                // Isolated air node: hold its temperature.
+                a.set(r, r, 1.0);
+                rhs[r] = self.nodes[i].temp;
+            } else {
+                a.add(r, r, diag);
+            }
+        }
+
+        let x = a
+            .solve(&rhs)
+            .expect("air balance singular: an air node lacks thermal connections");
+        for (r, &i) in air_nodes.iter().enumerate() {
+            self.nodes[i].temp = x[r];
+        }
+    }
+
+    /// Net conducted + PCM heat into solid node `i` at the current
+    /// temperatures, W.
+    fn solid_inflow(&self, i: usize, temp_override: Option<(&[usize], &[f64])>) -> f64 {
+        let t_i = match temp_override {
+            Some((ids, temps)) => {
+                let pos = ids.iter().position(|&x| x == i);
+                pos.map(|p| temps[p]).unwrap_or(self.nodes[i].temp)
+            }
+            None => self.nodes[i].temp,
+        };
+        let mut q = self.nodes[i].power;
+        for &ei in &self.adjacency[i] {
+            let e = self.edges[ei];
+            let other = if e.a == i { e.b } else { e.a };
+            let t_other = match temp_override {
+                Some((ids, temps)) => ids
+                    .iter()
+                    .position(|&x| x == other)
+                    .map(|p| temps[p])
+                    .unwrap_or(self.nodes[other].temp),
+                None => self.nodes[other].temp,
+            };
+            q += e.g * (t_other - t_i);
+        }
+        for p in &self.pcm {
+            if p.node == i {
+                q += p.coupling * (p.state.temperature().value() - t_i);
+            }
+        }
+        q
+    }
+
+    /// Advances the network by `dt`.
+    ///
+    /// Sequence: (1) solve air quasi-steadily, (2) integrate solid nodes,
+    /// (3) step PCM elements against their node's solved temperature.
+    pub fn step(&mut self, dt: Seconds) {
+        let dt_s = dt.value();
+        assert!(dt_s > 0.0, "step requires a positive dt");
+        self.rebuild_adjacency();
+        self.solve_air();
+
+        let solid_ids: Vec<usize> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n.kind, NodeKind::Capacitive { .. }))
+            .map(|(i, _)| i)
+            .collect();
+
+        match self.integrator {
+            Integrator::ExponentialEuler => {
+                let mut new_temps = Vec::with_capacity(solid_ids.len());
+                for &i in &solid_ids {
+                    let cap = match self.nodes[i].kind {
+                        NodeKind::Capacitive { capacitance } => capacitance,
+                        _ => unreachable!(),
+                    };
+                    let mut g_tot = 0.0;
+                    let mut g_t_sum = 0.0;
+                    for &ei in &self.adjacency[i] {
+                        let e = self.edges[ei];
+                        let other = if e.a == i { e.b } else { e.a };
+                        g_tot += e.g;
+                        g_t_sum += e.g * self.nodes[other].temp;
+                    }
+                    for p in &self.pcm {
+                        if p.node == i {
+                            g_tot += p.coupling;
+                            g_t_sum += p.coupling * p.state.temperature().value();
+                        }
+                    }
+                    let t = self.nodes[i].temp;
+                    let t_new = if g_tot <= 0.0 {
+                        t + self.nodes[i].power * dt_s / cap
+                    } else {
+                        let t_eq = (g_t_sum + self.nodes[i].power) / g_tot;
+                        t_eq + (t - t_eq) * (-g_tot * dt_s / cap).exp()
+                    };
+                    new_temps.push(t_new);
+                }
+                for (k, &i) in solid_ids.iter().enumerate() {
+                    self.nodes[i].temp = new_temps[k];
+                }
+            }
+            Integrator::Rk4 => {
+                let mut y: Vec<f64> = solid_ids.iter().map(|&i| self.nodes[i].temp).collect();
+                let ids = solid_ids.clone();
+                let caps: Vec<f64> = solid_ids
+                    .iter()
+                    .map(|&i| match self.nodes[i].kind {
+                        NodeKind::Capacitive { capacitance } => capacitance,
+                        _ => unreachable!(),
+                    })
+                    .collect();
+                let this = &*self;
+                rk4_step(
+                    |_, y, dydt| {
+                        for (k, &i) in ids.iter().enumerate() {
+                            dydt[k] = this.solid_inflow(i, Some((&ids, y))) / caps[k];
+                        }
+                    },
+                    &mut y,
+                    self.time,
+                    dt_s,
+                );
+                for (k, &i) in solid_ids.iter().enumerate() {
+                    self.nodes[i].temp = y[k];
+                }
+            }
+            Integrator::ExplicitEuler => {
+                let mut deltas = Vec::with_capacity(solid_ids.len());
+                for &i in &solid_ids {
+                    let cap = match self.nodes[i].kind {
+                        NodeKind::Capacitive { capacitance } => capacitance,
+                        _ => unreachable!(),
+                    };
+                    deltas.push(self.solid_inflow(i, None) / cap * dt_s);
+                }
+                for (k, &i) in solid_ids.iter().enumerate() {
+                    self.nodes[i].temp += deltas[k];
+                }
+            }
+        }
+
+        // PCM elements relax against their node's solved temperature.
+        for p in &mut self.pcm {
+            let t_node = Celsius::new(self.nodes[p.node].temp);
+            let q = p.state.step(t_node, WattsPerKelvin::new(p.coupling), dt);
+            p.last_heat = q.value();
+        }
+
+        self.time += dt_s;
+    }
+
+    /// Runs the network until solid temperatures change by less than
+    /// `tol_k` per step (steady state), up to `max_time`. Returns the time
+    /// taken to converge, or `None` if `max_time` elapsed first.
+    pub fn run_to_steady_state(
+        &mut self,
+        dt: Seconds,
+        tol_k: f64,
+        max_time: Seconds,
+    ) -> Option<Seconds> {
+        let start = self.time;
+        loop {
+            let before: Vec<f64> = self.nodes.iter().map(|n| n.temp).collect();
+            self.step(dt);
+            let max_delta = self
+                .nodes
+                .iter()
+                .zip(&before)
+                .map(|(n, &b)| (n.temp - b).abs())
+                .fold(0.0, f64::max);
+            if max_delta < tol_k {
+                return Some(Seconds::new(self.time - start));
+            }
+            if self.time - start >= max_time.value() {
+                return None;
+            }
+        }
+    }
+
+    /// Heat carried out of the system by air streams terminating at
+    /// boundary nodes, measured relative to `inlet`'s temperature — the
+    /// quantity a datacenter cooling system must remove.
+    pub fn exhaust_heat(&self, inlet: NodeId) -> Watts {
+        let t_in = self.nodes[inlet.0].temp;
+        let q: f64 = self
+            .advections
+            .iter()
+            .filter(|adv| matches!(self.nodes[adv.to].kind, NodeKind::Boundary))
+            .map(|adv| adv.mcp * (self.nodes[adv.from].temp - t_in))
+            .sum();
+        Watts::new(q)
+    }
+
+    /// Total power currently injected into the network.
+    pub fn total_power(&self) -> Watts {
+        Watts::new(self.nodes.iter().map(|n| n.power).sum())
+    }
+
+    // --- Raw-index introspection (used by the direct steady-state solver
+    //     and the topology audit) ---
+
+    /// Whether node `i` is a fixed-temperature boundary.
+    pub(crate) fn is_boundary_index(&self, i: usize) -> bool {
+        matches!(self.nodes[i].kind, NodeKind::Boundary)
+    }
+
+    /// Whether node `i` is an air node.
+    pub(crate) fn is_air_index(&self, i: usize) -> bool {
+        matches!(self.nodes[i].kind, NodeKind::Air)
+    }
+
+    /// Raw temperature of node `i`.
+    pub(crate) fn temperature_index(&self, i: usize) -> f64 {
+        self.nodes[i].temp
+    }
+
+    /// Raw power of node `i`.
+    pub(crate) fn power_index(&self, i: usize) -> f64 {
+        self.nodes[i].power
+    }
+
+    /// `(neighbor, conductance)` pairs for node `i`.
+    pub(crate) fn conductance_neighbors(&self, i: usize) -> Vec<(usize, f64)> {
+        self.edges
+            .iter()
+            .filter_map(|e| {
+                if e.a == i {
+                    Some((e.b, e.g))
+                } else if e.b == i {
+                    Some((e.a, e.g))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// `(upstream, mcp)` pairs of air streams entering node `i`.
+    pub(crate) fn advection_inflows(&self, i: usize) -> Vec<(usize, f64)> {
+        self.advections
+            .iter()
+            .filter(|adv| adv.to == i)
+            .map(|adv| (adv.from, adv.mcp))
+            .collect()
+    }
+
+    /// Name of node `i` (raw-index variant for audits).
+    pub(crate) fn node_name_index(&self, i: usize) -> &str {
+        &self.nodes[i].name
+    }
+
+    /// `(downstream, mcp)` pairs of air streams leaving node `i`.
+    pub(crate) fn advection_outflows(&self, i: usize) -> Vec<(usize, f64)> {
+        self.advections
+            .iter()
+            .filter(|adv| adv.from == i)
+            .map(|adv| (adv.to, adv.mcp))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tts_pcm::PcmMaterial;
+    use tts_units::{air_heat_capacity_flow, CubicMetersPerSecond, Grams};
+
+    /// inlet → air → outlet with a powered solid hanging off the air node.
+    fn heater_rig(power: f64, flow: f64) -> (ThermalNetwork, NodeId, NodeId, NodeId) {
+        let mut net = ThermalNetwork::new();
+        let inlet = net.add_boundary("inlet", Celsius::new(25.0));
+        let air = net.add_air("air", Celsius::new(25.0));
+        let outlet = net.add_boundary("outlet", Celsius::new(25.0));
+        let cpu = net.add_capacitive("cpu", JoulesPerKelvin::new(400.0), Celsius::new(25.0));
+        let mcp = air_heat_capacity_flow(CubicMetersPerSecond::new(flow));
+        net.advect(inlet, air, mcp);
+        net.advect(air, outlet, mcp);
+        net.connect(cpu, air, WattsPerKelvin::new(2.0));
+        net.set_power(cpu, Watts::new(power));
+        (net, inlet, air, cpu)
+    }
+
+    #[test]
+    fn steady_state_matches_energy_balance() {
+        let (mut net, inlet, air, cpu) = heater_rig(46.0, 0.02);
+        net.run_to_steady_state(Seconds::new(5.0), 1e-6, Seconds::new(1e6))
+            .expect("must converge");
+        let mcp = air_heat_capacity_flow(CubicMetersPerSecond::new(0.02)).value();
+        let t_air_expected = 25.0 + 46.0 / mcp;
+        assert!((net.temperature(air).value() - t_air_expected).abs() < 1e-3);
+        assert!((net.temperature(cpu).value() - (t_air_expected + 23.0)).abs() < 1e-3);
+        // All injected heat leaves through the exhaust.
+        assert!((net.exhaust_heat(inlet).value() - 46.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn all_integrators_agree_at_steady_state() {
+        let mut results = Vec::new();
+        for integ in [
+            Integrator::ExponentialEuler,
+            Integrator::Rk4,
+            Integrator::ExplicitEuler,
+        ] {
+            let (mut net, _, _, cpu) = heater_rig(46.0, 0.02);
+            net.set_integrator(integ);
+            for _ in 0..20_000 {
+                net.step(Seconds::new(1.0));
+            }
+            results.push(net.temperature(cpu).value());
+        }
+        assert!((results[0] - results[1]).abs() < 0.01, "{results:?}");
+        assert!((results[0] - results[2]).abs() < 0.01, "{results:?}");
+    }
+
+    #[test]
+    fn transient_follows_rc_time_constant() {
+        // A single solid against a boundary: T(t) = T_eq + (T0-T_eq)e^(-t/RC).
+        let mut net = ThermalNetwork::new();
+        let amb = net.add_boundary("ambient", Celsius::new(20.0));
+        let block = net.add_capacitive("block", JoulesPerKelvin::new(1000.0), Celsius::new(80.0));
+        net.connect(block, amb, WattsPerKelvin::new(2.0));
+        // tau = C/G = 500 s. After one tau the excess decays to 1/e.
+        for _ in 0..100 {
+            net.step(Seconds::new(5.0));
+        }
+        let expected = 20.0 + 60.0 * (-1.0f64).exp();
+        assert!(
+            (net.temperature(block).value() - expected).abs() < 0.1,
+            "{} vs {}",
+            net.temperature(block).value(),
+            expected
+        );
+    }
+
+    #[test]
+    fn chained_air_nodes_accumulate_heat_downstream() {
+        // inlet → a1 → a2 → outlet, heaters on both: downstream is hotter.
+        let mut net = ThermalNetwork::new();
+        let inlet = net.add_boundary("inlet", Celsius::new(25.0));
+        let a1 = net.add_air("a1", Celsius::new(25.0));
+        let a2 = net.add_air("a2", Celsius::new(25.0));
+        let outlet = net.add_boundary("outlet", Celsius::new(25.0));
+        let mcp = WattsPerKelvin::new(10.0);
+        net.advect(inlet, a1, mcp);
+        net.advect(a1, a2, mcp);
+        net.advect(a2, outlet, mcp);
+        net.set_power(a1, Watts::new(50.0));
+        net.set_power(a2, Watts::new(50.0));
+        net.step(Seconds::new(1.0));
+        let t1 = net.temperature(a1).value();
+        let t2 = net.temperature(a2).value();
+        assert!((t1 - 30.0).abs() < 1e-9, "t1={t1}");
+        assert!((t2 - 35.0).abs() < 1e-9, "t2={t2}");
+    }
+
+    #[test]
+    fn pcm_on_air_node_flattens_downstream_temperature() {
+        let mut with_wax = ThermalNetwork::new();
+        let mut no_wax = ThermalNetwork::new();
+        let build = |net: &mut ThermalNetwork| {
+            let inlet = net.add_boundary("inlet", Celsius::new(25.0));
+            let air = net.add_air("air", Celsius::new(25.0));
+            let outlet = net.add_boundary("outlet", Celsius::new(25.0));
+            let mcp = WattsPerKelvin::new(5.0);
+            net.advect(inlet, air, mcp);
+            net.advect(air, outlet, mcp);
+            net.set_power(air, Watts::new(150.0)); // drives air to 55 °C
+            air
+        };
+        let air_w = build(&mut with_wax);
+        let air_n = build(&mut no_wax);
+        let wax = PcmState::new(
+            &PcmMaterial::validation_wax(),
+            Grams::new(800.0),
+            Celsius::new(25.0),
+        );
+        let id = with_wax.attach_pcm(air_w, wax, WattsPerKelvin::new(6.0));
+
+        // During the first hour the melting wax keeps the air cooler.
+        for _ in 0..720 {
+            with_wax.step(Seconds::new(5.0));
+            no_wax.step(Seconds::new(5.0));
+        }
+        let t_w = with_wax.temperature(air_w).value();
+        let t_n = no_wax.temperature(air_n).value();
+        assert!(
+            t_w < t_n - 2.0,
+            "wax should depress air temperature: {t_w} vs {t_n}"
+        );
+        assert!(with_wax.pcm(id).melt_fraction().value() > 0.0);
+        assert!(with_wax.pcm_heat_flow(id).value() > 0.0);
+    }
+
+    #[test]
+    fn pcm_heat_releases_after_load_drops() {
+        let mut net = ThermalNetwork::new();
+        let inlet = net.add_boundary("inlet", Celsius::new(25.0));
+        let air = net.add_air("air", Celsius::new(25.0));
+        let outlet = net.add_boundary("outlet", Celsius::new(25.0));
+        let mcp = WattsPerKelvin::new(5.0);
+        net.advect(inlet, air, mcp);
+        net.advect(air, outlet, mcp);
+        net.set_power(air, Watts::new(150.0));
+        let wax = PcmState::new(
+            &PcmMaterial::validation_wax(),
+            Grams::new(800.0),
+            Celsius::new(25.0),
+        );
+        let id = net.attach_pcm(air, wax, WattsPerKelvin::new(6.0));
+        for _ in 0..2000 {
+            net.step(Seconds::new(10.0));
+        }
+        assert!(net.pcm(id).melt_fraction().value() > 0.9, "wax should melt under load");
+        // Load drops: the wax releases heat (negative absorption) and the
+        // outlet stays warmer than the no-wax equilibrium for a while.
+        net.set_power(air, Watts::new(0.0));
+        net.step(Seconds::new(10.0));
+        assert!(net.pcm_heat_flow(id).value() < 0.0, "wax must release heat");
+        let t_air = net.temperature(air).value();
+        assert!(t_air > 25.5, "released heat must warm the air: {t_air}");
+    }
+
+    #[test]
+    fn exhaust_heat_counts_all_injected_power_at_steady_state() {
+        let mut net = ThermalNetwork::new();
+        let inlet = net.add_boundary("inlet", Celsius::new(25.0));
+        let a1 = net.add_air("a1", Celsius::new(25.0));
+        let outlet = net.add_boundary("outlet", Celsius::new(25.0));
+        let mcp = WattsPerKelvin::new(8.0);
+        net.advect(inlet, a1, mcp);
+        net.advect(a1, outlet, mcp);
+        let hdd = net.add_capacitive("hdd", JoulesPerKelvin::new(200.0), Celsius::new(25.0));
+        net.connect(hdd, a1, WattsPerKelvin::new(1.0));
+        net.set_power(hdd, Watts::new(10.0));
+        net.set_power(a1, Watts::new(30.0));
+        net.run_to_steady_state(Seconds::new(5.0), 1e-7, Seconds::new(1e6))
+            .unwrap();
+        assert!((net.exhaust_heat(inlet).value() - 40.0).abs() < 1e-3);
+        assert_eq!(net.total_power(), Watts::new(40.0));
+    }
+
+    #[test]
+    fn set_advection_flow_changes_operating_point() {
+        let (mut net, _inlet, air, _cpu) = heater_rig(46.0, 0.02);
+        net.run_to_steady_state(Seconds::new(5.0), 1e-6, Seconds::new(1e6))
+            .unwrap();
+        let t_before = net.temperature(air).value();
+        // Re-plumb with half the flow: air must run hotter. (Both edges.)
+        net.set_advection_flow(
+            AdvectionId(0),
+            air_heat_capacity_flow(CubicMetersPerSecond::new(0.01)),
+        );
+        net.set_advection_flow(
+            AdvectionId(1),
+            air_heat_capacity_flow(CubicMetersPerSecond::new(0.01)),
+        );
+        net.run_to_steady_state(Seconds::new(5.0), 1e-6, Seconds::new(1e6))
+            .unwrap();
+        // Halving mcp doubles the air temperature rise above the inlet
+        // (from ~2 K to ~4 K for 46 W).
+        assert!(net.temperature(air).value() > t_before + 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "solid node")]
+    fn advection_to_solid_panics() {
+        let mut net = ThermalNetwork::new();
+        let air = net.add_air("air", Celsius::new(25.0));
+        let solid = net.add_capacitive("s", JoulesPerKelvin::new(1.0), Celsius::new(25.0));
+        net.advect(air, solid, WattsPerKelvin::new(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacitance must be positive")]
+    fn zero_capacitance_panics() {
+        let mut net = ThermalNetwork::new();
+        net.add_capacitive("bad", JoulesPerKelvin::ZERO, Celsius::new(25.0));
+    }
+
+    #[test]
+    fn isolated_air_node_holds_temperature() {
+        let mut net = ThermalNetwork::new();
+        let lonely = net.add_air("lonely", Celsius::new(33.0));
+        net.step(Seconds::new(10.0));
+        assert_eq!(net.temperature(lonely), Celsius::new(33.0));
+    }
+
+    #[test]
+    fn node_names_are_preserved() {
+        let mut net = ThermalNetwork::new();
+        let n = net.add_air("behind socket 2", Celsius::new(25.0));
+        assert_eq!(net.node_name(n), "behind socket 2");
+        assert_eq!(net.node_count(), 1);
+    }
+}

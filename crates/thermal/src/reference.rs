@@ -1,0 +1,151 @@
+//! Utilities for the high-fidelity "real server" stand-in.
+//!
+//! The paper validates its Icepak model against measurements of a physical
+//! Lenovo RD330 instrumented with USB temperature sensors. We do not have
+//! the physical server, so the validation experiment (Figure 4) compares
+//! our production model against an independently built *reference* model:
+//! a more finely discretized RC network whose parameters are deterministic
+//! but perturbed a few percent from the production model's (a physical
+//! server never matches its datasheet exactly), read through noisy virtual
+//! sensors. This module provides the perturbation and sensor-noise pieces;
+//! the reference network itself is assembled in `tts-server`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic parameter perturbation for building the reference model.
+///
+/// Every call to [`Perturbation::factor`] returns a multiplier drawn
+/// uniformly from `[1 − scale, 1 + scale]` from a seeded stream, so the
+/// reference model is reproducible while never exactly matching the
+/// production model's parameters.
+#[derive(Debug)]
+pub struct Perturbation {
+    rng: StdRng,
+    scale: f64,
+}
+
+impl Perturbation {
+    /// A perturbation stream with the given seed and relative scale
+    /// (e.g. `0.05` for ±5 %).
+    ///
+    /// # Panics
+    /// Panics if `scale` is not in `[0, 1)`.
+    pub fn new(seed: u64, scale: f64) -> Self {
+        assert!((0.0..1.0).contains(&scale), "scale must be in [0, 1)");
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            scale,
+        }
+    }
+
+    /// The next multiplier in `[1 − scale, 1 + scale]`.
+    pub fn factor(&mut self) -> f64 {
+        1.0 + self.rng.gen_range(-self.scale..=self.scale)
+    }
+
+    /// Applies the next perturbation to a value.
+    pub fn apply(&mut self, value: f64) -> f64 {
+        value * self.factor()
+    }
+}
+
+/// A noisy virtual temperature sensor (the TEMPer1 USB probes of §3 read
+/// with a few tenths of a degree of noise).
+#[derive(Debug)]
+pub struct SensorNoise {
+    rng: StdRng,
+    sigma: f64,
+    /// Cached second Box–Muller variate.
+    spare: Option<f64>,
+}
+
+impl SensorNoise {
+    /// Gaussian sensor noise with standard deviation `sigma` (kelvin).
+    ///
+    /// # Panics
+    /// Panics if `sigma` is negative.
+    pub fn new(seed: u64, sigma: f64) -> Self {
+        assert!(sigma >= 0.0, "noise sigma cannot be negative");
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            sigma,
+            spare: None,
+        }
+    }
+
+    /// A standard normal variate via Box–Muller (no external distribution
+    /// crates).
+    fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // Box–Muller transform on two uniforms in (0, 1].
+        let u1: f64 = 1.0 - self.rng.gen::<f64>(); // avoid ln(0)
+        let u2: f64 = self.rng.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Reads a true value through the noisy sensor.
+    pub fn read(&mut self, true_value: f64) -> f64 {
+        true_value + self.sigma * self.standard_normal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perturbation_is_deterministic_per_seed() {
+        let mut a = Perturbation::new(42, 0.05);
+        let mut b = Perturbation::new(42, 0.05);
+        for _ in 0..10 {
+            assert_eq!(a.factor(), b.factor());
+        }
+    }
+
+    #[test]
+    fn perturbation_stays_in_band() {
+        let mut p = Perturbation::new(7, 0.05);
+        for _ in 0..1000 {
+            let f = p.factor();
+            assert!((0.95..=1.05).contains(&f), "{f}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Perturbation::new(1, 0.05);
+        let mut b = Perturbation::new(2, 0.05);
+        let same = (0..20).filter(|_| a.factor() == b.factor()).count();
+        assert!(same < 3);
+    }
+
+    #[test]
+    fn sensor_noise_statistics() {
+        let mut s = SensorNoise::new(123, 0.3);
+        let n = 20_000;
+        let readings: Vec<f64> = (0..n).map(|_| s.read(50.0)).collect();
+        let mean = readings.iter().sum::<f64>() / n as f64;
+        let var = readings.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 50.0).abs() < 0.02, "mean {mean}");
+        assert!((var.sqrt() - 0.3).abs() < 0.02, "sigma {}", var.sqrt());
+    }
+
+    #[test]
+    fn zero_sigma_reads_exactly() {
+        let mut s = SensorNoise::new(5, 0.0);
+        assert_eq!(s.read(42.0), 42.0);
+    }
+
+    #[test]
+    fn apply_scales_value() {
+        let mut p = Perturbation::new(9, 0.1);
+        let v = p.apply(100.0);
+        assert!((90.0..=110.0).contains(&v));
+    }
+}

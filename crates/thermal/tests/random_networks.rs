@@ -1,0 +1,148 @@
+//! Property tests over randomly generated thermal networks.
+//!
+//! The unit tests exercise hand-built topologies; these generate arbitrary
+//! (but structurally sound) networks and check the physics invariants that
+//! must hold for *any* of them: steady states match between the direct
+//! solver and transient settling, energy balances close, and temperatures
+//! stay bracketed by the boundary temperatures plus the adiabatic rise.
+
+use proptest::prelude::*;
+use tts_thermal::network::ThermalNetwork;
+use tts_thermal::{audit, solve_steady_state};
+use tts_units::{Celsius, JoulesPerKelvin, Seconds, Watts, WattsPerKelvin};
+
+/// A recipe for one random chain network.
+#[derive(Debug, Clone)]
+struct Recipe {
+    air_nodes: usize,
+    mcp: f64,
+    solids_per_air: usize,
+    sink_g: f64,
+    power_each: f64,
+    inlet_c: f64,
+}
+
+fn recipe_strategy() -> impl Strategy<Value = Recipe> {
+    (
+        1usize..6,
+        2.0f64..40.0,
+        0usize..3,
+        0.5f64..8.0,
+        0.0f64..80.0,
+        15.0f64..35.0,
+    )
+        .prop_map(|(air_nodes, mcp, solids_per_air, sink_g, power_each, inlet_c)| Recipe {
+            air_nodes,
+            mcp,
+            solids_per_air,
+            sink_g,
+            power_each,
+            inlet_c,
+        })
+}
+
+fn build(
+    r: &Recipe,
+) -> (
+    ThermalNetwork,
+    Vec<tts_thermal::NodeId>,
+    f64,
+    tts_thermal::NodeId,
+) {
+    let mut net = ThermalNetwork::new();
+    let t0 = Celsius::new(r.inlet_c);
+    let inlet = net.add_boundary("inlet", t0);
+    let outlet = net.add_boundary("outlet", t0);
+    let mcp = WattsPerKelvin::new(r.mcp);
+    let mut probes = Vec::new();
+    let mut prev = inlet;
+    let mut total_power = 0.0;
+    for i in 0..r.air_nodes {
+        let air = net.add_air(format!("air{i}"), t0);
+        net.advect(prev, air, mcp);
+        probes.push(air);
+        for s in 0..r.solids_per_air {
+            let solid = net.add_capacitive(
+                format!("solid{i}_{s}"),
+                JoulesPerKelvin::new(300.0),
+                t0,
+            );
+            net.connect(solid, air, WattsPerKelvin::new(r.sink_g));
+            net.set_power(solid, Watts::new(r.power_each));
+            total_power += r.power_each;
+            probes.push(solid);
+        }
+        prev = air;
+    }
+    net.advect(prev, outlet, mcp);
+    (net, probes, total_power, inlet)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn random_networks_pass_the_audit(r in recipe_strategy()) {
+        let (net, _, _, _) = build(&r);
+        let findings = audit(&net);
+        prop_assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn direct_and_transient_steady_states_agree(r in recipe_strategy()) {
+        let (mut net, probes, _, _) = build(&r);
+        let direct = solve_steady_state(&net).expect("sound network is solvable");
+        net.run_to_steady_state(Seconds::new(10.0), 1e-7, Seconds::new(1e8))
+            .expect("must settle");
+        for p in &probes {
+            let d = direct.temperature(*p).value();
+            let t = net.temperature(*p).value();
+            prop_assert!((d - t).abs() < 0.01, "node {:?}: direct {d} vs settled {t}", p);
+        }
+    }
+
+    #[test]
+    fn all_power_leaves_through_the_exhaust(r in recipe_strategy()) {
+        let (mut net, _, total_power, inlet) = build(&r);
+        net.run_to_steady_state(Seconds::new(10.0), 1e-7, Seconds::new(1e8))
+            .expect("must settle");
+        let exhaust = net.exhaust_heat(inlet).value();
+        prop_assert!(
+            (exhaust - total_power).abs() < 1e-3 * (1.0 + total_power),
+            "exhaust {exhaust} vs injected {total_power}"
+        );
+    }
+
+    #[test]
+    fn temperatures_stay_above_the_inlet(r in recipe_strategy()) {
+        let (mut net, probes, _, _) = build(&r);
+        for _ in 0..200 {
+            net.step(Seconds::new(30.0));
+        }
+        for p in &probes {
+            let t = net.temperature(*p).value();
+            prop_assert!(
+                t >= r.inlet_c - 1e-9,
+                "heating-only network cooled below its inlet: {t} < {}",
+                r.inlet_c
+            );
+        }
+    }
+
+    #[test]
+    fn steady_temperature_rise_matches_power_over_mcp(r in recipe_strategy()) {
+        // The last air node's equilibrium: inlet + total_power / mcp.
+        let (net, probes, total_power, _) = build(&r);
+        let direct = solve_steady_state(&net).expect("solvable");
+        // Find the last *air* probe: air nodes are pushed before their
+        // solids, so scan for the final air by arithmetic.
+        let per_air = 1 + r.solids_per_air;
+        let last_air_idx = (r.air_nodes - 1) * per_air;
+        let t_last = direct.temperature(probes[last_air_idx]).value();
+        let expected = r.inlet_c + total_power / r.mcp;
+        prop_assert!(
+            (t_last - expected).abs() < 1e-6 * (1.0 + expected.abs()),
+            "last air {t_last} vs expected {expected}"
+        );
+    }
+}

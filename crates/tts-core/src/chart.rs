@@ -1,0 +1,126 @@
+//! Minimal ASCII line charts for the examples and the repro harness.
+
+/// Renders one or more series as an ASCII chart.
+///
+/// Each series is `(label, values)`; series are drawn with distinct glyphs
+/// and share the y-axis. Values are linearly resampled to `width` columns.
+///
+/// ```
+/// use thermal_time_shifting::chart::ascii_chart;
+/// let ys: Vec<f64> = (0..100).map(|i| (i as f64 / 10.0).sin()).collect();
+/// let out = ascii_chart(&[("sin", &ys)], 40, 10);
+/// assert!(out.contains("sin"));
+/// assert!(out.lines().count() > 10);
+/// ```
+#[allow(clippy::needless_range_loop)] // column-indexed rasterization
+pub fn ascii_chart(series: &[(&str, &[f64])], width: usize, height: usize) -> String {
+    const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+    assert!(width >= 10 && height >= 3, "chart too small");
+    let finite = |v: &f64| v.is_finite();
+    let lo = series
+        .iter()
+        .flat_map(|(_, ys)| ys.iter().filter(|v| finite(v)))
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    let hi = series
+        .iter()
+        .flat_map(|(_, ys)| ys.iter().filter(|v| finite(v)))
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
+    if !lo.is_finite() || !hi.is_finite() {
+        return String::from("(no data)\n");
+    }
+    let span = (hi - lo).max(1e-12);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, ys)) in series.iter().enumerate() {
+        if ys.is_empty() {
+            continue;
+        }
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for col in 0..width {
+            // Linear resample.
+            let pos = col as f64 / (width - 1).max(1) as f64 * (ys.len() - 1) as f64;
+            let i = pos.floor() as usize;
+            let frac = pos - i as f64;
+            let v = if i + 1 < ys.len() {
+                ys[i] * (1.0 - frac) + ys[i + 1] * frac
+            } else {
+                ys[ys.len() - 1]
+            };
+            if !v.is_finite() {
+                continue;
+            }
+            let row = ((hi - v) / span * (height - 1) as f64).round() as usize;
+            let row = row.min(height - 1);
+            grid[row][col] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{hi:>10.2} |")
+        } else if r == height - 1 {
+            format!("{lo:>10.2} |")
+        } else {
+            format!("{:>10} |", "")
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>10} +{}\n", "", "-".repeat(width)));
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(si, (name, _))| format!("{} {}", GLYPHS[si % GLYPHS.len()], name))
+        .collect();
+    out.push_str(&format!("{:>12}{}\n", "", legend.join("   ")));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_expected_dimensions() {
+        let ys: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let out = ascii_chart(&[("ramp", &ys)], 30, 8);
+        let lines: Vec<&str> = out.lines().collect();
+        // 8 rows + axis + legend.
+        assert_eq!(lines.len(), 10);
+        assert!(lines[9].contains("ramp"));
+    }
+
+    #[test]
+    fn extremes_are_labeled() {
+        let ys = vec![2.0, 8.0];
+        let out = ascii_chart(&[("s", &ys)], 12, 4);
+        assert!(out.contains("8.00"));
+        assert!(out.contains("2.00"));
+    }
+
+    #[test]
+    fn multiple_series_get_distinct_glyphs() {
+        let a = vec![0.0, 1.0];
+        let b = vec![1.0, 0.0];
+        let out = ascii_chart(&[("up", &a), ("down", &b)], 12, 4);
+        assert!(out.contains('*'));
+        assert!(out.contains('o'));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let ys = vec![5.0; 20];
+        let out = ascii_chart(&[("flat", &ys)], 20, 4);
+        assert!(out.contains('*'));
+    }
+
+    #[test]
+    #[should_panic(expected = "chart too small")]
+    fn tiny_chart_panics() {
+        ascii_chart(&[("x", &[1.0])], 2, 1);
+    }
+}

@@ -1,0 +1,317 @@
+//! Beyond-the-paper studies built from the extension substrates.
+//!
+//! Each function here answers a question the paper raises but does not
+//! evaluate: the off-peak tariff/free-cooling advantage of Figure 1, the
+//! relocation alternative of §5.2, partial (rack-by-rack) deployment,
+//! flash-crowd response, and the wax's multi-year degradation outlook.
+
+use serde::{Deserialize, Serialize};
+use tts_cooling::freecooling::{cooling_electricity_cost, AmbientCycle, Economizer};
+use tts_cooling::{CoolingSystem, Tariff};
+use tts_dcsim::cluster::ClusterConfig;
+use tts_dcsim::heterogeneous::{deployment_sweep, DeploymentPoint};
+use tts_dcsim::relocation::{wax_vs_relocation, yearly_saving};
+use tts_dcsim::throttle::ConstrainedConfig;
+use tts_pcm::degradation::DegradationModel;
+use tts_server::ServerClass;
+use tts_units::{Dollars, Fraction, Seconds, Watts};
+use tts_workload::{FlashCrowd, GoogleTrace};
+
+use crate::scenario::Scenario;
+
+/// The Figure 1 "additional advantages", quantified: yearly cooling
+/// electricity bill for one cluster with and without PCM, under the
+/// paper's tariff and a temperate-climate economizer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoolingOpexStudy {
+    /// Bill without wax, $/yr.
+    pub without_pcm_per_year: Dollars,
+    /// Bill with wax, $/yr.
+    pub with_pcm_per_year: Dollars,
+    /// Relative saving.
+    pub saving: Fraction,
+}
+
+/// Computes the cooling-electricity comparison for one server class.
+pub fn cooling_opex_study(class: ServerClass) -> CoolingOpexStudy {
+    let study = Scenario::new(class).cooling_load_study();
+    let plant = CoolingSystem::sized_for(Watts::new(
+        study.run.peak_no_wax.value() * 1000.0,
+    ));
+    let economizer = Economizer::around(plant);
+    let tariff = Tariff::paper_default();
+    let ambient = AmbientCycle::temperate();
+    let dt = Seconds::new(
+        (study.run.times_h[1] - study.run.times_h[0]) * 3600.0,
+    );
+    let to_watts = |kw: &[f64]| -> Vec<f64> { kw.iter().map(|v| v * 1000.0).collect() };
+    let cost_nw = cooling_electricity_cost(
+        &to_watts(&study.run.load_no_wax_kw),
+        dt,
+        &economizer,
+        &tariff,
+        &ambient,
+    );
+    let cost_w = cooling_electricity_cost(
+        &to_watts(&study.run.load_with_wax_kw),
+        dt,
+        &economizer,
+        &tariff,
+        &ambient,
+    );
+    let days = study.run.times_h.last().expect("non-empty run") / 24.0;
+    let scale = 365.25 / days;
+    CoolingOpexStudy {
+        without_pcm_per_year: cost_nw * scale,
+        with_pcm_per_year: cost_w * scale,
+        saving: Fraction::new(1.0 - cost_w.value() / cost_nw.value()),
+    }
+}
+
+/// The relocation comparison: yearly WAN/SLA spend avoided by wax in the
+/// §5.2 oversubscribed setting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RelocationStudy {
+    /// Relocation bill without wax, $/yr per cluster.
+    pub without_pcm_per_year: Dollars,
+    /// Relocation bill with wax, $/yr per cluster.
+    pub with_pcm_per_year: Dollars,
+}
+
+/// Runs the relocation comparison for one class at the default WAN rate.
+pub fn relocation_study(class: ServerClass) -> RelocationStudy {
+    let scenario = Scenario::new(class);
+    let chars = scenario.characteristics();
+    // Use the constrained-study wax selection for a fair comparison.
+    let constrained = scenario.constrained_study();
+    let config = ConstrainedConfig {
+        spec: scenario.spec(),
+        servers: scenario.server_count(),
+        chars: chars.with_melting_point(constrained.material.melting_point()),
+        limit: tts_units::KiloWatts::new(constrained.limit_kw),
+    };
+    let trace = GoogleTrace::default_two_day();
+    let rate = Dollars::new(
+        tts_dcsim::relocation::DEFAULT_RELOCATION_COST_PER_SERVER_HOUR,
+    );
+    let (without, with) = wax_vs_relocation(&config, trace.total(), rate);
+    RelocationStudy {
+        without_pcm_per_year: yearly_saving(without, trace.total()),
+        with_pcm_per_year: yearly_saving(with, trace.total()),
+    }
+}
+
+/// Rack-by-rack deployment curve for one class.
+pub fn partial_deployment_study(class: ServerClass, steps: usize) -> Vec<DeploymentPoint> {
+    let study = Scenario::new(class).cooling_load_study();
+    let config = ClusterConfig {
+        spec: class.spec(),
+        servers: 1008,
+        chars: study.chars.clone(),
+    };
+    let trace = GoogleTrace::default_two_day();
+    deployment_sweep(&config, trace.total(), steps)
+}
+
+/// Flash-crowd response: peak cooling load when a surge lands on the
+/// daily peak, with and without wax.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlashCrowdStudy {
+    /// Peak reduction on the calm trace.
+    pub calm_reduction: Fraction,
+    /// Peak reduction with the surge applied.
+    pub surge_reduction: Fraction,
+}
+
+/// Applies a one-hour, +20 % surge at the first day's peak and re-runs the
+/// cooling-load study.
+pub fn flash_crowd_study(class: ServerClass) -> FlashCrowdStudy {
+    let calm = Scenario::new(class).cooling_load_study();
+    let trace = GoogleTrace::default_two_day();
+    let peak_time = trace.total().peak_time();
+    let surge = FlashCrowd {
+        start: Seconds::new(peak_time.value() - 1800.0),
+        duration: Seconds::new(3600.0),
+        magnitude: 0.20,
+    };
+    let spiked = surge.apply(trace.total());
+    let surged = Scenario::new(class).trace(spiked).cooling_load_study();
+    FlashCrowdStudy {
+        calm_reduction: calm.run.peak_reduction,
+        surge_reduction: surged.run.peak_reduction,
+    }
+}
+
+/// Effect of melt/freeze hysteresis (supercooling) on the peak reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SupercoolingStudy {
+    /// Peak reduction with the ideal (no-hysteresis) wax.
+    pub ideal_reduction: Fraction,
+    /// Peak reduction with the supercooled wax.
+    pub supercooled_reduction: Fraction,
+    /// The supercooling applied, K.
+    pub supercooling_k: f64,
+}
+
+/// Re-runs the Figure 11 study with a hysteretic wax (melt at the selected
+/// point, freeze `supercooling_k` lower) and compares peak reductions.
+///
+/// Supercooling delays the overnight refreeze, so less capacity is ready
+/// for day two — the reduction erodes but should survive for realistic
+/// (2–4 K) offsets.
+pub fn supercooling_study(class: ServerClass, supercooling_k: f64) -> SupercoolingStudy {
+    use tts_pcm::HystereticPcmState;
+
+    let study = Scenario::new(class).cooling_load_study();
+    let chars = &study.chars;
+    let trace = GoogleTrace::default_two_day();
+    let dt = trace.total().dt();
+    let n = 1008.0;
+
+    let mut wax = HystereticPcmState::new(
+        &chars.material,
+        chars.mass,
+        chars.idle_air_temp,
+        supercooling_k,
+    );
+    let mut peak_nw = f64::MIN;
+    let mut peak_w = f64::MIN;
+    for &u in trace.total().values() {
+        let wall = class
+            .spec()
+            .wall_power(Fraction::new(u), Fraction::ONE);
+        let t_air = chars.air_temp_model.at(wall);
+        let q = wax.step(t_air, chars.effective_coupling(), dt);
+        peak_nw = peak_nw.max(wall.value() * n);
+        peak_w = peak_w.max((wall - q).value() * n);
+    }
+    SupercoolingStudy {
+        ideal_reduction: study.run.peak_reduction,
+        supercooled_reduction: Fraction::new(1.0 - peak_w / peak_nw),
+        supercooling_k,
+    }
+}
+
+/// The degradation outlook for the selected wax over a deployment horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LifetimeStudy {
+    /// Remaining latent capacity after the 4-year server generation.
+    pub capacity_after_server_life: Fraction,
+    /// Remaining capacity after the 10-year cooling-plant life.
+    pub capacity_after_plant_life: Fraction,
+    /// Daily cycles until the 80 % end-of-life criterion.
+    pub cycles_to_80pct: u32,
+}
+
+/// Evaluates the selected material's cycling endurance.
+pub fn lifetime_study(class: ServerClass) -> LifetimeStudy {
+    let study = Scenario::new(class).cooling_load_study();
+    let model = DegradationModel::for_material(&study.material);
+    LifetimeStudy {
+        capacity_after_server_life: model.capacity_after_years_daily(4.0),
+        capacity_after_plant_life: model.capacity_after_years_daily(10.0),
+        cycles_to_80pct: model.cycles_to_threshold(Fraction::new(0.8)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cooling_opex_study_shows_a_saving() {
+        let s = cooling_opex_study(ServerClass::LowPower1U);
+        assert!(
+            s.with_pcm_per_year.value() < s.without_pcm_per_year.value(),
+            "PCM must cut the cooling bill: {s:?}"
+        );
+        // The saving is modest (energy is conserved; only tariff/COP
+        // arbitrage remains) but real: 0.1–10 %.
+        assert!(
+            (0.001..0.10).contains(&s.saving.value()),
+            "saving {}",
+            s.saving
+        );
+    }
+
+    #[test]
+    fn relocation_study_shows_wax_value() {
+        let s = relocation_study(ServerClass::LowPower1U);
+        assert!(s.with_pcm_per_year.value() < s.without_pcm_per_year.value());
+        assert!(s.without_pcm_per_year.value() > 1000.0);
+    }
+
+    #[test]
+    fn partial_deployment_curve_is_monotone() {
+        let points = partial_deployment_study(ServerClass::LowPower1U, 4);
+        assert_eq!(points.len(), 4);
+        for w in points.windows(2) {
+            assert!(w[1].peak_reduction.value() >= w[0].peak_reduction.value() - 1e-9);
+        }
+    }
+
+    #[test]
+    fn flash_crowd_erodes_but_does_not_destroy_the_benefit() {
+        let s = flash_crowd_study(ServerClass::LowPower1U);
+        assert!(s.surge_reduction.value() > 0.0, "{s:?}");
+        // A surge re-optimized against still yields most of the calm
+        // benefit.
+        assert!(
+            s.surge_reduction.value() > 0.4 * s.calm_reduction.value(),
+            "{s:?}"
+        );
+    }
+
+    #[test]
+    fn supercooling_erodes_but_preserves_the_benefit() {
+        let s = supercooling_study(ServerClass::LowPower1U, 3.0);
+        assert!(
+            s.supercooled_reduction.value() > 0.0,
+            "supercooled wax must still shave: {s:?}"
+        );
+        assert!(
+            s.supercooled_reduction.value() <= s.ideal_reduction.value() + 0.01,
+            "hysteresis cannot improve the reduction: {s:?}"
+        );
+        // Realistic 3 K of supercooling keeps at least half the benefit.
+        assert!(
+            s.supercooled_reduction.value() > 0.5 * s.ideal_reduction.value(),
+            "{s:?}"
+        );
+    }
+
+    #[test]
+    fn weekly_trace_drives_the_full_pipeline() {
+        // One week with weekends: the scenario still finds a wax that
+        // shaves the (weekday) peak, and the weekend lets it refreeze.
+        let trace = tts_workload::weekly_trace(&tts_workload::WeeklyTraceConfig::default());
+        let study = Scenario::new(ServerClass::LowPower1U)
+            .trace(trace)
+            .cooling_load_study();
+        assert!(study.run.peak_reduction.value() > 0.02, "{}", study.run.peak_reduction);
+        assert!(study.run.refrozen_at_end);
+        // At some point during the weekend (Saturday 00:00 – Sunday 24:00)
+        // the wax rests essentially solid.
+        let sat_start_h = 5.0 * 24.0;
+        let weekend_min_melt = study
+            .run
+            .times_h
+            .iter()
+            .zip(&study.run.melt_fraction)
+            .filter(|(t, _)| **t >= sat_start_h)
+            .map(|(_, m)| *m)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            weekend_min_melt < 0.3,
+            "wax should rest on the weekend: min melt {weekend_min_melt}"
+        );
+    }
+
+    #[test]
+    fn lifetime_outlook_is_healthy_for_commercial_paraffin() {
+        let s = lifetime_study(ServerClass::LowPower1U);
+        assert!(s.capacity_after_server_life.value() > 0.9);
+        assert!(s.capacity_after_plant_life.value() > 0.75);
+        assert!(s.cycles_to_80pct > 1460, "{}", s.cycles_to_80pct);
+    }
+}

@@ -1,0 +1,252 @@
+//! The high-level scenario builder.
+
+use serde::{Deserialize, Serialize};
+use tts_dcsim::cluster::{
+    default_melting_candidates, run_cooling_load, select_melting_point, ClusterConfig,
+    CoolingLoadRun,
+};
+use tts_dcsim::throttle::{
+    run_constrained, select_melting_point_constrained, ConstrainedConfig, ConstrainedRun,
+};
+use tts_pcm::PcmMaterial;
+use tts_server::{ServerClass, ServerSpec, ServerWaxCharacteristics};
+use tts_units::{Celsius, Fraction};
+use tts_workload::{GoogleTrace, TimeSeries};
+
+/// How the wax melting point is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MeltingPointChoice {
+    /// Grid-search the paraffin catalogue for the best melting point
+    /// (the paper's approach).
+    Optimize,
+    /// Use a fixed melting point (e.g. the §3 retail wax at 39 °C).
+    Fixed(Celsius),
+}
+
+/// A cluster-scale what-if: server class × workload × wax × cooling.
+///
+/// ```
+/// use thermal_time_shifting::Scenario;
+/// use tts_server::ServerClass;
+///
+/// let study = Scenario::new(ServerClass::HighThroughput2U)
+///     .servers(1008)
+///     .cooling_load_study();
+/// assert_eq!(study.run.load_no_wax_kw.len(), study.run.times_h.len());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    class: ServerClass,
+    servers: usize,
+    trace: Option<TimeSeries>,
+    melting_point: MeltingPointChoice,
+    sustainable_util: Fraction,
+}
+
+/// Result of the fully-subscribed cooling-load study (§5.1 / Figure 11).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoolingLoadStudy {
+    /// The per-tick run.
+    pub run: CoolingLoadRun,
+    /// The selected wax.
+    pub material: PcmMaterial,
+    /// The extracted server characteristics behind the run.
+    pub chars: ServerWaxCharacteristics,
+}
+
+/// Result of the thermally constrained study (§5.2 / Figure 12).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConstrainedStudy {
+    /// The per-tick run (ideal / no-wax / with-wax).
+    pub run: ConstrainedRun,
+    /// The selected wax.
+    pub material: PcmMaterial,
+    /// The extracted server characteristics behind the run.
+    pub chars: ServerWaxCharacteristics,
+    /// The thermal limit used, kW per cluster.
+    pub limit_kw: f64,
+}
+
+impl Scenario {
+    /// A paper-default scenario: 1008 servers, the two-day Google-like
+    /// trace, optimized melting point, and the §5.2 oversubscription level
+    /// (cooling sized for the throttled cluster at 71 % utilization).
+    pub fn new(class: ServerClass) -> Self {
+        Self {
+            class,
+            servers: 1008,
+            trace: None,
+            melting_point: MeltingPointChoice::Optimize,
+            sustainable_util: Fraction::new(0.71),
+        }
+    }
+
+    /// Overrides the cluster size.
+    pub fn servers(mut self, servers: usize) -> Self {
+        assert!(servers > 0, "need at least one server");
+        self.servers = servers;
+        self
+    }
+
+    /// Supplies a custom utilization trace (defaults to
+    /// [`GoogleTrace::default_two_day`]).
+    pub fn trace(mut self, trace: TimeSeries) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// Fixes the wax melting point instead of optimizing.
+    pub fn melting_point(mut self, choice: MeltingPointChoice) -> Self {
+        self.melting_point = choice;
+        self
+    }
+
+    /// Sets the §5.2 oversubscription level: the throttled-cluster
+    /// utilization the undersized cooling plant can sustain.
+    pub fn sustainable_util(mut self, util: Fraction) -> Self {
+        self.sustainable_util = util;
+        self
+    }
+
+    /// The server spec for this scenario.
+    pub fn spec(&self) -> ServerSpec {
+        self.class.spec()
+    }
+
+    fn resolve_trace(&self) -> TimeSeries {
+        self.trace
+            .clone()
+            .unwrap_or_else(|| GoogleTrace::default_two_day().total().clone())
+    }
+
+    /// Extracts the wax characteristics for this scenario's server
+    /// (geometry only; the material's melting point is substituted later).
+    pub fn characteristics(&self) -> ServerWaxCharacteristics {
+        let probe_material = PcmMaterial::commercial_paraffin(Celsius::new(45.0));
+        ServerWaxCharacteristics::extract(&self.spec(), &probe_material)
+    }
+
+    /// Runs the §5.1 fully-subscribed cooling-load study (Figure 11).
+    pub fn cooling_load_study(&self) -> CoolingLoadStudy {
+        let chars = self.characteristics();
+        let trace = self.resolve_trace();
+        let config = ClusterConfig {
+            spec: self.spec(),
+            servers: self.servers,
+            chars: chars.clone(),
+        };
+        let (material, run) = match self.melting_point {
+            MeltingPointChoice::Optimize => {
+                select_melting_point(&config, &trace, default_melting_candidates())
+            }
+            MeltingPointChoice::Fixed(t) => {
+                let cfg = ClusterConfig {
+                    chars: chars.with_melting_point(t),
+                    spec: config.spec.clone(),
+                    servers: config.servers,
+                };
+                (
+                    PcmMaterial::commercial_paraffin(t),
+                    run_cooling_load(&cfg, &trace),
+                )
+            }
+        };
+        let chars = chars.with_melting_point(material.melting_point());
+        CoolingLoadStudy {
+            run,
+            material,
+            chars,
+        }
+    }
+
+    /// Runs the §5.2 thermally constrained study (Figure 12).
+    pub fn constrained_study(&self) -> ConstrainedStudy {
+        let chars = self.characteristics();
+        let trace = self.resolve_trace();
+        let config = ConstrainedConfig::oversubscribed(
+            self.spec(),
+            self.servers,
+            chars.clone(),
+            self.sustainable_util,
+        );
+        let limit_kw = config.limit.value();
+        let (material, run) = match self.melting_point {
+            MeltingPointChoice::Optimize => {
+                select_melting_point_constrained(&config, &trace, default_melting_candidates())
+            }
+            MeltingPointChoice::Fixed(t) => {
+                let cfg = ConstrainedConfig {
+                    chars: chars.with_melting_point(t),
+                    spec: config.spec.clone(),
+                    servers: config.servers,
+                    limit: config.limit,
+                };
+                (
+                    PcmMaterial::commercial_paraffin(t),
+                    run_constrained(&cfg, &trace),
+                )
+            }
+        };
+        let chars = chars.with_melting_point(material.melting_point());
+        ConstrainedStudy {
+            run,
+            material,
+            chars,
+            limit_kw,
+        }
+    }
+
+    /// The server class.
+    pub fn class(&self) -> ServerClass {
+        self.class
+    }
+
+    /// The cluster size.
+    pub fn server_count(&self) -> usize {
+        self.servers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cooling_load_study_produces_a_reduction() {
+        let study = Scenario::new(ServerClass::LowPower1U).cooling_load_study();
+        assert!(study.run.peak_reduction.value() > 0.02);
+        assert_eq!(
+            study.chars.material.melting_point(),
+            study.material.melting_point()
+        );
+    }
+
+    #[test]
+    fn fixed_melting_point_is_respected() {
+        let study = Scenario::new(ServerClass::LowPower1U)
+            .melting_point(MeltingPointChoice::Fixed(Celsius::new(39.0)))
+            .cooling_load_study();
+        assert_eq!(study.material.melting_point(), Celsius::new(39.0));
+        assert_eq!(study.run.melting_point, Celsius::new(39.0));
+    }
+
+    #[test]
+    fn constrained_study_produces_a_gain() {
+        let study = Scenario::new(ServerClass::LowPower1U).constrained_study();
+        assert!(study.run.peak_gain.value() > 0.05);
+        assert!(study.limit_kw > 0.0);
+    }
+
+    #[test]
+    fn smaller_cluster_scales_loads_down() {
+        let big = Scenario::new(ServerClass::LowPower1U)
+            .melting_point(MeltingPointChoice::Fixed(Celsius::new(45.0)))
+            .cooling_load_study();
+        let small = Scenario::new(ServerClass::LowPower1U)
+            .servers(504)
+            .melting_point(MeltingPointChoice::Fixed(Celsius::new(45.0)))
+            .cooling_load_study();
+        let ratio = big.run.peak_no_wax.value() / small.run.peak_no_wax.value();
+        assert!((ratio - 2.0).abs() < 0.01, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,243 @@
+//! The `quantity!` macro generating unit newtypes.
+
+/// Defines an `f64`-backed quantity newtype with the standard trait surface.
+///
+/// Generated per type:
+/// * `new`, `value`, `abs`, `max`, `min`, `clamp`, `is_finite`
+/// * `Add`, `Sub`, `Neg`, `AddAssign`, `SubAssign` with itself
+/// * `Mul<f64>`, `Div<f64>` (scaling), `Div<Self> -> f64` (ratio)
+/// * `Sum` over iterators
+/// * `Display` with the unit suffix
+/// * `serde` transparent (de)serialization
+macro_rules! quantity {
+    ($(#[$doc:meta])* $name:ident, $unit:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, PartialOrd, Default,
+            serde::Serialize, serde::Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Wraps a raw `f64` value expressed in this type's unit.
+            #[inline]
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Returns the raw value in this type's unit.
+            #[inline]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Elementwise maximum.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Elementwise minimum.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Clamps the value into `[lo, hi]`.
+            ///
+            /// # Panics
+            /// Panics if `lo > hi` (same contract as [`f64::clamp`]).
+            #[inline]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// `true` when the underlying value is neither NaN nor infinite.
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl core::ops::Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl core::ops::Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl core::ops::Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl core::ops::AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl core::ops::SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl core::ops::Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl core::ops::Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl core::ops::Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl core::ops::Div<$name> for $name {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl core::iter::Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl<'a> core::iter::Sum<&'a $name> for $name {
+            fn sum<I: Iterator<Item = &'a Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl core::fmt::Display for $name {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                if let Some(prec) = f.precision() {
+                    write!(f, "{:.*} {}", prec, self.0, $unit)
+                } else {
+                    write!(f, "{} {}", self.0, $unit)
+                }
+            }
+        }
+    };
+}
+
+/// Defines `Mul`/`Div` relations between quantities: `$a * $b = $c` plus the
+/// commuted product and the two inverse divisions.
+macro_rules! relate {
+    ($a:ty, $b:ty, $c:ty) => {
+        impl core::ops::Mul<$b> for $a {
+            type Output = $c;
+            #[inline]
+            fn mul(self, rhs: $b) -> $c {
+                <$c>::new(self.value() * rhs.value())
+            }
+        }
+
+        impl core::ops::Mul<$a> for $b {
+            type Output = $c;
+            #[inline]
+            fn mul(self, rhs: $a) -> $c {
+                <$c>::new(self.value() * rhs.value())
+            }
+        }
+
+        impl core::ops::Div<$a> for $c {
+            type Output = $b;
+            #[inline]
+            fn div(self, rhs: $a) -> $b {
+                <$b>::new(self.value() / rhs.value())
+            }
+        }
+
+        impl core::ops::Div<$b> for $c {
+            type Output = $a;
+            #[inline]
+            fn div(self, rhs: $b) -> $a {
+                <$a>::new(self.value() / rhs.value())
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    quantity!(
+        /// Test-only quantity.
+        Widgets,
+        "wd"
+    );
+
+    #[test]
+    fn display_includes_unit_and_respects_precision() {
+        let w = Widgets::new(1.23456);
+        assert_eq!(format!("{w:.2}"), "1.23 wd");
+        assert_eq!(format!("{w}"), "1.23456 wd");
+    }
+
+    #[test]
+    fn arithmetic_surface_behaves() {
+        let a = Widgets::new(2.0);
+        let b = Widgets::new(3.0);
+        assert_eq!((a + b).value(), 5.0);
+        assert_eq!((b - a).value(), 1.0);
+        assert_eq!((-a).value(), -2.0);
+        assert_eq!((a * 4.0).value(), 8.0);
+        assert_eq!((4.0 * a).value(), 8.0);
+        assert_eq!((b / 2.0).value(), 1.5);
+        assert_eq!(b / a, 1.5);
+        let total: Widgets = [a, b].iter().sum();
+        assert_eq!(total.value(), 5.0);
+    }
+
+    #[test]
+    fn clamp_and_minmax() {
+        let a = Widgets::new(5.0);
+        assert_eq!(a.clamp(Widgets::new(0.0), Widgets::new(3.0)).value(), 3.0);
+        assert_eq!(a.max(Widgets::new(7.0)).value(), 7.0);
+        assert_eq!(a.min(Widgets::new(2.0)).value(), 2.0);
+        assert!(a.is_finite());
+        assert!(!Widgets::new(f64::NAN).is_finite());
+    }
+}

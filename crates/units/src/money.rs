@@ -1,0 +1,67 @@
+//! Cost quantities for the TCO model.
+
+use crate::energy::KilowattHours;
+use crate::geometry::Kilograms;
+
+quantity!(
+    /// US dollars.
+    Dollars,
+    "$"
+);
+
+quantity!(
+    /// Electricity tariff, in dollars per kilowatt-hour.
+    DollarsPerKwh,
+    "$/kWh"
+);
+
+quantity!(
+    /// Bulk-material pricing, in dollars per metric ton (paraffin quotes in
+    /// the paper are $/ton).
+    DollarsPerTon,
+    "$/ton"
+);
+
+// Tariff × energy = cost.
+relate!(DollarsPerKwh, KilowattHours, Dollars);
+
+impl DollarsPerTon {
+    /// Cost of the given mass at this bulk price.
+    ///
+    /// ```
+    /// use tts_units::{DollarsPerTon, Kilograms};
+    /// // 1 kg of eicosane at $75,000/ton costs $75.
+    /// let c = DollarsPerTon::new(75_000.0).cost_of(Kilograms::new(1.0));
+    /// assert_eq!(c.value(), 75.0);
+    /// ```
+    #[inline]
+    pub fn cost_of(self, mass: Kilograms) -> Dollars {
+        Dollars::new(self.value() * mass.tons())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tariff_times_energy() {
+        // Peak tariff from the paper: $0.13/kWh.
+        let c = DollarsPerKwh::new(0.13) * KilowattHours::new(1000.0);
+        assert!((c.value() - 130.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bulk_wax_cost() {
+        // Commercial paraffin at $1,500/ton; 0.96 kg per 1U server.
+        let c = DollarsPerTon::new(1500.0).cost_of(Kilograms::new(0.96));
+        assert!((c.value() - 1.44).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eicosane_vs_commercial_ratio_is_50x() {
+        let eicosane = DollarsPerTon::new(75_000.0);
+        let commercial = DollarsPerTon::new(1_500.0);
+        assert!((eicosane / commercial - 50.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,155 @@
+//! Diurnal load-shape primitives.
+//!
+//! Interactive datacenter traffic follows the day: a base level plus one or
+//! more smooth daily bumps. We model a component as a raised-cosine bump
+//! centered on a peak hour, repeated every 24 h, which produces the same
+//! qualitative shapes as the Google transparency-report traffic the paper
+//! uses (Figure 10).
+
+use serde::{Deserialize, Serialize};
+
+/// Seconds in a day.
+pub const DAY_S: f64 = 86_400.0;
+
+/// One diurnal traffic component: `base + amplitude · bump(t)`, where the
+/// bump is a raised cosine of the given width centered on `peak_hour`,
+/// repeating daily.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalShape {
+    /// Constant floor (fraction of this component's peak traffic).
+    pub base: f64,
+    /// Bump height above the floor.
+    pub amplitude: f64,
+    /// Local hour of the daily maximum (0–24).
+    pub peak_hour: f64,
+    /// Full width of the bump, hours.
+    pub width_hours: f64,
+}
+
+impl DiurnalShape {
+    /// Evaluates the shape at time `t` seconds (wraps daily).
+    ///
+    /// Inside the window `peak_hour ± width/2` the value follows
+    /// `base + amplitude·(1 + cos)/2`; outside it stays at `base`.
+    pub fn at(&self, t_seconds: f64) -> f64 {
+        let hour = (t_seconds.rem_euclid(DAY_S)) / 3600.0;
+        // Signed circular distance from the peak hour, in hours.
+        let mut d = hour - self.peak_hour;
+        if d > 12.0 {
+            d -= 24.0;
+        }
+        if d < -12.0 {
+            d += 24.0;
+        }
+        let half = self.width_hours / 2.0;
+        if d.abs() >= half {
+            self.base
+        } else {
+            let phase = std::f64::consts::PI * d / half;
+            self.base + self.amplitude * 0.5 * (1.0 + phase.cos())
+        }
+    }
+
+    /// A midday-peaked web-search-like shape.
+    pub fn search() -> Self {
+        Self {
+            base: 0.35,
+            amplitude: 0.65,
+            peak_hour: 13.0,
+            width_hours: 16.0,
+        }
+    }
+
+    /// An evening-peaked social-networking shape (Orkut).
+    pub fn social() -> Self {
+        Self {
+            base: 0.30,
+            amplitude: 0.70,
+            peak_hour: 20.0,
+            width_hours: 12.0,
+        }
+    }
+
+    /// A flatter MapReduce batch shape with an overnight bump (batch work
+    /// scheduled off-peak).
+    pub fn mapreduce() -> Self {
+        Self {
+            base: 0.55,
+            amplitude: 0.45,
+            peak_hour: 2.0,
+            width_hours: 10.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn peak_occurs_at_peak_hour() {
+        let s = DiurnalShape::search();
+        let at_peak = s.at(13.0 * 3600.0);
+        assert!((at_peak - (s.base + s.amplitude)).abs() < 1e-9);
+        for h in 0..24 {
+            assert!(s.at(h as f64 * 3600.0) <= at_peak + 1e-12);
+        }
+    }
+
+    #[test]
+    fn floor_outside_the_window() {
+        let s = DiurnalShape::search(); // peak 13 h, width 16 h → floor before 5 h
+        assert_eq!(s.at(2.0 * 3600.0), s.base);
+        assert_eq!(s.at(23.0 * 3600.0), s.base);
+    }
+
+    #[test]
+    fn shape_repeats_daily() {
+        let s = DiurnalShape::social();
+        for h in [0.0, 6.5, 12.0, 20.0] {
+            let a = s.at(h * 3600.0);
+            let b = s.at(h * 3600.0 + DAY_S);
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn wraparound_is_continuous_for_overnight_peaks() {
+        // MapReduce peaks at 02:00; the bump spans midnight.
+        let s = DiurnalShape::mapreduce();
+        let before_midnight = s.at(23.9 * 3600.0);
+        let after_midnight = s.at(0.1 * 3600.0);
+        assert!(before_midnight > s.base, "bump must extend before midnight");
+        assert!((before_midnight - after_midnight).abs() < 0.1);
+    }
+
+    #[test]
+    fn three_components_peak_at_distinct_times() {
+        let shapes = [
+            DiurnalShape::search(),
+            DiurnalShape::social(),
+            DiurnalShape::mapreduce(),
+        ];
+        let peak_hours: Vec<f64> = shapes.iter().map(|s| s.peak_hour).collect();
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                assert!(
+                    (peak_hours[i] - peak_hours[j]).abs() > 3.0,
+                    "components must be phase-separated"
+                );
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn value_stays_in_declared_range(t in 0.0f64..(3.0 * DAY_S)) {
+            for s in [DiurnalShape::search(), DiurnalShape::social(), DiurnalShape::mapreduce()] {
+                let v = s.at(t);
+                prop_assert!(v >= s.base - 1e-12);
+                prop_assert!(v <= s.base + s.amplitude + 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Trace normalization to the paper's 50 % average / 95 % peak targets.
+
+use crate::series::TimeSeries;
+
+/// Affinely rescales a series so that its mean and peak hit the targets
+/// exactly: `y = a·x + b` with `mean(y) = target_mean`,
+/// `max(y) = target_peak`.
+///
+/// Returns `None` when the input is constant (no affine map can separate
+/// its mean from its peak) or the targets are inverted.
+pub fn normalize_mean_peak(series: &TimeSeries, target_mean: f64, target_peak: f64) -> Option<TimeSeries> {
+    if target_peak < target_mean {
+        return None;
+    }
+    let mean = series.mean();
+    let peak = series.peak();
+    if (peak - mean).abs() < 1e-12 {
+        return None;
+    }
+    let a = (target_peak - target_mean) / (peak - mean);
+    let b = target_mean - a * mean;
+    Some(series.map(|v| a * v + b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use tts_units::Seconds;
+
+    #[test]
+    fn hits_paper_targets_exactly() {
+        let s = TimeSeries::new(Seconds::new(60.0), vec![1.0, 3.0, 2.0, 6.0, 4.0]);
+        let n = normalize_mean_peak(&s, 0.50, 0.95).expect("normalizable");
+        assert!((n.mean() - 0.50).abs() < 1e-12);
+        assert!((n.peak() - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn preserves_shape_ordering() {
+        let s = TimeSeries::new(Seconds::new(60.0), vec![1.0, 3.0, 2.0]);
+        let n = normalize_mean_peak(&s, 0.5, 0.95).unwrap();
+        let v = n.values();
+        assert!(v[1] > v[2] && v[2] > v[0]);
+    }
+
+    #[test]
+    fn constant_series_is_rejected() {
+        let s = TimeSeries::new(Seconds::new(60.0), vec![2.0; 10]);
+        assert!(normalize_mean_peak(&s, 0.5, 0.95).is_none());
+    }
+
+    #[test]
+    fn inverted_targets_are_rejected() {
+        let s = TimeSeries::new(Seconds::new(60.0), vec![1.0, 2.0]);
+        assert!(normalize_mean_peak(&s, 0.9, 0.5).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn normalization_is_idempotent(
+            values in proptest::collection::vec(0.0f64..10.0, 3..60),
+        ) {
+            let s = TimeSeries::new(Seconds::new(1.0), values);
+            if let Some(n1) = normalize_mean_peak(&s, 0.5, 0.95) {
+                let n2 = normalize_mean_peak(&n1, 0.5, 0.95).unwrap();
+                for (a, b) in n1.values().iter().zip(n2.values()) {
+                    prop_assert!((a - b).abs() < 1e-9);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! The §2.1 material study: Table 1, the datacenter suitability screen,
+//! and the eicosane-vs-commercial-paraffin economics.
+//!
+//! ```text
+//! cargo run --release --example pcm_selection
+//! ```
+
+use tts_pcm::cost::WaxCapEx;
+use tts_pcm::{ContainerBank, PcmMaterial};
+use tts_units::{Celsius, Liters, Meters};
+
+fn main() {
+    println!("Table 1: properties of common solid-liquid PCMs\n");
+    println!(
+        "{:<28} {:>10} {:>10} {:>8} {:>11} {:>8} {:>10} {:>9}",
+        "PCM", "Tm (°C)", "ΔH (J/g)", "ρ(g/mL)", "Stability", "E.Cond", "Corrosive", "Suitable"
+    );
+    for m in PcmMaterial::table1() {
+        println!(
+            "{:<28} {:>10.1} {:>10.0} {:>8.2} {:>11} {:>8} {:>10} {:>9}",
+            m.class().to_string(),
+            m.melting_point().value(),
+            m.heat_of_fusion().value(),
+            m.density().value(),
+            m.stability().to_string(),
+            yesno(m.electrically_conductive()),
+            yesno(m.corrosive()),
+            yesno(m.is_datacenter_suitable()),
+        );
+        for issue in m.datacenter_suitability() {
+            println!("{:<28}   rejected: {issue}", "");
+        }
+    }
+
+    // The cost argument: a 1U server's 1.2 L of wax, priced both ways.
+    println!("\nWax economics for one 1U server (1.2 L in 2 boxes):");
+    let bank = ContainerBank::subdivide(
+        Liters::new(1.2),
+        2,
+        Meters::new(0.38),
+        Meters::new(0.18),
+    );
+    let eicosane = PcmMaterial::eicosane();
+    let commercial = PcmMaterial::commercial_paraffin(Celsius::new(45.0));
+    for m in [&eicosane, &commercial] {
+        let capex = WaxCapEx::price(&bank, m);
+        println!(
+            "  {:<28} ${:>8.2} wax + ${:.2} containers  (${:.0}/ton)",
+            m.name(),
+            capex.wax.value(),
+            capex.containers.value(),
+            m.bulk_price().value()
+        );
+    }
+    let dc_servers = 55 * 1008;
+    let eicosane_dc = WaxCapEx::price(&bank, &eicosane).wax * dc_servers as f64;
+    let commercial_dc = WaxCapEx::price(&bank, &commercial).wax * dc_servers as f64;
+    println!(
+        "\nAcross a 10 MW datacenter ({dc_servers} servers): eicosane ${:.1}M vs commercial ${:.0}k",
+        eicosane_dc.value() / 1e6,
+        commercial_dc.value() / 1e3
+    );
+    println!(
+        "-> the paper's conclusion: commercial paraffin is ~50x cheaper for ~20 % less storage."
+    );
+
+    // The §6 subdivision argument: more boxes, faster melting.
+    println!("\nContainer subdivision (4 L of wax, 0.40 m x 0.20 m footprint):");
+    for n in [1usize, 2, 4, 8] {
+        let bank = ContainerBank::subdivide(
+            Liters::new(4.0),
+            n,
+            Meters::new(0.40),
+            Meters::new(0.20),
+        );
+        let film = tts_units::WattsPerSquareMeterKelvin::new(30.0);
+        println!(
+            "  {n} box(es): {:>6.3} m² exposed, {:>5.2} W/K air-to-wax conductance",
+            bank.total_exposed_area().value(),
+            bank.total_conductance(film).value()
+        );
+    }
+    println!("-> subdividing replaces the expensive metal-mesh conductivity enhancement.");
+}
+
+fn yesno(b: bool) -> &'static str {
+    if b {
+        "Yes"
+    } else {
+        "No"
+    }
+}

@@ -1,0 +1,50 @@
+//! Quickstart: thermal time shifting on one cluster in ~20 lines.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use thermal_time_shifting::chart::ascii_chart;
+use thermal_time_shifting::Scenario;
+use tts_server::ServerClass;
+
+fn main() {
+    // A 1008-server cluster of 1U machines, the two-day Google-like trace,
+    // wax melting point chosen automatically.
+    let scenario = Scenario::new(ServerClass::LowPower1U);
+    let study = scenario.cooling_load_study();
+
+    println!("server   : {}", scenario.spec().name);
+    println!("wax      : {}", study.material.name());
+    println!(
+        "coupling : {:.1} W/K effective, {:.0} kJ latent per server",
+        study.chars.effective_coupling().value(),
+        study.chars.latent_capacity.value() / 1e3
+    );
+    println!(
+        "peak     : {:.0} kW -> {:.0} kW  ({:.1} % shaved)",
+        study.run.peak_no_wax.value(),
+        study.run.peak_with_wax.value(),
+        study.run.peak_reduction.percent()
+    );
+    println!(
+        "refreeze : {:.1} h of elevated off-peak load per day, {} by trace end",
+        study.run.elevated_hours / 2.0,
+        if study.run.refrozen_at_end {
+            "fully resolidified"
+        } else {
+            "NOT resolidified"
+        }
+    );
+
+    println!("\ncluster cooling load over two days (kW):\n");
+    let chart = ascii_chart(
+        &[
+            ("without PCM", &study.run.load_no_wax_kw),
+            ("with PCM", &study.run.load_with_wax_kw),
+        ],
+        72,
+        14,
+    );
+    println!("{chart}");
+}

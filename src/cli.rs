@@ -1,0 +1,273 @@
+//! Dependency-free argument parsing for the `tts` binary.
+
+use tts_server::ServerClass;
+
+/// A parsed `tts` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `tts cooling-load` — the Figure 11 study.
+    CoolingLoad {
+        /// Server class.
+        class: ServerClass,
+        /// Fixed melting point (°C); `None` = optimize.
+        melting_c: Option<f64>,
+        /// Cluster size.
+        servers: usize,
+        /// Use the one-week trace instead of the two-day trace.
+        week: bool,
+    },
+    /// `tts constrained` — the Figure 12 study.
+    Constrained {
+        /// Server class.
+        class: ServerClass,
+        /// Cooling sized for this throttled utilization.
+        sustainable: f64,
+    },
+    /// `tts validate` — the Figure 4 experiment.
+    Validate,
+    /// `tts blockage` — the Figure 7 sweep.
+    Blockage {
+        /// Server class.
+        class: ServerClass,
+    },
+    /// `tts materials` — Table 1 and the suitability screen.
+    Materials,
+    /// `tts help` or `--help`.
+    Help,
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError(pub String);
+
+impl core::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn parse_class(s: &str) -> Result<ServerClass, ParseError> {
+    match s.to_ascii_lowercase().as_str() {
+        "1u" | "low-power" | "rd330" => Ok(ServerClass::LowPower1U),
+        "2u" | "high-throughput" | "x4470" => Ok(ServerClass::HighThroughput2U),
+        "ocp" | "open-compute" | "blade" => Ok(ServerClass::OpenComputeBlade),
+        other => Err(ParseError(format!(
+            "unknown server class '{other}' (expected 1u, 2u or ocp)"
+        ))),
+    }
+}
+
+fn take_value<'a>(
+    flag: &str,
+    it: &mut impl Iterator<Item = &'a str>,
+) -> Result<&'a str, ParseError> {
+    it.next()
+        .ok_or_else(|| ParseError(format!("flag {flag} needs a value")))
+}
+
+/// Parses an argument list (without the program name).
+pub fn parse_args<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, ParseError> {
+    let mut it = args.into_iter();
+    let sub = match it.next() {
+        None => return Ok(Command::Help),
+        Some(s) => s,
+    };
+    if sub == "help" || sub == "--help" || sub == "-h" {
+        return Ok(Command::Help);
+    }
+
+    let mut class = ServerClass::LowPower1U;
+    let mut melting_c: Option<f64> = None;
+    let mut servers: usize = 1008;
+    let mut sustainable: f64 = 0.71;
+    let mut week = false;
+
+    while let Some(flag) = it.next() {
+        match flag {
+            "--class" => class = parse_class(take_value(flag, &mut it)?)?,
+            "--melting" => {
+                let v = take_value(flag, &mut it)?;
+                let c: f64 = v
+                    .parse()
+                    .map_err(|_| ParseError(format!("--melting: '{v}' is not a number")))?;
+                if !(20.0..=80.0).contains(&c) {
+                    return Err(ParseError(format!(
+                        "--melting {c} °C outside the plausible 20–80 °C range"
+                    )));
+                }
+                melting_c = Some(c);
+            }
+            "--servers" => {
+                let v = take_value(flag, &mut it)?;
+                servers = v
+                    .parse()
+                    .map_err(|_| ParseError(format!("--servers: '{v}' is not a count")))?;
+                if servers == 0 {
+                    return Err(ParseError("--servers must be positive".into()));
+                }
+            }
+            "--sustainable" => {
+                let v = take_value(flag, &mut it)?;
+                sustainable = v
+                    .parse()
+                    .map_err(|_| ParseError(format!("--sustainable: '{v}' is not a number")))?;
+                if !(0.05..=1.0).contains(&sustainable) {
+                    return Err(ParseError(
+                        "--sustainable must be in (0.05, 1.0]".into(),
+                    ));
+                }
+            }
+            "--week" => week = true,
+            other => {
+                return Err(ParseError(format!("unknown flag '{other}'")));
+            }
+        }
+    }
+
+    match sub {
+        "cooling-load" => Ok(Command::CoolingLoad {
+            class,
+            melting_c,
+            servers,
+            week,
+        }),
+        "constrained" => Ok(Command::Constrained { class, sustainable }),
+        "validate" => Ok(Command::Validate),
+        "blockage" => Ok(Command::Blockage { class }),
+        "materials" => Ok(Command::Materials),
+        other => Err(ParseError(format!(
+            "unknown command '{other}' (try 'tts help')"
+        ))),
+    }
+}
+
+/// The help text.
+pub const HELP: &str = "\
+tts — thermal time shifting studies (ISCA 2015 reproduction)
+
+USAGE:
+    tts <command> [flags]
+
+COMMANDS:
+    cooling-load   Figure 11: peak cooling-load reduction for one cluster
+    constrained    Figure 12: throughput under an undersized cooling plant
+    validate       Figure 4: model-vs-reference validation run
+    blockage       Figure 7: airflow blockage sweep
+    materials      Table 1: PCM candidates and the datacenter screen
+    help           This text
+
+FLAGS:
+    --class <1u|2u|ocp>     server platform            [default: 1u]
+    --melting <°C>          fix the wax melting point  [default: optimize]
+    --servers <n>           cluster size               [default: 1008]
+    --sustainable <0..1>    constrained-cooling level  [default: 0.71]
+    --week                  use the 7-day weekday/weekend trace
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Command, ParseError> {
+        parse_args(s.split_whitespace())
+    }
+
+    #[test]
+    fn defaults() {
+        assert_eq!(
+            parse("cooling-load").unwrap(),
+            Command::CoolingLoad {
+                class: ServerClass::LowPower1U,
+                melting_c: None,
+                servers: 1008,
+                week: false,
+            }
+        );
+    }
+
+    #[test]
+    fn full_cooling_load_invocation() {
+        assert_eq!(
+            parse("cooling-load --class 2u --melting 45.5 --servers 504 --week").unwrap(),
+            Command::CoolingLoad {
+                class: ServerClass::HighThroughput2U,
+                melting_c: Some(45.5),
+                servers: 504,
+                week: true,
+            }
+        );
+    }
+
+    #[test]
+    fn class_aliases() {
+        for (alias, class) in [
+            ("1u", ServerClass::LowPower1U),
+            ("rd330", ServerClass::LowPower1U),
+            ("2U", ServerClass::HighThroughput2U),
+            ("x4470", ServerClass::HighThroughput2U),
+            ("ocp", ServerClass::OpenComputeBlade),
+            ("blade", ServerClass::OpenComputeBlade),
+        ] {
+            match parse(&format!("blockage --class {alias}")).unwrap() {
+                Command::Blockage { class: c } => assert_eq!(c, class, "{alias}"),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn constrained_flags() {
+        assert_eq!(
+            parse("constrained --class ocp --sustainable 0.6").unwrap(),
+            Command::Constrained {
+                class: ServerClass::OpenComputeBlade,
+                sustainable: 0.6,
+            }
+        );
+    }
+
+    #[test]
+    fn help_variants() {
+        for s in ["", "help", "--help", "-h"] {
+            assert_eq!(parse(s).unwrap(), Command::Help, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(parse("frobnicate").unwrap_err().0.contains("unknown command"));
+        assert!(parse("cooling-load --class 3u")
+            .unwrap_err()
+            .0
+            .contains("unknown server class"));
+        assert!(parse("cooling-load --melting")
+            .unwrap_err()
+            .0
+            .contains("needs a value"));
+        assert!(parse("cooling-load --melting hot")
+            .unwrap_err()
+            .0
+            .contains("not a number"));
+        assert!(parse("cooling-load --melting 5")
+            .unwrap_err()
+            .0
+            .contains("20–80"));
+        assert!(parse("cooling-load --servers 0")
+            .unwrap_err()
+            .0
+            .contains("positive"));
+        assert!(parse("constrained --sustainable 7")
+            .unwrap_err()
+            .0
+            .contains("sustainable"));
+        assert!(parse("cooling-load --bogus").unwrap_err().0.contains("unknown flag"));
+    }
+
+    #[test]
+    fn simple_commands() {
+        assert_eq!(parse("validate").unwrap(), Command::Validate);
+        assert_eq!(parse("materials").unwrap(), Command::Materials);
+    }
+}

@@ -1,0 +1,147 @@
+//! `tts` — the thermal time shifting command-line tool.
+
+use thermal_time_shifting::chart::ascii_chart;
+use thermal_time_shifting::scenario::MeltingPointChoice;
+use thermal_time_shifting::Scenario;
+use tts_repro::cli::{parse_args, Command, HELP};
+use tts_server::blockage::default_sweep;
+use tts_server::validation::{run as run_validation, ValidationConfig};
+use tts_units::{Celsius, Fraction};
+use tts_workload::{weekly_trace, WeeklyTraceConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match parse_args(args.iter().map(String::as_str)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{HELP}");
+            std::process::exit(2);
+        }
+    };
+
+    match command {
+        Command::Help => println!("{HELP}"),
+        Command::CoolingLoad {
+            class,
+            melting_c,
+            servers,
+            week,
+        } => {
+            let mut scenario = Scenario::new(class).servers(servers);
+            if let Some(c) = melting_c {
+                scenario =
+                    scenario.melting_point(MeltingPointChoice::Fixed(Celsius::new(c)));
+            }
+            if week {
+                scenario = scenario.trace(weekly_trace(&WeeklyTraceConfig::default()));
+            }
+            let study = scenario.cooling_load_study();
+            println!(
+                "{class}, {servers} servers, wax {}:",
+                study.material.name()
+            );
+            println!(
+                "  peak {:.0} kW -> {:.0} kW  ({:.2} % reduction); refreeze tail {:.1} h/day",
+                study.run.peak_no_wax.value(),
+                study.run.peak_with_wax.value(),
+                study.run.peak_reduction.percent(),
+                study.run.elevated_hours
+                    / (study.run.times_h.last().copied().unwrap_or(24.0) / 24.0)
+            );
+            let chart = ascii_chart(
+                &[
+                    ("cooling load kW", &study.run.load_no_wax_kw),
+                    ("with PCM", &study.run.load_with_wax_kw),
+                ],
+                72,
+                12,
+            );
+            println!("{chart}");
+        }
+        Command::Constrained { class, sustainable } => {
+            let study = Scenario::new(class)
+                .sustainable_util(Fraction::new(sustainable))
+                .constrained_study();
+            println!(
+                "{class}, cooling sized for {sustainable:.2} throttled utilization ({:.0} kW):",
+                study.limit_kw
+            );
+            println!(
+                "  peak throughput gain {:.1} %; throttle delayed {:.2} h; boosted {:.1} h; wax {}",
+                study.run.peak_gain.percent(),
+                study.run.delay_hours,
+                study.run.boosted_hours,
+                study.material.name()
+            );
+            let chart = ascii_chart(
+                &[
+                    ("ideal", &study.run.ideal),
+                    ("no wax", &study.run.no_wax),
+                    ("with wax", &study.run.with_wax),
+                ],
+                72,
+                12,
+            );
+            println!("{chart}");
+        }
+        Command::Validate => {
+            let r = run_validation(&ValidationConfig::default());
+            println!(
+                "steady-state mean difference: wax {:+.2} K, placebo {:+.2} K; transient r = {:.3}",
+                r.steady_wax.mean_difference,
+                r.steady_placebo.mean_difference,
+                r.transient_wax.correlation
+            );
+            let chart = ascii_chart(
+                &[
+                    ("real wax", &r.real_wax),
+                    ("real placebo", &r.real_placebo),
+                    ("model wax", &r.icepak_wax),
+                    ("model placebo", &r.icepak_placebo),
+                ],
+                72,
+                14,
+            );
+            println!("{chart}");
+        }
+        Command::Blockage { class } => {
+            println!("{class}: outlet / wax-zone / hottest-socket temperatures vs. blockage");
+            for row in default_sweep(&class.spec()) {
+                let hottest = row
+                    .sockets
+                    .iter()
+                    .map(|t| t.value())
+                    .fold(f64::MIN, f64::max);
+                println!(
+                    "  {:>3.0} %: {:>6.1} °C / {:>6.1} °C / {:>6.1} °C  ({:.1} CFM)",
+                    row.blockage.percent(),
+                    row.outlet.value(),
+                    row.wax_zone.value(),
+                    hottest,
+                    row.flow.cfm()
+                );
+            }
+        }
+        Command::Materials => {
+            for m in tts_pcm::PcmMaterial::table1() {
+                let verdict = if m.is_datacenter_suitable() {
+                    "suitable".to_string()
+                } else {
+                    let issues: Vec<String> = m
+                        .datacenter_suitability()
+                        .iter()
+                        .map(|i| i.to_string())
+                        .collect();
+                    format!("rejected: {}", issues.join(", "))
+                };
+                println!(
+                    "{:<24} Tm {:>5.1} °C  ΔH {:>3.0} J/g  {:>9}  -> {verdict}",
+                    m.class().to_string(),
+                    m.melting_point().value(),
+                    m.heat_of_fusion().value(),
+                    m.stability().to_string()
+                );
+            }
+        }
+    }
+}
