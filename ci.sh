@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Hermetic CI gate: every step runs offline against the in-repo substrate
+# (no crates.io access — the workspace has zero external dependencies).
+#
+# Usage: ./ci.sh
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline --workspace
+
+echo "==> bench targets compile"
+cargo bench --offline --no-run -q
+
+echo "ci.sh: all gates passed"

@@ -4,9 +4,9 @@
 //! against (accuracy, peak reduction, response time) to stderr once, so
 //! `cargo bench` output doubles as the ablation record.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 use std::sync::Once;
+use tts_bench::harness::{criterion_group, criterion_main, BatchSize, Criterion};
 use tts_dcsim::balancer::{LeastLoaded, RandomBalancer, RoundRobin};
 use tts_dcsim::cluster::{run_cooling_load, select_melting_point, ClusterConfig};
 use tts_dcsim::discrete::DiscreteClusterSim;
@@ -168,9 +168,7 @@ fn report_quality_metrics() {
     let ll = DiscreteClusterSim::new(32, 4, 8, LeastLoaded::new())
         .run(&jobs, Seconds::new(1800.0))
         .mean_response_s;
-    eprintln!(
-        "[ablation] balancer mean response: round-robin {rr:.2}s, least-loaded {ll:.2}s"
-    );
+    eprintln!("[ablation] balancer mean response: round-robin {rr:.2}s, least-loaded {ll:.2}s");
 
     // Utilization consistency under different load fractions (Figure 12's
     // claim that arms agree off-peak) — handled in tests; note the check.
@@ -192,11 +190,7 @@ fn bench_steady_state(c: &mut Criterion) {
         b.iter_batched(
             || rig(Integrator::ExponentialEuler),
             |mut net| {
-                black_box(net.run_to_steady_state(
-                    Seconds::new(20.0),
-                    1e-6,
-                    Seconds::new(1e7),
-                ))
+                black_box(net.run_to_steady_state(Seconds::new(20.0), 1e-6, Seconds::new(1e7)))
             },
             BatchSize::SmallInput,
         )

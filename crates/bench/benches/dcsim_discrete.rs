@@ -1,7 +1,7 @@
 //! Event throughput of the discrete cluster simulator.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use std::hint::black_box;
+use tts_bench::harness::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use tts_dcsim::balancer::RoundRobin;
 use tts_dcsim::discrete::DiscreteClusterSim;
 use tts_units::Seconds;

@@ -5,8 +5,8 @@
 //! extraction is hoisted out (it is a Figure-7-class workload, measured in
 //! `fig7_blockage`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use tts_bench::harness::{criterion_group, criterion_main, Criterion};
 use tts_dcsim::cluster::{
     default_melting_candidates, run_cooling_load, select_melting_point, ClusterConfig,
 };

@@ -1,7 +1,7 @@
 //! Figure 12 regeneration: constrained-throughput runs per server class.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use tts_bench::harness::{criterion_group, criterion_main, Criterion};
 use tts_dcsim::throttle::{run_constrained, ConstrainedConfig};
 use tts_pcm::PcmMaterial;
 use tts_server::{ServerClass, ServerWaxCharacteristics};
@@ -18,8 +18,7 @@ fn bench_fig12(c: &mut Criterion) {
             &spec,
             &PcmMaterial::commercial_paraffin(Celsius::new(45.0)),
         );
-        let config =
-            ConstrainedConfig::oversubscribed(spec, 1008, chars, Fraction::new(0.71));
+        let config = ConstrainedConfig::oversubscribed(spec, 1008, chars, Fraction::new(0.71));
         group.bench_function(format!("single_run_{class}"), |b| {
             b.iter(|| black_box(run_constrained(&config, trace.total())))
         });

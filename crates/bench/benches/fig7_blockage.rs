@@ -3,8 +3,8 @@
 //! The bench times one full 0–90 % sweep per server class (ten steady
 //! states each) — the workload behind each Figure 7 panel.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use tts_bench::harness::{criterion_group, criterion_main, Criterion};
 use tts_server::blockage::default_sweep;
 use tts_server::ServerClass;
 

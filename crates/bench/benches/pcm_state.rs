@@ -1,7 +1,7 @@
 //! Performance of the PCM enthalpy model and melt/freeze stepping.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use tts_bench::harness::{criterion_group, criterion_main, Criterion};
 use tts_pcm::{EnthalpyCurve, PcmMaterial, PcmState};
 use tts_units::{Celsius, Grams, Seconds, WattsPerKelvin};
 

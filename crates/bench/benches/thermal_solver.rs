@@ -1,7 +1,7 @@
 //! Performance of the RC thermal-network solver (the Icepak substitute).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
+use tts_bench::harness::{criterion_group, criterion_main, BatchSize, Criterion};
 use tts_server::{ServerClass, ServerThermalModel};
 use tts_thermal::network::ThermalNetwork;
 use tts_units::{Celsius, Fraction, JoulesPerKelvin, Seconds, Watts, WattsPerKelvin};

@@ -1,8 +1,8 @@
 //! Workload-generation throughput: trace synthesis and Poisson job
 //! streams (the front of every experiment pipeline).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
+use tts_bench::harness::{criterion_group, criterion_main, Criterion, Throughput};
 use tts_workload::{weekly_trace, GoogleTrace, JobStream, JobType, WeeklyTraceConfig};
 
 fn bench_trace_generation(c: &mut Criterion) {

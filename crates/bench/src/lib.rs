@@ -3,6 +3,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harness;
+
 use thermal_time_shifting::experiments::Comparison;
 
 /// Formats a paper-vs-measured comparison as one markdown table row.
@@ -83,7 +85,10 @@ mod tests {
     fn text_table_aligns() {
         let t = text_table(
             &["a", "long header"],
-            &[vec!["x".into(), "y".into()], vec!["wide cell".into(), "z".into()]],
+            &[
+                vec!["x".into(), "y".into()],
+                vec!["wide cell".into(), "z".into()],
+            ],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

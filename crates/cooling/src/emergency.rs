@@ -8,11 +8,10 @@
 //! stretches the time until the critical temperature — the window for
 //! generators to start or workloads to drain.
 
-use serde::{Deserialize, Serialize};
 use tts_units::{Celsius, Joules, JoulesPerKelvin, Seconds, Watts, WattsPerKelvin};
 
 /// The thermal state of a machine room with the cooling plant offline.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RoomModel {
     /// Lumped heat capacity of the room air + racks + structure, J/K.
     /// A 1008-server room with containment: order 5–20 MJ/K.
@@ -27,6 +26,8 @@ pub struct RoomModel {
     pub envelope_loss: WattsPerKelvin,
 }
 
+tts_units::derive_json! { struct RoomModel { capacitance, start, critical, envelope_loss } }
+
 impl RoomModel {
     /// A 1008-server machine room baseline.
     pub fn cluster_room() -> Self {
@@ -40,7 +41,7 @@ impl RoomModel {
 }
 
 /// Outcome of a ride-through simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RideThrough {
     /// Time until the room reaches the critical temperature.
     pub time_to_critical: Seconds,
@@ -48,6 +49,8 @@ pub struct RideThrough {
     /// before the critical point).
     pub wax_saturated_at: Option<Celsius>,
 }
+
+tts_units::derive_json! { struct RideThrough { time_to_critical, wax_saturated_at } }
 
 /// Simulates a cooling failure: the room heats under `it_power` while a
 /// wax bank of total `coupling` (W/K) and `latent_budget` (J, counted from

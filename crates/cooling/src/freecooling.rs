@@ -11,11 +11,10 @@
 
 use crate::system::CoolingSystem;
 use crate::tariff::Tariff;
-use serde::{Deserialize, Serialize};
 use tts_units::{Celsius, Dollars, Seconds, TempDelta, Watts};
 
 /// A sinusoidal diurnal ambient-temperature model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AmbientCycle {
     /// Daily mean outdoor temperature.
     pub mean: Celsius,
@@ -24,6 +23,8 @@ pub struct AmbientCycle {
     /// Local hour of the daily maximum (mid-afternoon).
     pub peak_hour: f64,
 }
+
+tts_units::derive_json! { struct AmbientCycle { mean, amplitude_k, peak_hour } }
 
 impl AmbientCycle {
     /// A temperate-climate default: 18 °C mean, ±7 K swing, 15:00 peak.
@@ -49,7 +50,7 @@ impl AmbientCycle {
 /// Model: mechanical COP at the design point, scaled by the approach to
 /// free cooling — when ambient is `free_cooling_threshold` or colder,
 /// the economizer carries the load at `free_cooling_cop` (fans only).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Economizer {
     /// The mechanical plant.
     pub plant: CoolingSystem,
@@ -60,6 +61,8 @@ pub struct Economizer {
     /// COP when fully on free cooling (moving air is nearly free: 10–20).
     pub free_cooling_cop: f64,
 }
+
+tts_units::derive_json! { struct Economizer { plant, free_cooling_threshold, mechanical_threshold, free_cooling_cop } }
 
 impl Economizer {
     /// A typical air-side economizer around a mechanical plant: free
@@ -185,8 +188,7 @@ mod tests {
         let e = Economizer::around(plant());
         let a = AmbientCycle::temperate();
         let t = Tariff::paper_default();
-        let cost =
-            cooling_electricity_cost(&[-100.0; 24], Seconds::new(3600.0), &e, &t, &a);
+        let cost = cooling_electricity_cost(&[-100.0; 24], Seconds::new(3600.0), &e, &t, &a);
         assert_eq!(cost.value(), 0.0);
     }
 

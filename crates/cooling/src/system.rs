@@ -1,11 +1,10 @@
 //! The cooling plant: capacity, efficiency, oversubscription.
 
-use serde::{Deserialize, Serialize};
 use tts_units::{Joules, KiloWatts, Seconds, Watts};
 
 /// A datacenter cooling system (CRAC units + chillers + cooling tower,
 /// lumped).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CoolingSystem {
     /// The largest heat load the plant can remove indefinitely.
     peak_capacity: KiloWatts,
@@ -14,6 +13,8 @@ pub struct CoolingSystem {
     /// `CoolingEnergyOpEx` corresponds to a plant-level COP near 4.
     cop: f64,
 }
+
+tts_units::derive_json! { struct CoolingSystem { peak_capacity, cop } }
 
 impl CoolingSystem {
     /// A plant with the given capacity and coefficient of performance.
@@ -79,7 +80,7 @@ impl CoolingSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use tts_rng::prop::prelude::*;
 
     #[test]
     fn sized_for_matches_peak() {
@@ -92,7 +93,10 @@ mod tests {
     #[test]
     fn electrical_power_uses_cop() {
         let plant = CoolingSystem::new(KiloWatts::new(100.0), 4.0);
-        assert_eq!(plant.electrical_power(Watts::new(80_000.0)), Watts::new(20_000.0));
+        assert_eq!(
+            plant.electrical_power(Watts::new(80_000.0)),
+            Watts::new(20_000.0)
+        );
         // Negative load (net release with nothing to remove) draws nothing.
         assert_eq!(plant.electrical_power(Watts::new(-5.0)), Watts::ZERO);
     }

@@ -5,11 +5,10 @@
 //! moves cooling work from peak to off-peak hours, so the tariff shape
 //! matters to the OpEx story.
 
-use serde::{Deserialize, Serialize};
 use tts_units::{Dollars, DollarsPerKwh, Joules, Seconds};
 
 /// A two-rate time-of-use tariff with a daily peak window.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Tariff {
     /// Rate during the peak window.
     pub peak_rate: DollarsPerKwh,
@@ -20,6 +19,8 @@ pub struct Tariff {
     /// Peak window end, local hour.
     pub peak_end_hour: f64,
 }
+
+tts_units::derive_json! { struct Tariff { peak_rate, offpeak_rate, peak_start_hour, peak_end_hour } }
 
 impl Tariff {
     /// The paper's tariff: $0.13 peak / $0.08 off-peak, with the peak

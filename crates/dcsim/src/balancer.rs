@@ -3,8 +3,7 @@
 //! The paper "use[s] a round robin load balancing scheme" (§4.2); the
 //! alternatives here feed the load-balancing ablation bench.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tts_rng::{Rng, SeedableRng, Xoshiro256pp};
 
 /// A load balancer picks the target server for each arriving job given the
 /// servers' current occupancy (running + queued job counts).
@@ -71,14 +70,14 @@ impl Balancer for LeastLoaded {
 /// Uniform random placement (seeded).
 #[derive(Debug)]
 pub struct RandomBalancer {
-    rng: StdRng,
+    rng: Xoshiro256pp,
 }
 
 impl RandomBalancer {
     /// A seeded random balancer.
     pub fn new(seed: u64) -> Self {
         Self {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Xoshiro256pp::seed_from_u64(seed),
         }
     }
 }

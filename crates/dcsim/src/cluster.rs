@@ -10,7 +10,6 @@
 //! thermal model's extracted characteristics) → wax melt/freeze step →
 //! cluster cooling load `N · (P_wall − q_wax)`.
 
-use serde::{Deserialize, Serialize};
 use tts_cooling::cooling_load;
 use tts_pcm::{PcmMaterial, PcmState};
 use tts_server::{ServerSpec, ServerWaxCharacteristics};
@@ -40,7 +39,7 @@ impl ClusterConfig {
 }
 
 /// Result of a cooling-load run (one Figure 11 panel).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CoolingLoadRun {
     /// Sample times, hours.
     pub times_h: Vec<f64>,
@@ -65,6 +64,8 @@ pub struct CoolingLoadRun {
     /// The melting point used.
     pub melting_point: Celsius,
 }
+
+tts_units::derive_json! { struct CoolingLoadRun { times_h, load_no_wax_kw, load_with_wax_kw, melt_fraction, peak_no_wax, peak_with_wax, peak_reduction, elevated_hours, refrozen_at_end, melting_point } }
 
 /// Runs the cooling-load study for one cluster over a utilization trace.
 pub fn run_cooling_load(config: &ClusterConfig, trace: &TimeSeries) -> CoolingLoadRun {
@@ -169,9 +170,7 @@ pub fn default_melting_candidates() -> Vec<f64> {
 /// load" observation.
 pub fn melt_onset_load_fraction(config: &ClusterConfig) -> f64 {
     let onset = config.chars.melt_onset_power();
-    let peak = config
-        .spec
-        .wall_power(Fraction::ONE, Fraction::ONE);
+    let peak = config.spec.wall_power(Fraction::ONE, Fraction::ONE);
     onset.value() / peak.value()
 }
 
@@ -298,7 +297,8 @@ mod tests {
         // quantity of wax". Double the 1U wax mass → larger reduction.
         let config = one_u_config();
         let trace = GoogleTrace::default_two_day();
-        let (_, run_1x) = select_melting_point(&config, trace.total(), default_melting_candidates());
+        let (_, run_1x) =
+            select_melting_point(&config, trace.total(), default_melting_candidates());
         let mut big = config.clone();
         big.chars.mass = big.chars.mass * 2.0;
         big.chars.latent_capacity = big.chars.latent_capacity * 2.0;

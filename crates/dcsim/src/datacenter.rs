@@ -5,12 +5,11 @@
 //! clusters of 2U servers, or 29 clusters of Open Compute blades (1008
 //! servers per cluster).
 
-use serde::{Deserialize, Serialize};
 use tts_server::{ServerClass, ServerSpec};
 use tts_units::{Fraction, KiloWatts, MegaWatts};
 
 /// A homogeneous datacenter built from identical 1008-server clusters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Datacenter {
     /// Server class deployed.
     pub class: ServerClass,
@@ -19,6 +18,8 @@ pub struct Datacenter {
     /// Critical (IT) power budget.
     pub critical_power: MegaWatts,
 }
+
+tts_units::derive_json! { struct Datacenter { class, clusters, critical_power } }
 
 /// Servers per cluster (paper constant).
 pub const SERVERS_PER_CLUSTER: usize = 1008;
@@ -108,7 +109,10 @@ mod tests {
                 peak <= 10.3,
                 "{class}: peak IT power {peak} MW exceeds critical power"
             );
-            assert!(peak > 5.0, "{class}: datacenter implausibly empty: {peak} MW");
+            assert!(
+                peak > 5.0,
+                "{class}: datacenter implausibly empty: {peak} MW"
+            );
         }
     }
 

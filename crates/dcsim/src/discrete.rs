@@ -166,8 +166,7 @@ impl<B: Balancer> DiscreteClusterSim<B> {
         if rec.busy.is_empty() {
             return None;
         }
-        let capacity =
-            (self.servers.len() * self.cores_per_server) as f64 * rec.interval;
+        let capacity = (self.servers.len() * self.cores_per_server) as f64 * rec.interval;
         let values: Vec<f64> = rec.busy.iter().map(|b| (b / capacity).min(1.0)).collect();
         Some(tts_workload::TimeSeries::new(
             Seconds::new(rec.interval),
@@ -296,8 +295,7 @@ impl<B: Balancer> DiscreteClusterSim<B> {
             sorted[((sorted.len() as f64 * 0.95) as usize).min(sorted.len() - 1)]
         };
         let cap = self.cores_per_server as f64 * end;
-        let server_utilization: Vec<f64> =
-            self.servers.iter().map(|s| s.busy_time / cap).collect();
+        let server_utilization: Vec<f64> = self.servers.iter().map(|s| s.busy_time / cap).collect();
         let rack_utilization: Vec<f64> = server_utilization
             .chunks(self.rack_size)
             .map(|rack| rack.iter().sum::<f64>() / rack.len() as f64)
@@ -386,8 +384,16 @@ mod tests {
         let jobs = flat_jobs(0.5, 8, 1.0, 3);
         let mut sim = DiscreteClusterSim::new(8, 4, 4, RoundRobin::new());
         let m = sim.run(&jobs, Seconds::new(3600.0));
-        let max = m.server_utilization.iter().cloned().fold(f64::MIN, f64::max);
-        let min = m.server_utilization.iter().cloned().fold(f64::MAX, f64::min);
+        let max = m
+            .server_utilization
+            .iter()
+            .cloned()
+            .fold(f64::MIN, f64::max);
+        let min = m
+            .server_utilization
+            .iter()
+            .cloned()
+            .fold(f64::MAX, f64::min);
         assert!(max - min < 0.08, "spread {}..{}", min, max);
     }
 
@@ -461,17 +467,13 @@ mod tests {
         // Offer a mix of short (search) and long (MapReduce) jobs; the
         // per-type stats must reflect their service-time scales.
         let trace = TimeSeries::new(Seconds::new(60.0), vec![0.35; 60]);
-        let mut jobs =
-            JobStream::new(trace.clone(), JobType::WebSearch, 16, 1).collect_all();
+        let mut jobs = JobStream::new(trace.clone(), JobType::WebSearch, 16, 1).collect_all();
         jobs.extend(JobStream::new(trace, JobType::MapReduce, 16, 2).collect_all());
         jobs.sort_by(|a, b| a.arrival.value().total_cmp(&b.arrival.value()));
         let mut sim = DiscreteClusterSim::new(16, 4, 8, RoundRobin::new());
         let m = sim.run(&jobs, Seconds::new(3600.0));
-        let qos: std::collections::HashMap<_, _> = m
-            .per_type
-            .iter()
-            .map(|q| (q.job_type, q))
-            .collect();
+        let qos: std::collections::HashMap<_, _> =
+            m.per_type.iter().map(|q| (q.job_type, q)).collect();
         let search = qos.get(&JobType::WebSearch).expect("search jobs ran");
         let mapreduce = qos.get(&JobType::MapReduce).expect("batch jobs ran");
         assert!(

@@ -11,7 +11,6 @@
 //! planning.
 
 use crate::cluster::{ClusterConfig, CoolingLoadRun};
-use serde::{Deserialize, Serialize};
 use tts_cooling::cooling_load;
 use tts_pcm::PcmState;
 use tts_units::{Fraction, KiloWatts};
@@ -36,9 +35,7 @@ pub fn run_partial_deployment(
     let mut melt = Vec::with_capacity(trace.len());
 
     for (i, &u) in trace.values().iter().enumerate() {
-        let wall = config
-            .spec
-            .wall_power(Fraction::new(u), Fraction::ONE);
+        let wall = config.spec.wall_power(Fraction::new(u), Fraction::ONE);
         let t_air = chars.air_temp_model.at(wall);
         let q = pcm.step(t_air, chars.effective_coupling(), dt);
         let load_nw = wall * n;
@@ -73,13 +70,15 @@ pub fn run_partial_deployment(
 }
 
 /// One point of the deployment-fraction sweep.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DeploymentPoint {
     /// Fraction of servers equipped with wax.
     pub equipped: Fraction,
     /// Peak cooling-load reduction achieved.
     pub peak_reduction: Fraction,
 }
+
+tts_units::derive_json! { struct DeploymentPoint { equipped, peak_reduction } }
 
 /// Sweeps the equipped fraction from 0 to 1.
 pub fn deployment_sweep(
@@ -124,9 +123,7 @@ mod tests {
         let trace = GoogleTrace::default_two_day();
         let full = run_partial_deployment(&cfg, trace.total(), Fraction::ONE);
         let reference = run_cooling_load(&cfg, trace.total());
-        assert!(
-            (full.peak_reduction.value() - reference.peak_reduction.value()).abs() < 1e-9
-        );
+        assert!((full.peak_reduction.value() - reference.peak_reduction.value()).abs() < 1e-9);
     }
 
     #[test]

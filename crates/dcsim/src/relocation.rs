@@ -13,7 +13,6 @@
 //! paraffin — the comparison this module quantifies.
 
 use crate::throttle::{run_constrained, ConstrainedConfig};
-use serde::{Deserialize, Serialize};
 use tts_units::{Dollars, Fraction, Seconds};
 use tts_workload::TimeSeries;
 
@@ -22,7 +21,7 @@ use tts_workload::TimeSeries;
 pub const DEFAULT_RELOCATION_COST_PER_SERVER_HOUR: f64 = 0.12;
 
 /// Result of the relocation analysis over a trace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RelocationRun {
     /// Sample times, hours.
     pub times_h: Vec<f64>,
@@ -37,6 +36,8 @@ pub struct RelocationRun {
     /// Relocation bill at the given rate.
     pub relocation_cost: Dollars,
 }
+
+tts_units::derive_json! { struct RelocationRun { times_h, local, relocated, relocated_server_hours, relocated_fraction, relocation_cost } }
 
 /// Runs the relocation policy: the local cluster serves what its thermal
 /// budget allows (with DVFS, no wax); everything else ships out.
@@ -90,8 +91,7 @@ pub fn wax_vs_relocation(
         excess_nowax += (base.ideal[i] - base.no_wax[i]).max(0.0) * dt_h;
         excess_wax += (base.ideal[i] - base.with_wax[i]).max(0.0) * dt_h;
     }
-    let to_dollars =
-        |work: f64| -> Dollars { cost_per_server_hour * (work * base.norm_base * n) };
+    let to_dollars = |work: f64| -> Dollars { cost_per_server_hour * (work * base.norm_base * n) };
     (to_dollars(excess_nowax), to_dollars(excess_wax))
 }
 

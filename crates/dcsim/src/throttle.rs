@@ -15,7 +15,6 @@
 //! server, letting the cluster hold nominal frequency "until the thermal
 //! capacity of the wax is full".
 
-use serde::{Deserialize, Serialize};
 use tts_pcm::PcmState;
 use tts_server::{ServerSpec, ServerWaxCharacteristics};
 use tts_units::{Fraction, KiloWatts, Watts};
@@ -59,7 +58,7 @@ impl ConstrainedConfig {
 }
 
 /// One arm's state at a tick.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TickDecision {
     /// Utilization actually served.
     pub utilization: Fraction,
@@ -71,8 +70,10 @@ pub struct TickDecision {
     pub cooling_load_kw: f64,
 }
 
+tts_units::derive_json! { struct TickDecision { utilization, freq, throughput, cooling_load_kw } }
+
 /// Result of a constrained run (one Figure 12 panel).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ConstrainedRun {
     /// Sample times, hours.
     pub times_h: Vec<f64>,
@@ -95,6 +96,8 @@ pub struct ConstrainedRun {
     /// no-wax peak.
     pub boosted_hours: f64,
 }
+
+tts_units::derive_json! { struct ConstrainedRun { times_h, ideal, no_wax, with_wax, melt_fraction, norm_base, peak_gain, delay_hours, boosted_hours } }
 
 /// Served load at the limit: the largest utilization `u ≤ offered` such
 /// that the cluster cooling load fits the budget, at a fixed frequency.
@@ -170,7 +173,9 @@ pub fn run_constrained(config: &ConstrainedConfig, trace: &TimeSeries) -> Constr
             let wall = spec.wall_power(u, f);
             let t_air = chars.air_temp_model.at(wall);
             let mut probe = pcm.clone();
-            probe.step(t_air, chars.effective_coupling(), dt).max(Watts::ZERO)
+            probe
+                .step(t_air, chars.effective_coupling(), dt)
+                .max(Watts::ZERO)
         };
         let decision_wax = decide(spec, n, offered, budget_w, thr, &wax_q);
         if decision_wax.throughput < spec.throughput(offered, Fraction::ONE) - 1e-9
@@ -191,10 +196,7 @@ pub fn run_constrained(config: &ConstrainedConfig, trace: &TimeSeries) -> Constr
     let norm_base = nowax_abs.iter().copied().fold(f64::MIN, f64::max);
     let normalize = |v: &[f64]| -> Vec<f64> { v.iter().map(|x| x / norm_base).collect() };
     let peak_wax_norm = wax_abs.iter().copied().fold(f64::MIN, f64::max) / norm_base;
-    let boosted_ticks = wax_abs
-        .iter()
-        .filter(|&&x| x > norm_base * 1.001)
-        .count();
+    let boosted_ticks = wax_abs.iter().filter(|&&x| x > norm_base * 1.001).count();
     let delay_hours = match (first_throttle_nowax, first_throttle_wax) {
         (Some(a), Some(b)) => (b - a).max(0.0),
         (Some(a), None) => times_h.last().copied().unwrap_or(a) - a,
@@ -387,8 +389,12 @@ mod tests {
         // The 2U couples the most wax (4 L in four thin boxes at 69 %
         // blockage) to the most CPU-dominated power budget.
         let g1u = best_run_for(ServerClass::LowPower1U).peak_gain.value();
-        let g2u = best_run_for(ServerClass::HighThroughput2U).peak_gain.value();
-        let gocp = best_run_for(ServerClass::OpenComputeBlade).peak_gain.value();
+        let g2u = best_run_for(ServerClass::HighThroughput2U)
+            .peak_gain
+            .value();
+        let gocp = best_run_for(ServerClass::OpenComputeBlade)
+            .peak_gain
+            .value();
         assert!(
             g2u > g1u && g2u > gocp,
             "2U must lead: 1U {g1u:.2}, 2U {g2u:.2}, OCP {gocp:.2}"

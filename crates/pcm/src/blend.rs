@@ -13,11 +13,10 @@
 
 use crate::enthalpy::EnthalpyCurve;
 use crate::material::PcmMaterial;
-use serde::{Deserialize, Serialize};
 use tts_units::{Celsius, Fraction, Grams, Joules, JoulesPerGram, Seconds, Watts, WattsPerKelvin};
 
 /// A two-component paraffin blend in thermal equilibrium.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BlendState {
     curve_a: EnthalpyCurve,
     curve_b: EnthalpyCurve,
@@ -29,6 +28,8 @@ pub struct BlendState {
     temp: Celsius,
     temp_ref: Celsius,
 }
+
+tts_units::derive_json! { struct BlendState { curve_a, curve_b, fraction_a, mass, temp, temp_ref } }
 
 impl BlendState {
     /// A blend of `fraction_a` of `a` and the rest `b`, equilibrated at

@@ -9,7 +9,6 @@
 //! [`ContainerBank`] geometry captures.
 
 use crate::material::PcmMaterial;
-use serde::{Deserialize, Serialize};
 use tts_units::{Grams, Liters, Meters, SquareMeters, WattsPerKelvin, WattsPerSquareMeterKelvin};
 
 /// Fraction of the container volume filled with wax; the rest is expansion
@@ -36,7 +35,7 @@ pub const WAX_THERMAL_CONDUCTIVITY_W_MK: f64 = 0.21;
 pub const MELT_CONVECTION_ENHANCEMENT: f64 = 1.6;
 
 /// A rectangular sealed aluminum box of wax.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WaxContainer {
     length: Meters,
     width: Meters,
@@ -44,6 +43,8 @@ pub struct WaxContainer {
     fill_fraction: f64,
     elevated: bool,
 }
+
+tts_units::derive_json! { struct WaxContainer { length, width, height, fill_fraction, elevated } }
 
 impl WaxContainer {
     /// A box with the given outer dimensions, filled to
@@ -92,12 +93,7 @@ impl WaxContainer {
     /// The validation-experiment box: 100 mL holding 90 mL (70 g) of wax.
     /// Modeled as 10 cm × 10 cm × 1 cm.
     pub fn validation_box() -> Self {
-        Self::with_fill(
-            Meters::new(0.10),
-            Meters::new(0.10),
-            Meters::new(0.01),
-            0.9,
-        )
+        Self::with_fill(Meters::new(0.10), Meters::new(0.10), Meters::new(0.01), 0.9)
     }
 
     /// Constructs a box sized to hold `wax_volume` of wax in a server bay of
@@ -152,10 +148,7 @@ impl WaxContainer {
     /// Series air-to-wax conductance for a given air-side film coefficient:
     /// convection film → aluminum wall → wax bulk, each over the exposed
     /// area.
-    pub fn air_to_wax_conductance(
-        &self,
-        film: WattsPerSquareMeterKelvin,
-    ) -> WattsPerKelvin {
+    pub fn air_to_wax_conductance(&self, film: WattsPerSquareMeterKelvin) -> WattsPerKelvin {
         let area = self.exposed_area().value();
         let g_film = film.value() * area;
         let g_wall = ALUMINUM_WALL_CONDUCTANCE_W_M2K * area;
@@ -171,11 +164,13 @@ impl WaxContainer {
 }
 
 /// A set of identical containers deployed in one server.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ContainerBank {
     container: WaxContainer,
     count: usize,
 }
+
+tts_units::derive_json! { struct ContainerBank { container, count } }
 
 impl ContainerBank {
     /// `count` copies of `container`.
@@ -244,7 +239,7 @@ impl ContainerBank {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use tts_rng::prop::prelude::*;
     use tts_units::Celsius;
 
     #[test]
@@ -265,11 +260,8 @@ mod tests {
 
     #[test]
     fn for_wax_volume_round_trips() {
-        let b = WaxContainer::for_wax_volume(
-            Liters::new(1.2),
-            Meters::new(0.30),
-            Meters::new(0.20),
-        );
+        let b =
+            WaxContainer::for_wax_volume(Liters::new(1.2), Meters::new(0.30), Meters::new(0.20));
         assert!((b.wax_volume().value() - 1.2).abs() < 1e-9);
     }
 
@@ -277,18 +269,10 @@ mod tests {
     fn subdividing_increases_surface_area() {
         // §6: multiple containers instead of metal mesh. Same 4 L of wax in
         // 4 boxes exposes more area than 1 box of the same footprint.
-        let one = ContainerBank::subdivide(
-            Liters::new(4.0),
-            1,
-            Meters::new(0.25),
-            Meters::new(0.20),
-        );
-        let four = ContainerBank::subdivide(
-            Liters::new(4.0),
-            4,
-            Meters::new(0.25),
-            Meters::new(0.20),
-        );
+        let one =
+            ContainerBank::subdivide(Liters::new(4.0), 1, Meters::new(0.25), Meters::new(0.20));
+        let four =
+            ContainerBank::subdivide(Liters::new(4.0), 4, Meters::new(0.25), Meters::new(0.20));
         assert!((four.total_wax_volume().value() - one.total_wax_volume().value()).abs() < 1e-9);
         assert!(
             four.total_exposed_area().value() > one.total_exposed_area().value(),
@@ -302,10 +286,13 @@ mod tests {
         let g = b.air_to_wax_conductance(WattsPerSquareMeterKelvin::new(25.0));
         // Upper bound: film+wax in series, no wall.
         let area = b.exposed_area().value();
-        let g_no_wall = 1.0
-            / (1.0 / (25.0 * area) + 1.0 / (b.wax_internal_conductance_per_m2() * area));
+        let g_no_wall =
+            1.0 / (1.0 / (25.0 * area) + 1.0 / (b.wax_internal_conductance_per_m2() * area));
         assert!(g.value() < g_no_wall);
-        assert!(g.value() > 0.99 * g_no_wall, "aluminum wall should be nearly transparent");
+        assert!(
+            g.value() > 0.99 * g_no_wall,
+            "aluminum wall should be nearly transparent"
+        );
     }
 
     #[test]

@@ -5,7 +5,6 @@
 
 use crate::container::ContainerBank;
 use crate::material::PcmMaterial;
-use serde::{Deserialize, Serialize};
 use tts_units::Dollars;
 
 /// Estimated cost of one sealed aluminum container (material + fabrication),
@@ -17,13 +16,15 @@ pub const CONTAINER_COST_EACH: Dollars = Dollars::new(1.50);
 pub const SERVER_LIFETIME_MONTHS: f64 = 48.0;
 
 /// One server's wax bill of materials.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WaxCapEx {
     /// Bulk wax cost.
     pub wax: Dollars,
     /// Container fabrication cost.
     pub containers: Dollars,
 }
+
+tts_units::derive_json! { struct WaxCapEx { wax, containers } }
 
 impl WaxCapEx {
     /// Prices a container bank filled with the given material.
@@ -59,12 +60,7 @@ mod tests {
 
     fn one_u_bank() -> ContainerBank {
         // 1U server: 1.2 L of wax in two boxes.
-        ContainerBank::subdivide(
-            Liters::new(1.2),
-            2,
-            Meters::new(0.25),
-            Meters::new(0.15),
-        )
+        ContainerBank::subdivide(Liters::new(1.2), 2, Meters::new(0.25), Meters::new(0.15))
     }
 
     #[test]

@@ -10,16 +10,17 @@
 //! density.
 
 use crate::material::{PcmMaterial, Stability};
-use serde::{Deserialize, Serialize};
 use tts_units::Fraction;
 
 /// Exponential capacity-fade model: after `n` full melt/freeze cycles the
 /// usable latent heat is `(1 − fade_per_cycle)^n` of the initial value.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DegradationModel {
     /// Relative latent-capacity loss per full cycle.
     pub fade_per_cycle: f64,
 }
+
+tts_units::derive_json! { struct DegradationModel { fade_per_cycle } }
 
 impl DegradationModel {
     /// Fade rates per stability class, calibrated to the cited
@@ -71,7 +72,7 @@ impl DegradationModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use tts_rng::prop::prelude::*;
 
     #[test]
     fn paraffin_survives_a_server_generation() {
@@ -112,7 +113,9 @@ mod tests {
 
     #[test]
     fn zero_fade_never_crosses() {
-        let m = DegradationModel { fade_per_cycle: 0.0 };
+        let m = DegradationModel {
+            fade_per_cycle: 0.0,
+        };
         assert_eq!(m.cycles_to_threshold(Fraction::new(0.8)), u32::MAX);
         assert_eq!(m.capacity_after(10_000), Fraction::ONE);
     }
@@ -129,10 +132,7 @@ mod tests {
         let mut prev = 0u64;
         for s in classes {
             let n = DegradationModel::for_stability(s).cycles_to_threshold(Fraction::new(0.8));
-            assert!(
-                (n as u64) > prev,
-                "{s:?} should outlast the previous class"
-            );
+            assert!((n as u64) > prev, "{s:?} should outlast the previous class");
             prev = n as u64;
         }
     }

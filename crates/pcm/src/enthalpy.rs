@@ -8,7 +8,6 @@
 //! recovered through the inverse map.
 
 use crate::material::PcmMaterial;
-use serde::{Deserialize, Serialize};
 use tts_units::{Celsius, Fraction, JoulesPerGram};
 
 /// A piecewise-linear specific enthalpy curve for one PCM.
@@ -32,7 +31,7 @@ use tts_units::{Celsius, Fraction, JoulesPerGram};
 /// let h = curve.enthalpy_at(Celsius::new(36.0));
 /// assert!((curve.temperature_at(h).value() - 36.0).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EnthalpyCurve {
     /// Reference temperature for h = 0 (°C).
     t_ref: f64,
@@ -51,6 +50,8 @@ pub struct EnthalpyCurve {
     /// Enthalpy at the liquidus (J/g).
     h_liq: f64,
 }
+
+tts_units::derive_json! { struct EnthalpyCurve { t_ref, t_sol, t_liq, cp_s, cp_l, latent, h_sol, h_liq } }
 
 impl EnthalpyCurve {
     /// Reference temperature used for `h = 0`.
@@ -166,7 +167,7 @@ impl EnthalpyCurve {
 mod tests {
     use super::*;
     use crate::material::PcmMaterial;
-    use proptest::prelude::*;
+    use tts_rng::prop::prelude::*;
 
     fn wax() -> EnthalpyCurve {
         EnthalpyCurve::for_material(&PcmMaterial::validation_wax())
@@ -216,9 +217,8 @@ mod tests {
     #[test]
     fn eicosane_narrow_range_has_higher_effective_cp_than_blend() {
         let pure = EnthalpyCurve::for_material(&PcmMaterial::eicosane());
-        let blend = EnthalpyCurve::for_material(&PcmMaterial::commercial_paraffin(
-            Celsius::new(39.0),
-        ));
+        let blend =
+            EnthalpyCurve::for_material(&PcmMaterial::commercial_paraffin(Celsius::new(39.0)));
         let cp_pure = pure.effective_heat_capacity(PcmMaterial::eicosane().melting_point());
         let cp_blend = blend.effective_heat_capacity(Celsius::new(39.0));
         assert!(cp_pure > cp_blend);

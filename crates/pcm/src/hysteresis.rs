@@ -9,7 +9,6 @@
 
 use crate::enthalpy::EnthalpyCurve;
 use crate::material::PcmMaterial;
-use serde::{Deserialize, Serialize};
 use tts_units::{Celsius, Fraction, Grams, Joules, JoulesPerGram, Seconds, Watts, WattsPerKelvin};
 
 /// A PCM state with distinct melting and freezing curves.
@@ -41,7 +40,7 @@ use tts_units::{Celsius, Fraction, Grams, Joules, JoulesPerGram, Seconds, Watts,
 /// }
 /// assert!(s.melt_fraction().value() > 0.9);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HystereticPcmState {
     melt_curve: EnthalpyCurve,
     freeze_curve: EnthalpyCurve,
@@ -53,18 +52,15 @@ pub struct HystereticPcmState {
     supercooling_k: f64,
 }
 
+tts_units::derive_json! { struct HystereticPcmState { melt_curve, freeze_curve, enthalpy, enthalpy_ref, mass, supercooling_k } }
+
 impl HystereticPcmState {
     /// A mass of `material` at `initial` with `supercooling_k` kelvin of
     /// melt/freeze asymmetry (typical paraffins: 2–5 K).
     ///
     /// # Panics
     /// Panics on non-positive mass or negative supercooling.
-    pub fn new(
-        material: &PcmMaterial,
-        mass: Grams,
-        initial: Celsius,
-        supercooling_k: f64,
-    ) -> Self {
+    pub fn new(material: &PcmMaterial, mass: Grams, initial: Celsius, supercooling_k: f64) -> Self {
         assert!(mass.value() > 0.0, "PCM mass must be positive");
         assert!(supercooling_k >= 0.0, "supercooling cannot be negative");
         let melt_curve = EnthalpyCurve::for_material(material);
@@ -159,7 +155,7 @@ impl HystereticPcmState {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use tts_rng::prop::prelude::*;
 
     fn state(supercooling: f64) -> HystereticPcmState {
         HystereticPcmState::new(
@@ -174,7 +170,11 @@ mod tests {
         let mut q = 0.0;
         for _ in 0..minutes {
             q += s
-                .step(Celsius::new(air), WattsPerKelvin::new(5.0), Seconds::new(60.0))
+                .step(
+                    Celsius::new(air),
+                    WattsPerKelvin::new(5.0),
+                    Seconds::new(60.0),
+                )
                 .value()
                 * 60.0;
         }
@@ -191,8 +191,16 @@ mod tests {
         );
         for air in [45.0, 50.0, 30.0, 25.0, 55.0] {
             for _ in 0..200 {
-                hyst.step(Celsius::new(air), WattsPerKelvin::new(5.0), Seconds::new(60.0));
-                plain.step(Celsius::new(air), WattsPerKelvin::new(5.0), Seconds::new(60.0));
+                hyst.step(
+                    Celsius::new(air),
+                    WattsPerKelvin::new(5.0),
+                    Seconds::new(60.0),
+                );
+                plain.step(
+                    Celsius::new(air),
+                    WattsPerKelvin::new(5.0),
+                    Seconds::new(60.0),
+                );
             }
             assert!(
                 (hyst.melt_fraction().value() - plain.melt_fraction().value()).abs() < 1e-6,
@@ -249,7 +257,7 @@ mod tests {
     proptest! {
         #[test]
         fn energy_balance_holds_across_direction_changes(
-            temps in proptest::collection::vec(20.0f64..60.0, 2..40),
+            temps in collection::vec(20.0f64..60.0, 2..40),
             supercooling in 0.0f64..6.0,
         ) {
             let mut s = state(supercooling);
@@ -267,7 +275,7 @@ mod tests {
 
         #[test]
         fn melt_fraction_in_unit_interval(
-            temps in proptest::collection::vec(0.0f64..90.0, 1..30),
+            temps in collection::vec(0.0f64..90.0, 1..30),
         ) {
             let mut s = state(3.0);
             for t in &temps {

@@ -56,8 +56,8 @@ pub mod state;
 pub use blend::BlendState;
 pub use container::{ContainerBank, WaxContainer};
 pub use degradation::DegradationModel;
-pub use hysteresis::HystereticPcmState;
 pub use enthalpy::EnthalpyCurve;
+pub use hysteresis::HystereticPcmState;
 pub use material::{PcmClass, PcmMaterial, Stability};
 pub use selection::{optimal_peak_cap, PeakCapResult};
 pub use state::PcmState;

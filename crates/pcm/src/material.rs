@@ -1,10 +1,9 @@
 //! The PCM materials library (Table 1 of the paper, plus §2.1 specifics).
 
-use serde::{Deserialize, Serialize};
 use tts_units::{Celsius, DollarsPerTon, GramsPerMilliliter, JoulesPerGram, JoulesPerGramKelvin};
 
 /// The solid–liquid PCM families compared in Table 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PcmClass {
     /// Salt hydrates: high energy density, poor cycle stability, corrosive.
     SaltHydrate,
@@ -17,6 +16,8 @@ pub enum PcmClass {
     /// Commercial-grade paraffin blends (the material the paper deploys).
     CommercialParaffin,
 }
+
+tts_units::derive_json! { enum PcmClass { SaltHydrate, MetalAlloy, FattyAcid, NParaffin, CommercialParaffin } }
 
 impl core::fmt::Display for PcmClass {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
@@ -32,7 +33,7 @@ impl core::fmt::Display for PcmClass {
 }
 
 /// Cycle stability over repeated melt/freeze cycles (Table 1 column).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Stability {
     /// Degrades in as few as 100 cycles.
     Poor,
@@ -45,6 +46,8 @@ pub enum Stability {
     /// Negligible deviation after more than 1,000 cycles.
     Excellent,
 }
+
+tts_units::derive_json! { enum Stability { Poor, Unknown, Good, VeryGood, Excellent } }
 
 impl core::fmt::Display for Stability {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
@@ -64,7 +67,7 @@ impl core::fmt::Display for Stability {
 /// Construct specific materials through the named constructors
 /// ([`PcmMaterial::eicosane`], [`PcmMaterial::commercial_paraffin`], …) or
 /// the full [`PcmMaterial::custom`] builder entry point.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PcmMaterial {
     name: String,
     class: PcmClass,
@@ -81,6 +84,8 @@ pub struct PcmMaterial {
     corrosive: bool,
     bulk_price: DollarsPerTon,
 }
+
+tts_units::derive_json! { struct PcmMaterial { name, class, melting_point, melting_range, heat_of_fusion, density, specific_heat_solid, specific_heat_liquid, stability, electrically_conductive, corrosive, bulk_price } }
 
 impl PcmMaterial {
     /// Fully custom material definition.
@@ -360,7 +365,7 @@ impl PcmMaterial {
 }
 
 /// A reason a PCM fails the datacenter deployment screen.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SuitabilityIssue {
     /// Melting point outside the 30–60 °C datacenter band.
     MeltingPointOutOfRange,
@@ -371,6 +376,8 @@ pub enum SuitabilityIssue {
     /// Conducts electricity on leak.
     ElectricallyConductive,
 }
+
+tts_units::derive_json! { enum SuitabilityIssue { MeltingPointOutOfRange, PoorStability, Corrosive, ElectricallyConductive } }
 
 impl core::fmt::Display for SuitabilityIssue {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
@@ -484,9 +491,6 @@ mod tests {
     fn display_impls_are_nonempty() {
         assert_eq!(PcmClass::SaltHydrate.to_string(), "Salt Hydrates");
         assert_eq!(Stability::VeryGood.to_string(), "Very Good");
-        assert_eq!(
-            SuitabilityIssue::Corrosive.to_string(),
-            "corrosive"
-        );
+        assert_eq!(SuitabilityIssue::Corrosive.to_string(), "corrosive");
     }
 }

@@ -14,11 +14,10 @@
 //! ejection rate). The cap then maps to a melting temperature through the
 //! server's power→air-temperature characteristic.
 
-use serde::{Deserialize, Serialize};
 use tts_units::{Celsius, Fraction, Joules, Seconds, TempDelta, Watts};
 
 /// Result of the peak-cap optimization.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PeakCapResult {
     /// The lowest feasible shaved peak.
     pub cap: Watts,
@@ -30,6 +29,8 @@ pub struct PeakCapResult {
     /// at X % load" figure from the paper).
     pub melt_onset_load: Fraction,
 }
+
+tts_units::derive_json! { struct PeakCapResult { cap, raw_peak, reduction, melt_onset_load } }
 
 /// Finds the lowest feasible power cap for a periodic load trace.
 ///
@@ -124,13 +125,15 @@ pub fn optimal_peak_cap(
 /// Extracted from the server thermal model (the Icepak-substitute sweeps):
 /// at steady state the air temperature at the wax location rises linearly
 /// with dissipated power for a fixed airflow.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinearAirTemp {
     /// Air temperature at the wax location at zero server power.
     pub t_at_zero: Celsius,
     /// Slope, kelvin per watt of server power.
     pub k_per_watt: f64,
 }
+
+tts_units::derive_json! { struct LinearAirTemp { t_at_zero, k_per_watt } }
 
 impl LinearAirTemp {
     /// Air temperature at the wax location for a given server power.
@@ -155,7 +158,7 @@ impl LinearAirTemp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use tts_rng::prop::prelude::*;
 
     fn rect_trace(base: f64, peak: f64, peak_samples: usize, total: usize) -> Vec<Watts> {
         (0..total)
@@ -217,8 +220,8 @@ mod tests {
     #[test]
     fn zero_budget_gives_zero_reduction() {
         let trace = rect_trace(100.0, 200.0, 10, 100);
-        let r = optimal_peak_cap(&trace, Seconds::new(100.0), Joules::ZERO, Watts::new(50.0))
-            .unwrap();
+        let r =
+            optimal_peak_cap(&trace, Seconds::new(100.0), Joules::ZERO, Watts::new(50.0)).unwrap();
         assert_eq!(r.reduction, Fraction::ZERO);
         assert_eq!(r.cap, r.raw_peak);
     }
@@ -230,13 +233,8 @@ mod tests {
         let mut trace = rect_trace(100.0, 200.0, 10, 50);
         trace.extend(rect_trace(100.0, 200.0, 10, 50));
         let budget = Joules::new(50_000.0);
-        let with_refreeze = optimal_peak_cap(
-            &trace,
-            Seconds::new(100.0),
-            budget,
-            Watts::new(100.0),
-        )
-        .unwrap();
+        let with_refreeze =
+            optimal_peak_cap(&trace, Seconds::new(100.0), budget, Watts::new(100.0)).unwrap();
         let without_refreeze =
             optimal_peak_cap(&trace, Seconds::new(100.0), budget, Watts::ZERO).unwrap();
         assert!(with_refreeze.cap < without_refreeze.cap);
@@ -271,7 +269,7 @@ mod tests {
     proptest! {
         #[test]
         fn cap_is_between_floor_and_peak(
-            samples in proptest::collection::vec(50.0f64..500.0, 10..200),
+            samples in collection::vec(50.0f64..500.0, 10..200),
             budget in 0.0f64..1e8,
         ) {
             let trace: Vec<Watts> = samples.iter().map(|&v| Watts::new(v)).collect();
@@ -286,7 +284,7 @@ mod tests {
 
         #[test]
         fn bigger_budget_never_raises_the_cap(
-            samples in proptest::collection::vec(50.0f64..500.0, 10..100),
+            samples in collection::vec(50.0f64..500.0, 10..100),
             b1 in 0.0f64..1e7,
         ) {
             let trace: Vec<Watts> = samples.iter().map(|&v| Watts::new(v)).collect();

@@ -7,7 +7,6 @@
 
 use crate::enthalpy::EnthalpyCurve;
 use crate::material::PcmMaterial;
-use serde::{Deserialize, Serialize};
 use tts_units::{Celsius, Fraction, Grams, Joules, JoulesPerGram, Seconds, Watts, WattsPerKelvin};
 
 /// The transient thermal state of a mass of PCM.
@@ -37,7 +36,7 @@ use tts_units::{Celsius, Fraction, Grams, Joules, JoulesPerGram, Seconds, Watts,
 /// }
 /// assert!(s.melt_fraction().value() < 0.05);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PcmState {
     curve: EnthalpyCurve,
     mass: Grams,
@@ -47,6 +46,8 @@ pub struct PcmState {
     /// point for `stored_energy`.
     enthalpy_ref: JoulesPerGram,
 }
+
+tts_units::derive_json! { struct PcmState { curve, mass, enthalpy, enthalpy_ref } }
 
 impl PcmState {
     /// A mass of `material` equilibrated at `initial_temperature`.
@@ -83,14 +84,14 @@ impl PcmState {
         let cp_eff = self.curve.effective_heat_capacity(t_wax); // J/(g·K)
         let c_total = cp_eff * self.mass.value(); // J/K
         let tau = c_total / coupling.value(); // s
-        // Exponential relaxation toward the air temperature over this step.
+                                              // Exponential relaxation toward the air temperature over this step.
         let alpha = 1.0 - (-dt.value() / tau).exp();
         let dt_k = (air_temp - t_wax).value() * alpha;
         let mut delta_h = cp_eff * dt_k; // J/g absorbed this step
-        // The relaxation's fixed point is thermal equilibrium with the air;
-        // when a step crosses a phase boundary the start-of-step effective
-        // heat capacity no longer applies, so clamp at the equilibrium
-        // enthalpy to keep the update monotone and overshoot-free.
+                                         // The relaxation's fixed point is thermal equilibrium with the air;
+                                         // when a step crosses a phase boundary the start-of-step effective
+                                         // heat capacity no longer applies, so clamp at the equilibrium
+                                         // enthalpy to keep the update monotone and overshoot-free.
         let h_eq = self.curve.enthalpy_at(air_temp).value();
         let h_new = self.enthalpy.value() + delta_h;
         let h_clamped = if delta_h >= 0.0 {
@@ -190,7 +191,7 @@ impl PcmState {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use tts_rng::prop::prelude::*;
 
     fn state(t0: f64) -> PcmState {
         PcmState::new(
@@ -318,7 +319,10 @@ mod tests {
             Seconds::new(600.0),
             Watts::new(10.0),
         );
-        assert!((q.value() + 10.0).abs() < 1e-9, "release clamped to 10 W, got {q}");
+        assert!(
+            (q.value() + 10.0).abs() < 1e-9,
+            "release clamped to 10 W, got {q}"
+        );
         // Energy accounting holds under the clamp.
         assert!((s.stored_energy().value() + 10.0 * 600.0).abs() < 1e-6);
     }
@@ -339,7 +343,11 @@ mod tests {
     fn gentle_release_is_unaffected_by_a_loose_cap() {
         let mut a = state(55.0);
         let mut b = state(55.0);
-        let qa = a.step(Celsius::new(50.0), WattsPerKelvin::new(1.0), Seconds::new(60.0));
+        let qa = a.step(
+            Celsius::new(50.0),
+            WattsPerKelvin::new(1.0),
+            Seconds::new(60.0),
+        );
         let qb = b.step_with_release_cap(
             Celsius::new(50.0),
             WattsPerKelvin::new(1.0),
@@ -353,7 +361,11 @@ mod tests {
     #[test]
     fn reset_restores_equilibrium() {
         let mut s = state(25.0);
-        s.step(Celsius::new(60.0), WattsPerKelvin::new(5.0), Seconds::new(3600.0));
+        s.step(
+            Celsius::new(60.0),
+            WattsPerKelvin::new(5.0),
+            Seconds::new(3600.0),
+        );
         s.reset_to(Celsius::new(25.0));
         assert!((s.temperature().value() - 25.0).abs() < 1e-9);
     }
@@ -371,7 +383,7 @@ mod tests {
     proptest! {
         #[test]
         fn energy_balance_holds_for_arbitrary_air_traces(
-            temps in proptest::collection::vec(15.0f64..70.0, 1..60),
+            temps in collection::vec(15.0f64..70.0, 1..60),
             dt in 10.0f64..600.0,
         ) {
             let mut s = state(25.0);
@@ -390,7 +402,7 @@ mod tests {
 
         #[test]
         fn melt_fraction_stays_in_unit_interval(
-            temps in proptest::collection::vec(-10.0f64..100.0, 1..40),
+            temps in collection::vec(-10.0f64..100.0, 1..40),
         ) {
             let mut s = state(25.0);
             let g = WattsPerKelvin::new(10.0);

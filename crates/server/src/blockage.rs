@@ -8,11 +8,10 @@
 
 use crate::model::ServerThermalModel;
 use crate::spec::ServerSpec;
-use serde::{Deserialize, Serialize};
 use tts_units::{Celsius, CubicMetersPerSecond, Fraction, Seconds};
 
 /// One point of a blockage sweep.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BlockageRow {
     /// Grille blockage fraction.
     pub blockage: Fraction,
@@ -25,6 +24,8 @@ pub struct BlockageRow {
     /// Airflow at the operating point.
     pub flow: CubicMetersPerSecond,
 }
+
+tts_units::derive_json! { struct BlockageRow { blockage, outlet, wax_zone, sockets, flow } }
 
 /// Sweeps grille blockage at full load for one server.
 ///
@@ -128,7 +129,10 @@ mod tests {
         let rows = default_sweep(&ServerClass::HighThroughput2U.spec());
         let early = rise(&rows, 0, 5); // 0 → 50 %
         let late = rise(&rows, 5, 9); // 50 → 90 %
-        assert!(early < 5.0, "2U outlet rise below 50 % too large: {early} K");
+        assert!(
+            early < 5.0,
+            "2U outlet rise below 50 % too large: {early} K"
+        );
         assert!(
             late > 3.0 * early.max(0.5),
             "2U must have a knee: early {early} K, late {late} K"

@@ -1,6 +1,5 @@
 //! Component power models: CPUs (with DVFS), memory, PSU, drives, fans.
 
-use serde::{Deserialize, Serialize};
 use tts_units::{Fraction, Watts};
 
 /// Exponent relating CPU dynamic power to the frequency ratio under DVFS.
@@ -11,7 +10,7 @@ use tts_units::{Fraction, Watts};
 pub const DVFS_POWER_EXPONENT: f64 = 2.4;
 
 /// A multi-socket CPU subsystem.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CpuSpec {
     /// Number of populated sockets.
     pub sockets: usize,
@@ -28,6 +27,8 @@ pub struct CpuSpec {
     pub throttle_ghz: f64,
 }
 
+tts_units::derive_json! { struct CpuSpec { sockets, cores_per_socket, idle_per_socket, peak_per_socket, nominal_ghz, throttle_ghz } }
+
 impl CpuSpec {
     /// Total CPU power at a utilization and frequency setting.
     ///
@@ -36,8 +37,9 @@ impl CpuSpec {
     /// frequency-independent (dominated by leakage and uncore); the dynamic
     /// component scales with utilization and `freq^2.4`.
     pub fn power(&self, utilization: Fraction, freq: Fraction) -> Watts {
-        let dynamic_per_socket =
-            (self.peak_per_socket - self.idle_per_socket).value().max(0.0);
+        let dynamic_per_socket = (self.peak_per_socket - self.idle_per_socket)
+            .value()
+            .max(0.0);
         let scale = freq.value().powf(DVFS_POWER_EXPONENT);
         let per_socket =
             self.idle_per_socket.value() + dynamic_per_socket * utilization.value() * scale;
@@ -58,7 +60,7 @@ impl CpuSpec {
 /// DRAM subsystem power (uniform access assumption, §3: "memory accesses
 /// are approximated as uniform to evenly distribute power across all of the
 /// modules").
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemorySpec {
     /// Number of DIMMs.
     pub dimms: usize,
@@ -68,25 +70,30 @@ pub struct MemorySpec {
     pub peak_per_dimm: Watts,
 }
 
+tts_units::derive_json! { struct MemorySpec { dimms, idle_per_dimm, peak_per_dimm } }
+
 impl MemorySpec {
     /// Total DRAM power at a utilization.
     pub fn power(&self, utilization: Fraction) -> Watts {
-        let per = utilization
-            .value()
-            .mul_add((self.peak_per_dimm - self.idle_per_dimm).value(), self.idle_per_dimm.value());
+        let per = utilization.value().mul_add(
+            (self.peak_per_dimm - self.idle_per_dimm).value(),
+            self.idle_per_dimm.value(),
+        );
         Watts::new(per * self.dimms as f64)
     }
 }
 
 /// Power supply efficiency model (the RD330's PSU is "rated at 80 %
 /// efficiency idle and 90 % efficiency under load").
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PsuSpec {
     /// Efficiency at idle load.
     pub efficiency_idle: Fraction,
     /// Efficiency at full load.
     pub efficiency_loaded: Fraction,
 }
+
+tts_units::derive_json! { struct PsuSpec { efficiency_idle, efficiency_loaded } }
 
 impl PsuSpec {
     /// Efficiency at a given utilization (linear interpolation).
@@ -110,13 +117,15 @@ impl PsuSpec {
 }
 
 /// Storage devices (HDD/SSD/optical lumped).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DrivesSpec {
     /// Idle power of all drives together.
     pub idle: Watts,
     /// Active power of all drives together.
     pub peak: Watts,
 }
+
+tts_units::derive_json! { struct DrivesSpec { idle, peak } }
 
 impl DrivesSpec {
     /// Drive power at a utilization.
@@ -134,7 +143,7 @@ impl DrivesSpec {
 /// §3 models fans "as a time-based step function between the idle and
 /// loaded speeds"; we drive speed continuously with utilization between the
 /// two setpoints, which reduces to the paper's step for a step load.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FansSpec {
     /// Number of fans.
     pub count: usize,
@@ -146,6 +155,8 @@ pub struct FansSpec {
     /// Fraction of full speed under load.
     pub loaded_speed: Fraction,
 }
+
+tts_units::derive_json! { struct FansSpec { count, rated_each, idle_speed, loaded_speed } }
 
 impl FansSpec {
     /// Fan speed (fraction of full) at a utilization.
@@ -166,7 +177,7 @@ impl FansSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use tts_rng::prop::prelude::*;
 
     fn rd330_cpu() -> CpuSpec {
         CpuSpec {

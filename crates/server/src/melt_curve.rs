@@ -12,7 +12,6 @@
 
 use crate::model::ServerThermalModel;
 use crate::spec::ServerSpec;
-use serde::{Deserialize, Serialize};
 use tts_pcm::selection::LinearAirTemp;
 use tts_pcm::PcmMaterial;
 use tts_units::{Celsius, Fraction, Grams, Joules, Seconds, Watts, WattsPerKelvin};
@@ -36,7 +35,7 @@ pub fn fit_linear(xs: &[f64], ys: &[f64]) -> (f64, f64) {
 
 /// The aggregate wax characteristics of one server configuration, as
 /// consumed by the datacenter simulator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServerWaxCharacteristics {
     /// Steady-state wax-zone air temperature vs. *wall* power (fan-speed
     /// response to load is baked into the sweep).
@@ -60,6 +59,8 @@ pub struct ServerWaxCharacteristics {
     /// Fit residual (max |model − simulated| across the sweep, K).
     pub fit_residual_k: f64,
 }
+
+tts_units::derive_json! { struct ServerWaxCharacteristics { air_temp_model, coupling, stream_mcp, material, mass, latent_capacity, idle_air_temp, loaded_air_temp, fit_residual_k } }
 
 impl ServerWaxCharacteristics {
     /// Derives the characteristics for `spec` with `material` in the
@@ -151,7 +152,9 @@ impl ServerWaxCharacteristics {
     /// `G_eff · (T_solidus − T_idle_air)`, clamped at zero if the idle air
     /// cannot refreeze this wax.
     pub fn max_refreeze_rate(&self) -> Watts {
-        let dt = (self.material.solidus() - self.idle_air_temp).value().max(0.0);
+        let dt = (self.material.solidus() - self.idle_air_temp)
+            .value()
+            .max(0.0);
         Watts::new(self.effective_coupling().value() * dt)
     }
 

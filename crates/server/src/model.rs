@@ -195,8 +195,7 @@ impl ServerThermalModel {
         net.connect(drives, drives_air, WattsPerKelvin::new(3.0));
         let psu = net.add_capacitive("psu", JoulesPerKelvin::new(capacitance::PSU), t0);
         net.connect(psu, merge, WattsPerKelvin::new(4.0));
-        let chassis =
-            net.add_capacitive("chassis", JoulesPerKelvin::new(capacitance::CHASSIS), t0);
+        let chassis = net.add_capacitive("chassis", JoulesPerKelvin::new(capacitance::CHASSIS), t0);
         net.connect(chassis, front, WattsPerKelvin::new(6.0));
 
         // Air path; flows are placeholders until the first set_load.
@@ -210,7 +209,10 @@ impl ServerThermalModel {
         }
         adv_hot.push(net.advect(prev, waxzone, unit));
         adv_hot.push(net.advect(waxzone, merge, unit));
-        let adv_bypass = vec![net.advect(front, bypass, unit), net.advect(bypass, merge, unit)];
+        let adv_bypass = vec![
+            net.advect(front, bypass, unit),
+            net.advect(bypass, merge, unit),
+        ];
         let adv_out = net.advect(merge, outlet, unit);
 
         let pcm = match &bay {
@@ -257,10 +259,8 @@ impl ServerThermalModel {
 
     /// The current airflow operating point.
     pub fn operating_point(&self) -> OperatingPoint {
-        self.flow_path.operating_point(
-            self.bay.blockage(),
-            self.spec.fans.speed(self.utilization),
-        )
+        self.flow_path
+            .operating_point(self.bay.blockage(), self.spec.fans.speed(self.utilization))
     }
 
     /// Sets the server's utilization and frequency (fraction of nominal),
@@ -293,14 +293,14 @@ impl ServerThermalModel {
         for &node in &self.cpu_nodes {
             self.net.set_power(node, per_socket);
         }
-        self.net.set_power(self.dram, spec.memory.power(utilization));
-        self.net.set_power(self.drives, spec.drives.power(utilization));
+        self.net
+            .set_power(self.dram, spec.memory.power(utilization));
+        self.net
+            .set_power(self.drives, spec.drives.power(utilization));
         // Lumped "other" (motherboard/IO) and fan heat dissipate into the
         // front air volume.
         let internal = spec.internal_power(utilization, freq);
-        let explicit = cpu_total
-            + spec.memory.power(utilization)
-            + spec.drives.power(utilization);
+        let explicit = cpu_total + spec.memory.power(utilization) + spec.drives.power(utilization);
         self.net.set_power(self.front, internal - explicit);
         // PSU conversion loss.
         self.net
@@ -326,7 +326,12 @@ impl ServerThermalModel {
     }
 
     /// Runs to steady state (see [`ThermalNetwork::run_to_steady_state`]).
-    pub fn run_to_steady_state(&mut self, dt: Seconds, tol_k: f64, max: Seconds) -> Option<Seconds> {
+    pub fn run_to_steady_state(
+        &mut self,
+        dt: Seconds,
+        tol_k: f64,
+        max: Seconds,
+    ) -> Option<Seconds> {
         self.net.run_to_steady_state(dt, tol_k, max)
     }
 
@@ -371,7 +376,9 @@ impl ServerThermalModel {
     /// Heat currently absorbed by the wax (negative while releasing; zero
     /// when no wax installed).
     pub fn wax_heat_flow(&self) -> Watts {
-        self.pcm.map(|id| self.net.pcm_heat_flow(id)).unwrap_or(Watts::ZERO)
+        self.pcm
+            .map(|id| self.net.pcm_heat_flow(id))
+            .unwrap_or(Watts::ZERO)
     }
 
     /// Energy stored in the wax relative to its initial state.
@@ -541,7 +548,10 @@ mod tests {
             depressed > total / 2,
             "wax should depress heat-up temperatures ({depressed}/{total})"
         );
-        assert!(with_wax.melt_fraction().value() > 0.05, "wax should begin melting");
+        assert!(
+            with_wax.melt_fraction().value() > 0.05,
+            "wax should begin melting"
+        );
         assert_eq!(placebo.melt_fraction(), Fraction::ZERO);
     }
 
@@ -619,7 +629,10 @@ mod tests {
             settle(&mut m);
             let wall = m.wall_power().value();
             let exhaust = m.exhaust_heat().value();
-            let internal = m.spec().internal_power(Fraction::new(0.7), Fraction::ONE).value();
+            let internal = m
+                .spec()
+                .internal_power(Fraction::new(0.7), Fraction::ONE)
+                .value();
             let psu_loss = wall - internal;
             // Everything dissipated inside (internal + PSU loss = wall)
             // leaves through the exhaust at steady state.

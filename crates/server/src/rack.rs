@@ -11,11 +11,10 @@
 
 use crate::melt_curve::ServerWaxCharacteristics;
 use crate::spec::ServerSpec;
-use serde::{Deserialize, Serialize};
 use tts_units::{Celsius, Fraction, TempDelta, Watts};
 
 /// A rack of identical servers with exhaust recirculation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RackModel {
     /// The server populating the rack.
     pub spec: ServerSpec,
@@ -26,6 +25,8 @@ pub struct RackModel {
     /// Well-managed hot-aisle containment: 0.05–0.15.
     pub top_recirculation: Fraction,
 }
+
+tts_units::derive_json! { struct RackModel { spec, positions, top_recirculation } }
 
 impl RackModel {
     /// A paper-consistent rack for a spec: 42 × 1U, 20 × 2U, 24 OCP blades
@@ -58,9 +59,7 @@ impl RackModel {
                 } else {
                     0.0
                 };
-                Celsius::new(
-                    room_supply.value() * (1.0 - f) + exhaust.value() * f,
-                )
+                Celsius::new(room_supply.value() * (1.0 - f) + exhaust.value() * f)
             })
             .collect()
     }
@@ -183,9 +182,7 @@ mod tests {
         let mut r = rack();
         r.top_recirculation = Fraction::ZERO;
         let inlets = r.inlet_profile(Celsius::new(25.0), Fraction::ONE);
-        assert!(inlets
-            .iter()
-            .all(|t| (t.value() - 25.0).abs() < 1e-9));
+        assert!(inlets.iter().all(|t| (t.value() - 25.0).abs() < 1e-9));
     }
 
     #[test]

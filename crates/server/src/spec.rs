@@ -1,14 +1,13 @@
 //! The three calibrated server specifications (§4.1 of the paper).
 
 use crate::components::{CpuSpec, DrivesSpec, FansSpec, MemorySpec, PsuSpec};
-use serde::{Deserialize, Serialize};
 use tts_pcm::ContainerBank;
 use tts_units::{
     Celsius, CubicMetersPerSecond, Dollars, Fraction, Liters, Meters, Pascals, SquareMeters, Watts,
 };
 
 /// Which of the paper's three datacenter building blocks a spec describes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ServerClass {
     /// 1U low-power commodity server (Lenovo RD330).
     LowPower1U,
@@ -17,6 +16,8 @@ pub enum ServerClass {
     /// Microsoft Open Compute blade (high density).
     OpenComputeBlade,
 }
+
+tts_units::derive_json! { enum ServerClass { LowPower1U, HighThroughput2U, OpenComputeBlade } }
 
 impl ServerClass {
     /// All three classes, in the paper's order.
@@ -48,7 +49,7 @@ impl core::fmt::Display for ServerClass {
 }
 
 /// A wax deployment option for a server (§4.1's per-server configurations).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WaxPlacement {
     /// Human-readable label ("1.2 L, 2 boxes, 70 % blockage").
     pub label: String,
@@ -68,6 +69,8 @@ pub struct WaxPlacement {
     pub elevated: bool,
 }
 
+tts_units::derive_json! { struct WaxPlacement { label, volume, containers, box_length, box_width, added_blockage, elevated } }
+
 impl WaxPlacement {
     /// Builds the container bank for this placement.
     pub fn bank(&self) -> ContainerBank {
@@ -79,7 +82,12 @@ impl WaxPlacement {
                 self.box_width,
             )
         } else {
-            ContainerBank::subdivide(self.volume, self.containers, self.box_length, self.box_width)
+            ContainerBank::subdivide(
+                self.volume,
+                self.containers,
+                self.box_length,
+                self.box_width,
+            )
         }
     }
 }
@@ -91,7 +99,7 @@ impl WaxPlacement {
 /// targets is lumped into an "other" term (motherboard, LEDs, I/O — the
 /// paper lumps these with the CPU sockets), interpolated linearly in
 /// utilization.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServerSpec {
     /// Descriptive name.
     pub name: String,
@@ -140,6 +148,8 @@ pub struct ServerSpec {
     /// Wax placement options, first entry is the paper's chosen one.
     pub wax_options: Vec<WaxPlacement>,
 }
+
+tts_units::derive_json! { struct ServerSpec { name, class, cpu, memory, psu, drives, drives_downstream, fans, idle_wall, peak_wall, price, inlet_temp, duct_area, base_impedance, orifice_zeta, fan_stall_pressure, fan_free_flow, hot_lane_fraction, cpu_sink_conductance, wax_options } }
 
 impl ServerSpec {
     /// The validated 1U Lenovo RD330 (§3, §4.1).
@@ -360,8 +370,10 @@ impl ServerSpec {
     /// utilization, anchored to the wall-power targets at nominal
     /// frequency.
     fn other_power(&self, utilization: Fraction) -> f64 {
-        let internal_idle_target = self.idle_wall.value() * self.psu.efficiency(Fraction::ZERO).value();
-        let internal_peak_target = self.peak_wall.value() * self.psu.efficiency(Fraction::ONE).value();
+        let internal_idle_target =
+            self.idle_wall.value() * self.psu.efficiency(Fraction::ZERO).value();
+        let internal_peak_target =
+            self.peak_wall.value() * self.psu.efficiency(Fraction::ONE).value();
         let other_idle =
             internal_idle_target - self.component_power(Fraction::ZERO, Fraction::ONE).value();
         let other_peak =
@@ -461,9 +473,7 @@ mod tests {
         for class in ServerClass::ALL {
             let s = class.spec();
             let full = s.wall_power(Fraction::ONE, Fraction::ONE).value();
-            let thr = s
-                .wall_power(Fraction::ONE, s.cpu.throttle_ratio())
-                .value();
+            let thr = s.wall_power(Fraction::ONE, s.cpu.throttle_ratio()).value();
             assert!(thr < full, "{class}");
             let tp_ratio = s.throughput(Fraction::ONE, s.cpu.throttle_ratio());
             assert!((tp_ratio - 2.0 / 3.0).abs() < 1e-9);
@@ -496,7 +506,10 @@ mod tests {
             ServerSpec::rd330_1u().default_wax().volume,
             Liters::new(1.2)
         );
-        assert_eq!(ServerSpec::x4470_2u().default_wax().volume, Liters::new(4.0));
+        assert_eq!(
+            ServerSpec::x4470_2u().default_wax().volume,
+            Liters::new(4.0)
+        );
         let ocp = ServerSpec::open_compute_blade();
         assert_eq!(ocp.wax_options[0].volume, Liters::new(0.5));
         assert_eq!(ocp.default_wax().volume, Liters::new(1.5));
@@ -507,7 +520,9 @@ mod tests {
         assert!((ServerSpec::rd330_1u().default_wax().added_blockage.value() - 0.70).abs() < 1e-9);
         assert!((ServerSpec::x4470_2u().default_wax().added_blockage.value() - 0.69).abs() < 1e-9);
         assert_eq!(
-            ServerSpec::open_compute_blade().default_wax().added_blockage,
+            ServerSpec::open_compute_blade()
+                .default_wax()
+                .added_blockage,
             Fraction::ZERO
         );
     }
@@ -536,7 +551,13 @@ mod tests {
     #[test]
     fn display_names() {
         assert_eq!(ServerClass::LowPower1U.to_string(), "1U low power");
-        assert_eq!(ServerClass::HighThroughput2U.to_string(), "2U high throughput");
-        assert_eq!(ServerClass::OpenComputeBlade.to_string(), "Open Compute blade");
+        assert_eq!(
+            ServerClass::HighThroughput2U.to_string(),
+            "2U high throughput"
+        );
+        assert_eq!(
+            ServerClass::OpenComputeBlade.to_string(),
+            "Open Compute blade"
+        );
     }
 }

@@ -25,8 +25,7 @@ pub fn cooling_downsize_savings_per_year(
 ) -> Dollars {
     let cooling_capex = table.cooling_infra_capex_per_kw.mid();
     let cooling_power_share = 0.25 * table.power_infra_capex_per_kw.mid();
-    let monthly_per_kw =
-        (cooling_capex + cooling_power_share) * CAPITAL_INTEREST_FACTOR;
+    let monthly_per_kw = (cooling_capex + cooling_power_share) * CAPITAL_INTEREST_FACTOR;
     Dollars::new(monthly_per_kw * critical_kw * 12.0 * peak_reduction.value())
 }
 
@@ -95,11 +94,9 @@ mod tests {
         // Paper: $187 k (1U, 8.9 %), $254 k (2U, 12 %), $174 k (OCP,
         // 8.3 %) per year for a 10 MW datacenter.
         let t = Table2::paper();
-        let s_1u =
-            cooling_downsize_savings_per_year(&t, 10_000.0, Fraction::new(0.089)).value();
+        let s_1u = cooling_downsize_savings_per_year(&t, 10_000.0, Fraction::new(0.089)).value();
         let s_2u = cooling_downsize_savings_per_year(&t, 10_000.0, Fraction::new(0.12)).value();
-        let s_ocp =
-            cooling_downsize_savings_per_year(&t, 10_000.0, Fraction::new(0.083)).value();
+        let s_ocp = cooling_downsize_savings_per_year(&t, 10_000.0, Fraction::new(0.083)).value();
         assert!((120e3..260e3).contains(&s_1u), "1U {s_1u}");
         assert!((170e3..340e3).contains(&s_2u), "2U {s_2u}");
         assert!((110e3..250e3).contains(&s_ocp), "OCP {s_ocp}");

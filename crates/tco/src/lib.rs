@@ -42,5 +42,5 @@ pub use analyses::{
 };
 pub use model::{MonthlyTco, TcoInput};
 pub use npv::{wax_npv, NpvInputs, NpvResult};
-pub use sensitivity::{downsize_band, retrofit_band, SensitivityBand};
 pub use params::{Range, Table2};
+pub use sensitivity::{downsize_band, retrofit_band, SensitivityBand};

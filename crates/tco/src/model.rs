@@ -1,12 +1,11 @@
 //! Equation 1: the monthly TCO of one datacenter configuration.
 
 use crate::params::{Table2, SQFT_PER_KW};
-use serde::{Deserialize, Serialize};
 use tts_server::ServerClass;
 use tts_units::Dollars;
 
 /// One datacenter configuration to be priced.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TcoInput {
     /// Server class deployed.
     pub class: ServerClass,
@@ -17,6 +16,8 @@ pub struct TcoInput {
     /// Whether the fleet carries wax.
     pub with_wax: bool,
 }
+
+tts_units::derive_json! { struct TcoInput { class, servers, critical_kw, with_wax } }
 
 impl TcoInput {
     /// The paper's 10 MW datacenter of a class (§4.3 cluster counts).
@@ -36,7 +37,7 @@ impl TcoInput {
 }
 
 /// The Equation 1 breakdown, dollars per month.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MonthlyTco {
     /// Facility + UPS + power + cooling + rest capital.
     pub infrastructure_capex: Dollars,
@@ -49,6 +50,8 @@ pub struct MonthlyTco {
     /// All operating expenses.
     pub opex: Dollars,
 }
+
+tts_units::derive_json! { struct MonthlyTco { infrastructure_capex, dc_interest, server_capex, server_interest, opex } }
 
 impl MonthlyTco {
     /// Prices a configuration with the given parameter table.
@@ -184,8 +187,14 @@ mod tests {
 
     #[test]
     fn denser_servers_cost_more_per_box_but_fewer_boxes() {
-        let t1u = MonthlyTco::compute(&TcoInput::paper_10mw(ServerClass::LowPower1U, false), &Table2::paper());
-        let t2u = MonthlyTco::compute(&TcoInput::paper_10mw(ServerClass::HighThroughput2U, false), &Table2::paper());
+        let t1u = MonthlyTco::compute(
+            &TcoInput::paper_10mw(ServerClass::LowPower1U, false),
+            &Table2::paper(),
+        );
+        let t2u = MonthlyTco::compute(
+            &TcoInput::paper_10mw(ServerClass::HighThroughput2U, false),
+            &Table2::paper(),
+        );
         // 55×1008 cheap servers vs 19×1008 expensive ones: totals land in
         // the same regime (within 2×).
         let ratio = t1u.total() / t2u.total();

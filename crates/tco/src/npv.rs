@@ -7,11 +7,10 @@
 //! `tts_pcm::degradation` model). The punchline the paper gestures at —
 //! the wax pays for itself absurdly fast — becomes a number.
 
-use serde::{Deserialize, Serialize};
 use tts_units::{Dollars, Fraction};
 
 /// Inputs to the NPV computation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NpvInputs {
     /// Up-front wax + container cost for the whole fleet.
     pub wax_capex: Dollars,
@@ -26,8 +25,10 @@ pub struct NpvInputs {
     pub horizon_years: u32,
 }
 
+tts_units::derive_json! { struct NpvInputs { wax_capex, savings_year_one, discount_rate, capacity_fade_per_year, horizon_years } }
+
 /// The NPV breakdown.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NpvResult {
     /// Present value of the savings stream.
     pub savings_present_value: Dollars,
@@ -41,6 +42,8 @@ pub struct NpvResult {
     /// Per-year discounted savings.
     pub yearly_discounted: Vec<f64>,
 }
+
+tts_units::derive_json! { struct NpvResult { savings_present_value, capex, npv, payback_year, yearly_discounted } }
 
 /// Computes the NPV of a wax deployment.
 ///

@@ -1,16 +1,17 @@
 //! Table 2: the TCO parameter set.
 
-use serde::{Deserialize, Serialize};
 use tts_server::ServerClass;
 
 /// A `lo..hi` parameter band, as printed in Table 2.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Range {
     /// Lower bound.
     pub lo: f64,
     /// Upper bound.
     pub hi: f64,
 }
+
+tts_units::derive_json! { struct Range { lo, hi } }
 
 impl Range {
     /// A degenerate single-value range.
@@ -72,7 +73,7 @@ pub const COOLING_PLANT_LIFETIME_MONTHS: f64 = 120.0;
 
 /// The Table 2 parameter set (dollars per month; `per_kw` rows per kW of
 /// critical power, `per_server` rows per server).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Table2 {
     /// Facility space, $/sq ft.
     pub facility_space_capex_per_sqft: Range,
@@ -103,6 +104,8 @@ pub struct Table2 {
     /// Remaining operating expenses, $/kW.
     pub rest_opex_per_kw: Range,
 }
+
+tts_units::derive_json! { struct Table2 { facility_space_capex_per_sqft, ups_capex_per_server, power_infra_capex_per_kw, cooling_infra_capex_per_kw, rest_capex_per_kw, dc_interest_per_kw, server_capex_per_server, wax_capex_per_server, server_interest_per_server, datacenter_opex_per_kw, server_energy_opex_per_kw, server_power_opex_per_kw, cooling_energy_opex_per_kw, rest_opex_per_kw } }
 
 impl Table2 {
     /// The paper's Table 2, verbatim.
@@ -157,7 +160,7 @@ impl Table2 {
 
 /// Table 2 with every band resolved to a concrete value for one server
 /// class.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 #[allow(missing_docs)]
 pub struct ResolvedTable2 {
     pub facility_space_capex_per_sqft: f64,
@@ -175,6 +178,8 @@ pub struct ResolvedTable2 {
     pub cooling_energy_opex_per_kw: f64,
     pub rest_opex_per_kw: f64,
 }
+
+tts_units::derive_json! { struct ResolvedTable2 { facility_space_capex_per_sqft, ups_capex_per_server, power_infra_capex_per_kw, cooling_infra_capex_per_kw, rest_capex_per_kw, dc_interest_per_kw, server_capex_per_server, wax_capex_per_server, server_interest_per_server, datacenter_opex_per_kw, server_energy_opex_per_kw, server_power_opex_per_kw, cooling_energy_opex_per_kw, rest_opex_per_kw } }
 
 #[cfg(test)]
 mod tests {

@@ -7,11 +7,10 @@
 
 use crate::analyses::{cooling_downsize_savings_per_year, retrofit_savings_per_year};
 use crate::params::{Range, Table2};
-use serde::{Deserialize, Serialize};
 use tts_units::{Dollars, Fraction};
 
 /// A `[low, mid, high]` evaluation of one analysis.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SensitivityBand {
     /// Value with every ranged parameter at its low end.
     pub low: Dollars,
@@ -20,6 +19,8 @@ pub struct SensitivityBand {
     /// Value with every ranged parameter at its high end.
     pub high: Dollars,
 }
+
+tts_units::derive_json! { struct SensitivityBand { low, mid, high } }
 
 impl SensitivityBand {
     /// Relative half-width of the band around the midpoint.

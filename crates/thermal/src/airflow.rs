@@ -9,17 +9,18 @@
 //! flow degrades gently at first and collapses as `b → 1` — exactly the
 //! "stable below 50 %, exponential above 70 %" behaviour of Figure 7 (b).
 
-use serde::{Deserialize, Serialize};
 use tts_units::{
     CubicMetersPerSecond, Fraction, MetersPerSecond, Pascals, SquareMeters, AIR_DENSITY_KG_M3,
 };
 
 /// A single fan's quadratic P–Q curve: `ΔP(Q) = P_max · (1 − (Q/Q_max)²)`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FanCurve {
     max_pressure: Pascals,
     max_flow: CubicMetersPerSecond,
 }
+
+tts_units::derive_json! { struct FanCurve { max_pressure, max_flow } }
 
 impl FanCurve {
     /// A fan with stall pressure `max_pressure` and free-delivery flow
@@ -28,8 +29,14 @@ impl FanCurve {
     /// # Panics
     /// Panics unless both parameters are positive.
     pub fn new(max_pressure: Pascals, max_flow: CubicMetersPerSecond) -> Self {
-        assert!(max_pressure.value() > 0.0, "stall pressure must be positive");
-        assert!(max_flow.value() > 0.0, "free-delivery flow must be positive");
+        assert!(
+            max_pressure.value() > 0.0,
+            "stall pressure must be positive"
+        );
+        assert!(
+            max_flow.value() > 0.0,
+            "free-delivery flow must be positive"
+        );
         Self {
             max_pressure,
             max_flow,
@@ -65,7 +72,7 @@ impl FanCurve {
 }
 
 /// The solved airflow operating point for a given blockage.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OperatingPoint {
     /// Total volumetric flow through the chassis.
     pub flow: CubicMetersPerSecond,
@@ -78,9 +85,11 @@ pub struct OperatingPoint {
     pub gap_velocity: MetersPerSecond,
 }
 
+tts_units::derive_json! { struct OperatingPoint { flow, pressure, duct_velocity, gap_velocity } }
+
 /// One server's air path: parallel fans against chassis + blockage
 /// impedance.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FlowPath {
     fan: FanCurve,
     fan_count: usize,
@@ -92,6 +101,8 @@ pub struct FlowPath {
     /// grilles).
     orifice_zeta: f64,
 }
+
+tts_units::derive_json! { struct FlowPath { fan, fan_count, base_impedance, duct_area, orifice_zeta } }
 
 impl FlowPath {
     /// A path of `fan_count` identical fans in parallel blowing through a
@@ -179,7 +190,7 @@ impl FlowPath {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use tts_rng::prop::prelude::*;
 
     fn path() -> FlowPath {
         // Six small 1U fans: 35 CFM free delivery, 160 Pa stall each.
@@ -191,9 +202,15 @@ mod tests {
     fn fan_curve_endpoints() {
         let fan = FanCurve::new(Pascals::new(100.0), CubicMetersPerSecond::new(0.05));
         assert_eq!(fan.pressure_at(CubicMetersPerSecond::ZERO).value(), 100.0);
-        assert_eq!(fan.pressure_at(CubicMetersPerSecond::new(0.05)).value(), 0.0);
+        assert_eq!(
+            fan.pressure_at(CubicMetersPerSecond::new(0.05)).value(),
+            0.0
+        );
         // Past free delivery: clamped, not negative.
-        assert_eq!(fan.pressure_at(CubicMetersPerSecond::new(0.08)).value(), 0.0);
+        assert_eq!(
+            fan.pressure_at(CubicMetersPerSecond::new(0.08)).value(),
+            0.0
+        );
     }
 
     #[test]
@@ -221,7 +238,9 @@ mod tests {
         let sys_p = op.pressure.value();
         let fan = FanCurve::new(Pascals::new(160.0), CubicMetersPerSecond::from_cfm(35.0));
         let q_per_fan = op.flow.value() / 6.0;
-        let fan_p = fan.pressure_at(CubicMetersPerSecond::new(q_per_fan)).value();
+        let fan_p = fan
+            .pressure_at(CubicMetersPerSecond::new(q_per_fan))
+            .value();
         assert!((sys_p - fan_p).abs() < 1e-6, "{sys_p} vs {fan_p}");
     }
 
@@ -243,7 +262,10 @@ mod tests {
         // strong for these fans, but the knee must exist: the loss from
         // 0→50 % must be much smaller than from 50→90 %.
         let p = path();
-        let q0 = p.operating_point(Fraction::ZERO, Fraction::ONE).flow.value();
+        let q0 = p
+            .operating_point(Fraction::ZERO, Fraction::ONE)
+            .flow
+            .value();
         let q50 = p
             .operating_point(Fraction::new(0.5), Fraction::ONE)
             .flow

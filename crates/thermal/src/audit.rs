@@ -90,8 +90,11 @@ pub fn audit(net: &ThermalNetwork) -> Vec<AuditFinding> {
         reachable[b] = true;
     }
     while let Some(i) = queue.pop() {
-        let mut neighbors: Vec<usize> =
-            net.conductance_neighbors(i).iter().map(|&(j, _)| j).collect();
+        let mut neighbors: Vec<usize> = net
+            .conductance_neighbors(i)
+            .iter()
+            .map(|&(j, _)| j)
+            .collect();
         neighbors.extend(net.advection_inflows(i).iter().map(|&(j, _)| j));
         neighbors.extend(net.advection_outflows(i).iter().map(|&(j, _)| j));
         for j in neighbors {

@@ -45,7 +45,7 @@ pub fn sink_conductance_scale(v: MetersPerSecond, v_ref: MetersPerSecond) -> f64
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use tts_rng::prop::prelude::*;
 
     #[test]
     fn still_air_gives_natural_floor() {

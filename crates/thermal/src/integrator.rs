@@ -1,7 +1,5 @@
 //! Time integrators for the capacitive (solid) nodes.
 
-use serde::{Deserialize, Serialize};
-
 /// The integration scheme used for capacitive nodes.
 ///
 /// The air nodes are always solved quasi-steadily (they carry negligible
@@ -9,7 +7,7 @@ use serde::{Deserialize, Serialize};
 /// constants explicitly would force absurd step sizes); this enum selects
 /// how the *solid* temperatures advance. The ablation bench
 /// (`integrator_ablation`) compares the three.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Integrator {
     /// Per-node exponential relaxation toward the local equilibrium
     /// temperature. Unconditionally stable and exact for an isolated RC
@@ -25,6 +23,8 @@ pub enum Integrator {
     /// baseline.
     ExplicitEuler,
 }
+
+tts_units::derive_json! { enum Integrator { ExponentialEuler, Rk4, ExplicitEuler } }
 
 /// One RK4 step of `dy/dt = f(t, y)`.
 ///

@@ -110,7 +110,7 @@ impl Matrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use tts_rng::prop::prelude::*;
 
     #[test]
     fn solves_identity() {
@@ -162,7 +162,7 @@ mod tests {
         #[allow(clippy::needless_range_loop)]
         fn residual_is_small_for_diagonally_dominant_systems(
             n in 1usize..12,
-            seed_vals in proptest::collection::vec(-1.0f64..1.0, 144 + 12),
+            seed_vals in collection::vec(-1.0f64..1.0, 144 + 12),
         ) {
             // Build a strictly diagonally dominant matrix (always solvable),
             // the exact structure the air balance produces.

@@ -134,9 +134,13 @@ impl ThermalNetwork {
             capacitance.value() > 0.0,
             "capacitance must be positive; use add_air for massless volumes"
         );
-        self.push_node(name.into(), NodeKind::Capacitive {
-            capacitance: capacitance.value(),
-        }, initial)
+        self.push_node(
+            name.into(),
+            NodeKind::Capacitive {
+                capacitance: capacitance.value(),
+            },
+            initial,
+        )
     }
 
     /// Adds a quasi-steady air node.
@@ -323,11 +327,8 @@ impl ThermalNetwork {
         if air_nodes.is_empty() {
             return;
         }
-        let col_of: std::collections::HashMap<usize, usize> = air_nodes
-            .iter()
-            .enumerate()
-            .map(|(c, &i)| (i, c))
-            .collect();
+        let col_of: std::collections::HashMap<usize, usize> =
+            air_nodes.iter().enumerate().map(|(c, &i)| (i, c)).collect();
         let n = air_nodes.len();
         let mut a = Matrix::zeros(n);
         let mut rhs = vec![0.0; n];
@@ -782,7 +783,10 @@ mod tests {
         for _ in 0..2000 {
             net.step(Seconds::new(10.0));
         }
-        assert!(net.pcm(id).melt_fraction().value() > 0.9, "wax should melt under load");
+        assert!(
+            net.pcm(id).melt_fraction().value() > 0.9,
+            "wax should melt under load"
+        );
         // Load drops: the wax releases heat (negative absorption) and the
         // outlet stays warmer than the no-wax equilibrium for a while.
         net.set_power(air, Watts::new(0.0));

@@ -10,8 +10,7 @@
 //! sensors. This module provides the perturbation and sensor-noise pieces;
 //! the reference network itself is assembled in `tts-server`.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tts_rng::{Rng, SeedableRng, Xoshiro256pp};
 
 /// Deterministic parameter perturbation for building the reference model.
 ///
@@ -21,7 +20,7 @@ use rand::{Rng, SeedableRng};
 /// production model's parameters.
 #[derive(Debug)]
 pub struct Perturbation {
-    rng: StdRng,
+    rng: Xoshiro256pp,
     scale: f64,
 }
 
@@ -34,7 +33,7 @@ impl Perturbation {
     pub fn new(seed: u64, scale: f64) -> Self {
         assert!((0.0..1.0).contains(&scale), "scale must be in [0, 1)");
         Self {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Xoshiro256pp::seed_from_u64(seed),
             scale,
         }
     }
@@ -54,7 +53,7 @@ impl Perturbation {
 /// with a few tenths of a degree of noise).
 #[derive(Debug)]
 pub struct SensorNoise {
-    rng: StdRng,
+    rng: Xoshiro256pp,
     sigma: f64,
     /// Cached second Box–Muller variate.
     spare: Option<f64>,
@@ -68,7 +67,7 @@ impl SensorNoise {
     pub fn new(seed: u64, sigma: f64) -> Self {
         assert!(sigma >= 0.0, "noise sigma cannot be negative");
         Self {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Xoshiro256pp::seed_from_u64(seed),
             sigma,
             spare: None,
         }

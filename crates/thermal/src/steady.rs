@@ -38,11 +38,8 @@ pub fn solve_steady_state(net: &ThermalNetwork) -> Option<SteadyState> {
     let n = net.node_count();
     // Unknowns: every non-boundary node.
     let unknowns: Vec<usize> = (0..n).filter(|&i| !net.is_boundary_index(i)).collect();
-    let col_of: std::collections::HashMap<usize, usize> = unknowns
-        .iter()
-        .enumerate()
-        .map(|(c, &i)| (i, c))
-        .collect();
+    let col_of: std::collections::HashMap<usize, usize> =
+        unknowns.iter().enumerate().map(|(c, &i)| (i, c)).collect();
     let m = unknowns.len();
     if m == 0 {
         return Some(SteadyState {
@@ -133,9 +130,7 @@ mod tests {
         let s = solve_steady_state(&net).unwrap();
         let mcp = air_heat_capacity_flow(CubicMetersPerSecond::new(0.02)).value();
         assert!((s.temperature(air).value() - (25.0 + 46.0 / mcp)).abs() < 1e-9);
-        assert!(
-            (s.temperature(cpu).value() - (25.0 + 46.0 / mcp + 23.0)).abs() < 1e-9
-        );
+        assert!((s.temperature(cpu).value() - (25.0 + 46.0 / mcp + 23.0)).abs() < 1e-9);
     }
 
     #[test]

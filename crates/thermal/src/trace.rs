@@ -5,15 +5,16 @@
 //! of 0.22 °C. [`TraceRecorder`] captures named series during a simulation;
 //! [`compare`] computes the agreement statistics.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use tts_units::Seconds;
 
 /// A set of named time series recorded from a simulation.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TraceRecorder {
     series: BTreeMap<String, Vec<(f64, f64)>>,
 }
+
+tts_units::derive_json! { struct TraceRecorder { series } }
 
 impl TraceRecorder {
     /// An empty recorder.
@@ -66,7 +67,7 @@ impl TraceRecorder {
 }
 
 /// Agreement statistics between two equal-length sampled traces.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceComparison {
     /// Root-mean-square error.
     pub rmse: f64,
@@ -78,13 +79,21 @@ pub struct TraceComparison {
     pub correlation: f64,
 }
 
+tts_units::derive_json! { struct TraceComparison { rmse, mean_difference, max_abs_difference, correlation } }
+
 /// Compares two traces sample-by-sample.
 ///
 /// # Panics
 /// Panics if the traces differ in length or are empty — comparison of
 /// mismatched validation runs is a harness bug, not a data condition.
 pub fn compare(a: &[f64], b: &[f64]) -> TraceComparison {
-    assert_eq!(a.len(), b.len(), "trace length mismatch: {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "trace length mismatch: {} vs {}",
+        a.len(),
+        b.len()
+    );
     assert!(!a.is_empty(), "cannot compare empty traces");
     let n = a.len() as f64;
     let mut sq = 0.0;
@@ -117,7 +126,7 @@ pub fn compare(a: &[f64], b: &[f64]) -> TraceComparison {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use tts_rng::prop::prelude::*;
 
     #[test]
     fn identical_traces_compare_perfectly() {
@@ -186,7 +195,7 @@ mod tests {
     proptest! {
         #[test]
         fn rmse_bounds_mean_difference(
-            a in proptest::collection::vec(-100.0f64..100.0, 1..50),
+            a in collection::vec(-100.0f64..100.0, 1..50),
             offset in -10.0f64..10.0,
         ) {
             let b: Vec<f64> = a.iter().map(|v| v + offset).collect();

@@ -5,8 +5,12 @@
 //! must hold for *any* of them: steady states match between the direct
 //! solver and transient settling, energy balances close, and temperatures
 //! stay bracketed by the boundary temperatures plus the adiabatic rise.
+//!
+//! Runs on the in-repo property harness (`tts_rng::prop`): each test draws
+//! its `Recipe` fields from the 6-tuple strategy below and reports a
+//! reproduction seed on failure (re-run with `TTS_PROP_SEED=<seed>`).
 
-use proptest::prelude::*;
+use tts_rng::prop::prelude::*;
 use tts_thermal::network::ThermalNetwork;
 use tts_thermal::{audit, solve_steady_state};
 use tts_units::{Celsius, JoulesPerKelvin, Seconds, Watts, WattsPerKelvin};
@@ -22,7 +26,10 @@ struct Recipe {
     inlet_c: f64,
 }
 
-fn recipe_strategy() -> impl Strategy<Value = Recipe> {
+type RecipeTuple = (usize, f64, usize, f64, f64, f64);
+
+/// Strategy over the raw recipe fields; [`recipe`] assembles them.
+fn recipe_fields() -> impl Strategy<Value = RecipeTuple> {
     (
         1usize..6,
         2.0f64..40.0,
@@ -31,14 +38,18 @@ fn recipe_strategy() -> impl Strategy<Value = Recipe> {
         0.0f64..80.0,
         15.0f64..35.0,
     )
-        .prop_map(|(air_nodes, mcp, solids_per_air, sink_g, power_each, inlet_c)| Recipe {
-            air_nodes,
-            mcp,
-            solids_per_air,
-            sink_g,
-            power_each,
-            inlet_c,
-        })
+}
+
+fn recipe(fields: RecipeTuple) -> Recipe {
+    let (air_nodes, mcp, solids_per_air, sink_g, power_each, inlet_c) = fields;
+    Recipe {
+        air_nodes,
+        mcp,
+        solids_per_air,
+        sink_g,
+        power_each,
+        inlet_c,
+    }
 }
 
 fn build(
@@ -62,11 +73,8 @@ fn build(
         net.advect(prev, air, mcp);
         probes.push(air);
         for s in 0..r.solids_per_air {
-            let solid = net.add_capacitive(
-                format!("solid{i}_{s}"),
-                JoulesPerKelvin::new(300.0),
-                t0,
-            );
+            let solid =
+                net.add_capacitive(format!("solid{i}_{s}"), JoulesPerKelvin::new(300.0), t0);
             net.connect(solid, air, WattsPerKelvin::new(r.sink_g));
             net.set_power(solid, Watts::new(r.power_each));
             total_power += r.power_each;
@@ -79,17 +87,19 @@ fn build(
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
+    #![cases(40)]
 
     #[test]
-    fn random_networks_pass_the_audit(r in recipe_strategy()) {
+    fn random_networks_pass_the_audit(fields in recipe_fields()) {
+        let r = recipe(fields);
         let (net, _, _, _) = build(&r);
         let findings = audit(&net);
         prop_assert!(findings.is_empty(), "{findings:?}");
     }
 
     #[test]
-    fn direct_and_transient_steady_states_agree(r in recipe_strategy()) {
+    fn direct_and_transient_steady_states_agree(fields in recipe_fields()) {
+        let r = recipe(fields);
         let (mut net, probes, _, _) = build(&r);
         let direct = solve_steady_state(&net).expect("sound network is solvable");
         net.run_to_steady_state(Seconds::new(10.0), 1e-7, Seconds::new(1e8))
@@ -102,7 +112,8 @@ proptest! {
     }
 
     #[test]
-    fn all_power_leaves_through_the_exhaust(r in recipe_strategy()) {
+    fn all_power_leaves_through_the_exhaust(fields in recipe_fields()) {
+        let r = recipe(fields);
         let (mut net, _, total_power, inlet) = build(&r);
         net.run_to_steady_state(Seconds::new(10.0), 1e-7, Seconds::new(1e8))
             .expect("must settle");
@@ -114,7 +125,8 @@ proptest! {
     }
 
     #[test]
-    fn temperatures_stay_above_the_inlet(r in recipe_strategy()) {
+    fn temperatures_stay_above_the_inlet(fields in recipe_fields()) {
+        let r = recipe(fields);
         let (mut net, probes, _, _) = build(&r);
         for _ in 0..200 {
             net.step(Seconds::new(30.0));
@@ -130,8 +142,9 @@ proptest! {
     }
 
     #[test]
-    fn steady_temperature_rise_matches_power_over_mcp(r in recipe_strategy()) {
+    fn steady_temperature_rise_matches_power_over_mcp(fields in recipe_fields()) {
         // The last air node's equilibrium: inlet + total_power / mcp.
+        let r = recipe(fields);
         let (net, probes, total_power, _) = build(&r);
         let direct = solve_steady_state(&net).expect("solvable");
         // Find the last *air* probe: air nodes are pushed before their

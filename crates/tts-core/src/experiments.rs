@@ -5,7 +5,6 @@
 //! reported value, so the repro harness can print paper-vs-measured tables
 //! (`EXPERIMENTS.md`).
 
-use serde::{Deserialize, Serialize};
 use tts_dcsim::datacenter::Datacenter;
 use tts_pcm::{PcmMaterial, Stability};
 use tts_server::blockage::{default_sweep, BlockageRow};
@@ -20,7 +19,7 @@ use tts_workload::GoogleTrace;
 use crate::scenario::{ConstrainedStudy, CoolingLoadStudy, Scenario};
 
 /// A paper-vs-measured record for one reported number.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Comparison {
     /// What the number is.
     pub metric: String,
@@ -31,6 +30,8 @@ pub struct Comparison {
     /// Unit label.
     pub unit: String,
 }
+
+tts_units::derive_json! { struct Comparison { metric, paper, measured, unit } }
 
 impl Comparison {
     /// Builds a record.
@@ -53,7 +54,7 @@ impl Comparison {
 }
 
 /// One row of Table 1 as rendered by the repro harness.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table1Row {
     /// PCM family name.
     pub name: String,
@@ -72,6 +73,8 @@ pub struct Table1Row {
     /// Passes the datacenter deployment screen?
     pub datacenter_suitable: bool,
 }
+
+tts_units::derive_json! { struct Table1Row { name, melting_temp_c, heat_of_fusion_j_g, density_g_ml, stability, electrically_conductive, corrosive, datacenter_suitable } }
 
 /// Table 1: the PCM comparison.
 pub fn table1() -> Vec<Table1Row> {
@@ -123,7 +126,7 @@ pub fn fig10() -> GoogleTrace {
 
 /// Figure 11 result for one server class, with the paper's reported peak
 /// reduction attached.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig11Result {
     /// Server class.
     pub class: ServerClass,
@@ -132,6 +135,8 @@ pub struct Fig11Result {
     /// Paper-vs-measured peak reduction (percent).
     pub peak_reduction: Comparison,
 }
+
+tts_units::derive_json! { struct Fig11Result { class, study, peak_reduction } }
 
 /// The paper's Figure 11 peak cooling-load reductions, percent.
 pub fn paper_fig11_reduction(class: ServerClass) -> f64 {
@@ -160,7 +165,7 @@ pub fn fig11(class: ServerClass) -> Fig11Result {
 
 /// Figure 12 result for one server class, with the paper's reported gain
 /// and delay attached.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig12Result {
     /// Server class.
     pub class: ServerClass,
@@ -172,6 +177,8 @@ pub struct Fig12Result {
     /// hours of elevated throughput; we report `boosted_hours`.
     pub boost_hours: Comparison,
 }
+
+tts_units::derive_json! { struct Fig12Result { class, study, peak_gain, boost_hours } }
 
 /// The paper's Figure 12 numbers: (gain %, hours).
 pub fn paper_fig12(class: ServerClass) -> (f64, f64) {
@@ -212,7 +219,7 @@ pub fn table2() -> Table2 {
 }
 
 /// The §5.1/§5.2 TCO summary for one server class.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TcoSummary {
     /// Server class.
     pub class: ServerClass,
@@ -229,6 +236,8 @@ pub struct TcoSummary {
     pub tco_efficiency_pct: Comparison,
 }
 
+tts_units::derive_json! { struct TcoSummary { class, peak_reduction_pct, downsize_savings_per_year, added_servers, retrofit_savings_per_year, tco_efficiency_pct } }
+
 /// Paper values for the TCO analyses: (downsize $/yr, added servers,
 /// retrofit $/yr, efficiency %).
 pub fn paper_tco(class: ServerClass) -> (f64, f64, f64, f64) {
@@ -240,11 +249,7 @@ pub fn paper_tco(class: ServerClass) -> (f64, f64, f64, f64) {
 }
 
 /// Runs the four §5 cost analyses from measured Figure 11/12 results.
-pub fn tco_summary(
-    class: ServerClass,
-    fig11: &Fig11Result,
-    fig12: &Fig12Result,
-) -> TcoSummary {
+pub fn tco_summary(class: ServerClass, fig11: &Fig11Result, fig12: &Fig12Result) -> TcoSummary {
     let table = Table2::paper();
     let dc = Datacenter::paper_10mw(class);
     let reduction = fig11.study.run.peak_reduction;
@@ -377,9 +382,6 @@ mod tests {
         assert!(peak_w < peak_nw);
         // ... and some off-peak sample carries more load (the released
         // heat).
-        assert!(no_wax
-            .iter()
-            .zip(&with_wax)
-            .any(|(nw, w)| w > nw));
+        assert!(no_wax.iter().zip(&with_wax).any(|(nw, w)| w > nw));
     }
 }

@@ -5,7 +5,6 @@
 //! relocation alternative of §5.2, partial (rack-by-rack) deployment,
 //! flash-crowd response, and the wax's multi-year degradation outlook.
 
-use serde::{Deserialize, Serialize};
 use tts_cooling::freecooling::{cooling_electricity_cost, AmbientCycle, Economizer};
 use tts_cooling::{CoolingSystem, Tariff};
 use tts_dcsim::cluster::ClusterConfig;
@@ -22,7 +21,7 @@ use crate::scenario::Scenario;
 /// The Figure 1 "additional advantages", quantified: yearly cooling
 /// electricity bill for one cluster with and without PCM, under the
 /// paper's tariff and a temperate-climate economizer.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CoolingOpexStudy {
     /// Bill without wax, $/yr.
     pub without_pcm_per_year: Dollars,
@@ -32,18 +31,16 @@ pub struct CoolingOpexStudy {
     pub saving: Fraction,
 }
 
+tts_units::derive_json! { struct CoolingOpexStudy { without_pcm_per_year, with_pcm_per_year, saving } }
+
 /// Computes the cooling-electricity comparison for one server class.
 pub fn cooling_opex_study(class: ServerClass) -> CoolingOpexStudy {
     let study = Scenario::new(class).cooling_load_study();
-    let plant = CoolingSystem::sized_for(Watts::new(
-        study.run.peak_no_wax.value() * 1000.0,
-    ));
+    let plant = CoolingSystem::sized_for(Watts::new(study.run.peak_no_wax.value() * 1000.0));
     let economizer = Economizer::around(plant);
     let tariff = Tariff::paper_default();
     let ambient = AmbientCycle::temperate();
-    let dt = Seconds::new(
-        (study.run.times_h[1] - study.run.times_h[0]) * 3600.0,
-    );
+    let dt = Seconds::new((study.run.times_h[1] - study.run.times_h[0]) * 3600.0);
     let to_watts = |kw: &[f64]| -> Vec<f64> { kw.iter().map(|v| v * 1000.0).collect() };
     let cost_nw = cooling_electricity_cost(
         &to_watts(&study.run.load_no_wax_kw),
@@ -70,13 +67,15 @@ pub fn cooling_opex_study(class: ServerClass) -> CoolingOpexStudy {
 
 /// The relocation comparison: yearly WAN/SLA spend avoided by wax in the
 /// §5.2 oversubscribed setting.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RelocationStudy {
     /// Relocation bill without wax, $/yr per cluster.
     pub without_pcm_per_year: Dollars,
     /// Relocation bill with wax, $/yr per cluster.
     pub with_pcm_per_year: Dollars,
 }
+
+tts_units::derive_json! { struct RelocationStudy { without_pcm_per_year, with_pcm_per_year } }
 
 /// Runs the relocation comparison for one class at the default WAN rate.
 pub fn relocation_study(class: ServerClass) -> RelocationStudy {
@@ -91,9 +90,7 @@ pub fn relocation_study(class: ServerClass) -> RelocationStudy {
         limit: tts_units::KiloWatts::new(constrained.limit_kw),
     };
     let trace = GoogleTrace::default_two_day();
-    let rate = Dollars::new(
-        tts_dcsim::relocation::DEFAULT_RELOCATION_COST_PER_SERVER_HOUR,
-    );
+    let rate = Dollars::new(tts_dcsim::relocation::DEFAULT_RELOCATION_COST_PER_SERVER_HOUR);
     let (without, with) = wax_vs_relocation(&config, trace.total(), rate);
     RelocationStudy {
         without_pcm_per_year: yearly_saving(without, trace.total()),
@@ -115,13 +112,15 @@ pub fn partial_deployment_study(class: ServerClass, steps: usize) -> Vec<Deploym
 
 /// Flash-crowd response: peak cooling load when a surge lands on the
 /// daily peak, with and without wax.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FlashCrowdStudy {
     /// Peak reduction on the calm trace.
     pub calm_reduction: Fraction,
     /// Peak reduction with the surge applied.
     pub surge_reduction: Fraction,
 }
+
+tts_units::derive_json! { struct FlashCrowdStudy { calm_reduction, surge_reduction } }
 
 /// Applies a one-hour, +20 % surge at the first day's peak and re-runs the
 /// cooling-load study.
@@ -143,7 +142,7 @@ pub fn flash_crowd_study(class: ServerClass) -> FlashCrowdStudy {
 }
 
 /// Effect of melt/freeze hysteresis (supercooling) on the peak reduction.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SupercoolingStudy {
     /// Peak reduction with the ideal (no-hysteresis) wax.
     pub ideal_reduction: Fraction,
@@ -152,6 +151,8 @@ pub struct SupercoolingStudy {
     /// The supercooling applied, K.
     pub supercooling_k: f64,
 }
+
+tts_units::derive_json! { struct SupercoolingStudy { ideal_reduction, supercooled_reduction, supercooling_k } }
 
 /// Re-runs the Figure 11 study with a hysteretic wax (melt at the selected
 /// point, freeze `supercooling_k` lower) and compares peak reductions.
@@ -177,9 +178,7 @@ pub fn supercooling_study(class: ServerClass, supercooling_k: f64) -> Supercooli
     let mut peak_nw = f64::MIN;
     let mut peak_w = f64::MIN;
     for &u in trace.total().values() {
-        let wall = class
-            .spec()
-            .wall_power(Fraction::new(u), Fraction::ONE);
+        let wall = class.spec().wall_power(Fraction::new(u), Fraction::ONE);
         let t_air = chars.air_temp_model.at(wall);
         let q = wax.step(t_air, chars.effective_coupling(), dt);
         peak_nw = peak_nw.max(wall.value() * n);
@@ -193,7 +192,7 @@ pub fn supercooling_study(class: ServerClass, supercooling_k: f64) -> Supercooli
 }
 
 /// The degradation outlook for the selected wax over a deployment horizon.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LifetimeStudy {
     /// Remaining latent capacity after the 4-year server generation.
     pub capacity_after_server_life: Fraction,
@@ -202,6 +201,8 @@ pub struct LifetimeStudy {
     /// Daily cycles until the 80 % end-of-life criterion.
     pub cycles_to_80pct: u32,
 }
+
+tts_units::derive_json! { struct LifetimeStudy { capacity_after_server_life, capacity_after_plant_life, cycles_to_80pct } }
 
 /// Evaluates the selected material's cycling endurance.
 pub fn lifetime_study(class: ServerClass) -> LifetimeStudy {
@@ -288,7 +289,11 @@ mod tests {
         let study = Scenario::new(ServerClass::LowPower1U)
             .trace(trace)
             .cooling_load_study();
-        assert!(study.run.peak_reduction.value() > 0.02, "{}", study.run.peak_reduction);
+        assert!(
+            study.run.peak_reduction.value() > 0.02,
+            "{}",
+            study.run.peak_reduction
+        );
         assert!(study.run.refrozen_at_end);
         // At some point during the weekend (Saturday 00:00 – Sunday 24:00)
         // the wax rests essentially solid.

@@ -1,6 +1,5 @@
 //! The high-level scenario builder.
 
-use serde::{Deserialize, Serialize};
 use tts_dcsim::cluster::{
     default_melting_candidates, run_cooling_load, select_melting_point, ClusterConfig,
     CoolingLoadRun,
@@ -14,13 +13,36 @@ use tts_units::{Celsius, Fraction};
 use tts_workload::{GoogleTrace, TimeSeries};
 
 /// How the wax melting point is chosen.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum MeltingPointChoice {
     /// Grid-search the paraffin catalogue for the best melting point
     /// (the paper's approach).
     Optimize,
     /// Use a fixed melting point (e.g. the §3 retail wax at 39 °C).
     Fixed(Celsius),
+}
+
+impl tts_units::json::ToJson for MeltingPointChoice {
+    fn to_json(&self) -> tts_units::json::Json {
+        use tts_units::json::Json;
+        match self {
+            Self::Optimize => Json::Str("Optimize".to_string()),
+            Self::Fixed(t) => Json::Obj(vec![("Fixed".to_string(), t.to_json())]),
+        }
+    }
+}
+
+impl tts_units::json::FromJson for MeltingPointChoice {
+    fn from_json(v: &tts_units::json::Json) -> Result<Self, tts_units::json::JsonError> {
+        use tts_units::json::{Json, JsonError};
+        match v {
+            Json::Str(s) if s == "Optimize" => Ok(Self::Optimize),
+            other => match other.get("Fixed") {
+                Some(t) => Ok(Self::Fixed(Celsius::from_json(t)?)),
+                None => Err(JsonError::new("unknown MeltingPointChoice variant")),
+            },
+        }
+    }
 }
 
 /// A cluster-scale what-if: server class × workload × wax × cooling.
@@ -44,7 +66,7 @@ pub struct Scenario {
 }
 
 /// Result of the fully-subscribed cooling-load study (§5.1 / Figure 11).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CoolingLoadStudy {
     /// The per-tick run.
     pub run: CoolingLoadRun,
@@ -54,8 +76,10 @@ pub struct CoolingLoadStudy {
     pub chars: ServerWaxCharacteristics,
 }
 
+tts_units::derive_json! { struct CoolingLoadStudy { run, material, chars } }
+
 /// Result of the thermally constrained study (§5.2 / Figure 12).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ConstrainedStudy {
     /// The per-tick run (ideal / no-wax / with-wax).
     pub run: ConstrainedRun,
@@ -66,6 +90,8 @@ pub struct ConstrainedStudy {
     /// The thermal limit used, kW per cluster.
     pub limit_kw: f64,
 }
+
+tts_units::derive_json! { struct ConstrainedStudy { run, material, chars, limit_kw } }
 
 impl Scenario {
     /// A paper-default scenario: 1008 servers, the two-day Google-like

@@ -155,7 +155,7 @@ impl core::ops::Mul<JoulesPerGramKelvin> for Grams {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use tts_rng::prop::prelude::*;
 
     #[test]
     fn power_time_energy_relation() {

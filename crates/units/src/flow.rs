@@ -72,7 +72,7 @@ impl MetersPerSecond {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use tts_rng::prop::prelude::*;
 
     #[test]
     fn cfm_round_trip() {

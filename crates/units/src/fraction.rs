@@ -14,9 +14,10 @@
 /// assert_eq!(Fraction::new(1.2), Fraction::ONE);   // clamped
 /// assert_eq!(Fraction::new(-0.1), Fraction::ZERO); // clamped
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Fraction(f64);
+
+crate::derive_json! { newtype Fraction }
 
 impl Fraction {
     /// Zero.
@@ -119,7 +120,7 @@ impl core::fmt::Display for Fraction {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use tts_rng::prop::prelude::*;
 
     #[test]
     fn clamping_on_construction() {

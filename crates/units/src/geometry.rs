@@ -117,7 +117,7 @@ impl core::ops::Mul<Meters> for Meters {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use tts_rng::prop::prelude::*;
 
     #[test]
     fn mass_conversions() {

@@ -36,6 +36,8 @@
 #[macro_use]
 mod macros;
 
+pub mod json;
+
 mod energy;
 mod flow;
 mod fraction;

@@ -8,16 +8,15 @@
 /// * `Mul<f64>`, `Div<f64>` (scaling), `Div<Self> -> f64` (ratio)
 /// * `Sum` over iterators
 /// * `Display` with the unit suffix
-/// * `serde` transparent (de)serialization
+/// * transparent JSON (de)serialization ([`crate::json::ToJson`] /
+///   [`crate::json::FromJson`] as a bare number)
 macro_rules! quantity {
     ($(#[$doc:meta])* $name:ident, $unit:literal) => {
         $(#[$doc])*
-        #[derive(
-            Debug, Clone, Copy, PartialEq, PartialOrd, Default,
-            serde::Serialize, serde::Deserialize,
-        )]
-        #[serde(transparent)]
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
         pub struct $name(f64);
+
+        $crate::derive_json! { newtype $name }
 
         impl $name {
             /// The zero quantity.

@@ -26,9 +26,10 @@ quantity!(
 /// assert_eq!((loaded - idle).value(), 34.0);
 /// assert_eq!((idle + TempDelta::new(34.0)).value(), 76.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Celsius(f64);
+
+crate::derive_json! { newtype Celsius }
 
 impl Celsius {
     /// Wraps a temperature expressed in degrees Celsius.
@@ -112,7 +113,7 @@ impl core::fmt::Display for Celsius {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use tts_rng::prop::prelude::*;
 
     #[test]
     fn kelvin_conversion() {

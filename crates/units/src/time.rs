@@ -58,7 +58,7 @@ impl From<Seconds> for Hours {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use tts_rng::prop::prelude::*;
 
     #[test]
     fn constants() {

@@ -6,15 +6,13 @@
 //! qualitative shapes as the Google transparency-report traffic the paper
 //! uses (Figure 10).
 
-use serde::{Deserialize, Serialize};
-
 /// Seconds in a day.
 pub const DAY_S: f64 = 86_400.0;
 
 /// One diurnal traffic component: `base + amplitude · bump(t)`, where the
 /// bump is a raised cosine of the given width centered on `peak_hour`,
 /// repeating daily.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DiurnalShape {
     /// Constant floor (fraction of this component's peak traffic).
     pub base: f64,
@@ -25,6 +23,8 @@ pub struct DiurnalShape {
     /// Full width of the bump, hours.
     pub width_hours: f64,
 }
+
+tts_units::derive_json! { struct DiurnalShape { base, amplitude, peak_hour, width_hours } }
 
 impl DiurnalShape {
     /// Evaluates the shape at time `t` seconds (wraps daily).
@@ -85,7 +85,7 @@ impl DiurnalShape {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use tts_rng::prop::prelude::*;
 
     #[test]
     fn peak_occurs_at_peak_hour() {

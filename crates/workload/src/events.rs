@@ -8,11 +8,10 @@
 //! the bank is full of cold capacity.
 
 use crate::series::TimeSeries;
-use serde::{Deserialize, Serialize};
 use tts_units::{Fraction, Seconds};
 
 /// A transient surge added on top of a base trace.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FlashCrowd {
     /// When the surge starts.
     pub start: Seconds,
@@ -22,6 +21,8 @@ pub struct FlashCrowd {
     /// clamped into `[0, 1]`).
     pub magnitude: f64,
 }
+
+tts_units::derive_json! { struct FlashCrowd { start, duration, magnitude } }
 
 impl FlashCrowd {
     /// The surge's contribution at time `t`: a raised-cosine pulse.
@@ -46,13 +47,15 @@ impl FlashCrowd {
 }
 
 /// A permanent utilization step (a migration onto / off the cluster).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LoadStep {
     /// When the step takes effect.
     pub at: Seconds,
     /// Utilization added from then on (may be negative), clamped.
     pub delta: f64,
 }
+
+tts_units::derive_json! { struct LoadStep { at, delta } }
 
 impl LoadStep {
     /// Applies the step to a trace.

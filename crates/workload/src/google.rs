@@ -10,16 +10,14 @@ use crate::diurnal::{DiurnalShape, DAY_S};
 use crate::jobs::JobType;
 use crate::normalize::normalize_mean_peak;
 use crate::series::TimeSeries;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use tts_rng::{Rng, SeedableRng, Xoshiro256pp};
 use tts_units::Seconds;
 
 /// Cluster size the paper normalizes for.
 pub const CLUSTER_SERVERS: usize = 1008;
 
 /// Configuration of the synthetic trace generator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GoogleTraceConfig {
     /// Number of days to generate (paper: 2).
     pub days: usize,
@@ -37,6 +35,8 @@ pub struct GoogleTraceConfig {
     pub mix: [f64; 3],
 }
 
+tts_units::derive_json! { struct GoogleTraceConfig { days, sample_period, target_mean, target_peak, seed, jitter, mix } }
+
 impl Default for GoogleTraceConfig {
     fn default() -> Self {
         Self {
@@ -44,7 +44,7 @@ impl Default for GoogleTraceConfig {
             sample_period: Seconds::from_minutes(5.0),
             target_mean: 0.50,
             target_peak: 0.95,
-            seed: 20101117, // November 17, 2010 — the trace's first day
+            seed: 11172010, // 11/17/2010 — the trace's first day
             jitter: 0.015,
             mix: [0.45, 0.30, 0.25],
         }
@@ -53,7 +53,7 @@ impl Default for GoogleTraceConfig {
 
 /// The composite trace plus its per-job-type components, all normalized
 /// consistently (components sum to the total).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GoogleTrace {
     total: TimeSeries,
     search: TimeSeries,
@@ -61,6 +61,8 @@ pub struct GoogleTrace {
     mapreduce: TimeSeries,
     config: GoogleTraceConfig,
 }
+
+tts_units::derive_json! { struct GoogleTrace { total, search, social, mapreduce, config } }
 
 impl GoogleTrace {
     /// Generates a trace from a configuration.
@@ -73,7 +75,7 @@ impl GoogleTrace {
         assert!(mix_sum > 0.0, "mix weights must not all be zero");
 
         let n = (config.days as f64 * DAY_S / config.sample_period.value()).round() as usize;
-        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(config.seed);
 
         // Day-to-day variation: each day gets a small multiplicative factor
         // and a small phase shift per component (the two days of Figure 10
@@ -245,7 +247,10 @@ mod tests {
         );
         // The overnight trough is materially below the mean.
         let night = t.total().at(Seconds::new(7.0 * 3600.0));
-        assert!(night < 0.5, "night-time load {night} should sit below the mean");
+        assert!(
+            night < 0.5,
+            "night-time load {night} should sit below the mean"
+        );
     }
 
     #[test]
@@ -260,8 +265,14 @@ mod tests {
             count += 1;
         }
         let mean_abs_diff = diff / count as f64;
-        assert!(mean_abs_diff > 1e-4, "days must differ (got {mean_abs_diff})");
-        assert!(mean_abs_diff < 0.15, "days must resemble each other (got {mean_abs_diff})");
+        assert!(
+            mean_abs_diff > 1e-4,
+            "days must differ (got {mean_abs_diff})"
+        );
+        assert!(
+            mean_abs_diff < 0.15,
+            "days must resemble each other (got {mean_abs_diff})"
+        );
     }
 
     #[test]

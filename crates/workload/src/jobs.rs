@@ -6,13 +6,11 @@
 //! instantaneous rate makes the offered load match the trace.
 
 use crate::series::TimeSeries;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use tts_rng::{Rng, SeedableRng, Xoshiro256pp};
 use tts_units::Seconds;
 
 /// The paper's three job types (§4.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum JobType {
     /// Google Web Search.
     WebSearch,
@@ -21,6 +19,8 @@ pub enum JobType {
     /// MapReduce batch work.
     MapReduce,
 }
+
+tts_units::derive_json! { enum JobType { WebSearch, SocialNetworking, MapReduce } }
 
 impl JobType {
     /// All job types.
@@ -53,7 +53,7 @@ impl core::fmt::Display for JobType {
 }
 
 /// One job.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Job {
     /// Monotonically increasing id within a stream.
     pub id: u64,
@@ -64,6 +64,8 @@ pub struct Job {
     /// Service demand on one server at nominal frequency.
     pub service_time: Seconds,
 }
+
+tts_units::derive_json! { struct Job { id, job_type, arrival, service_time } }
 
 /// A seeded non-homogeneous Poisson job stream following a utilization
 /// trace.
@@ -77,7 +79,7 @@ pub struct JobStream {
     trace: TimeSeries,
     job_type: JobType,
     servers: usize,
-    rng: StdRng,
+    rng: Xoshiro256pp,
     next_id: u64,
     now: f64,
     /// Peak arrival rate (jobs/s) used as the thinning envelope.
@@ -99,7 +101,7 @@ impl JobStream {
             trace,
             job_type,
             servers,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Xoshiro256pp::seed_from_u64(seed),
             next_id: 0,
             now: 0.0,
             rate_max,
@@ -207,8 +209,7 @@ mod tests {
 
     #[test]
     fn service_times_average_to_the_mean() {
-        let jobs =
-            JobStream::new(flat_trace(0.8, 1.0), JobType::MapReduce, 20, 5).collect_all();
+        let jobs = JobStream::new(flat_trace(0.8, 1.0), JobType::MapReduce, 20, 5).collect_all();
         let mean: f64 =
             jobs.iter().map(|j| j.service_time.value()).sum::<f64>() / jobs.len() as f64;
         assert!((mean - 30.0).abs() < 3.0, "mean service {mean}");

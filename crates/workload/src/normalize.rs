@@ -8,7 +8,11 @@ use crate::series::TimeSeries;
 ///
 /// Returns `None` when the input is constant (no affine map can separate
 /// its mean from its peak) or the targets are inverted.
-pub fn normalize_mean_peak(series: &TimeSeries, target_mean: f64, target_peak: f64) -> Option<TimeSeries> {
+pub fn normalize_mean_peak(
+    series: &TimeSeries,
+    target_mean: f64,
+    target_peak: f64,
+) -> Option<TimeSeries> {
     if target_peak < target_mean {
         return None;
     }
@@ -25,7 +29,7 @@ pub fn normalize_mean_peak(series: &TimeSeries, target_mean: f64, target_peak: f
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use tts_rng::prop::prelude::*;
     use tts_units::Seconds;
 
     #[test]
@@ -59,7 +63,7 @@ mod tests {
     proptest! {
         #[test]
         fn normalization_is_idempotent(
-            values in proptest::collection::vec(0.0f64..10.0, 3..60),
+            values in collection::vec(0.0f64..10.0, 3..60),
         ) {
             let s = TimeSeries::new(Seconds::new(1.0), values);
             if let Some(n1) = normalize_mean_peak(&s, 0.5, 0.95) {

@@ -1,15 +1,16 @@
 //! Uniformly sampled time series.
 
-use serde::{Deserialize, Serialize};
 use tts_units::Seconds;
 
 /// A uniformly sampled time series (sample `i` is the value over
 /// `[i·dt, (i+1)·dt)`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimeSeries {
     dt: Seconds,
     values: Vec<f64>,
 }
+
+tts_units::derive_json! { struct TimeSeries { dt, values } }
 
 impl TimeSeries {
     /// Wraps samples at spacing `dt`.
@@ -18,7 +19,10 @@ impl TimeSeries {
     /// Panics if `dt` is non-positive or `values` is empty.
     pub fn new(dt: Seconds, values: Vec<f64>) -> Self {
         assert!(dt.value() > 0.0, "sample spacing must be positive");
-        assert!(!values.is_empty(), "a time series needs at least one sample");
+        assert!(
+            !values.is_empty(),
+            "a time series needs at least one sample"
+        );
         Self { dt, values }
     }
 
@@ -73,7 +77,10 @@ impl TimeSeries {
 
     /// Largest sample.
     pub fn peak(&self) -> f64 {
-        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Smallest sample.
@@ -142,7 +149,7 @@ impl TimeSeries {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use tts_rng::prop::prelude::*;
 
     fn ramp() -> TimeSeries {
         TimeSeries::new(Seconds::new(10.0), vec![0.0, 1.0, 2.0, 3.0])
@@ -202,7 +209,7 @@ mod tests {
     proptest! {
         #[test]
         fn interpolated_values_stay_in_sample_range(
-            values in proptest::collection::vec(0.0f64..10.0, 2..50),
+            values in collection::vec(0.0f64..10.0, 2..50),
             t in 0.0f64..1000.0,
         ) {
             let s = TimeSeries::new(Seconds::new(7.0), values);
@@ -212,7 +219,7 @@ mod tests {
 
         #[test]
         fn mean_is_between_floor_and_peak(
-            values in proptest::collection::vec(-5.0f64..5.0, 1..50),
+            values in collection::vec(-5.0f64..5.0, 1..50),
         ) {
             let s = TimeSeries::new(Seconds::new(1.0), values);
             prop_assert!(s.floor() <= s.mean() + 1e-12);

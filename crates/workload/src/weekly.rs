@@ -10,13 +10,11 @@
 use crate::diurnal::{DiurnalShape, DAY_S};
 use crate::normalize::normalize_mean_peak;
 use crate::series::TimeSeries;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use tts_rng::{Rng, SeedableRng, Xoshiro256pp};
 use tts_units::Seconds;
 
 /// Configuration of the weekly generator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WeeklyTraceConfig {
     /// Sample period (default 5 minutes).
     pub sample_period: Seconds,
@@ -33,6 +31,8 @@ pub struct WeeklyTraceConfig {
     /// Relative jitter amplitude.
     pub jitter: f64,
 }
+
+tts_units::derive_json! { struct WeeklyTraceConfig { sample_period, target_mean, target_peak, weekend_interactive_scale, weekend_batch_scale, seed, jitter } }
 
 impl Default for WeeklyTraceConfig {
     fn default() -> Self {
@@ -55,7 +55,7 @@ impl Default for WeeklyTraceConfig {
 pub fn weekly_trace(config: &WeeklyTraceConfig) -> TimeSeries {
     let dt = config.sample_period.value();
     let n = (7.0 * DAY_S / dt).round() as usize;
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Xoshiro256pp::seed_from_u64(config.seed);
     let shapes = [
         (DiurnalShape::search(), true),
         (DiurnalShape::social(), true),

@@ -62,8 +62,14 @@ fn main() {
         use tts_units::{Celsius, Joules, Watts, WattsPerKelvin};
         let room = RoomModel::cluster_room();
         let it = Watts::new(180_000.0);
-        let bare = ride_through(&room, it, WattsPerKelvin::ZERO, Joules::ZERO, Celsius::new(28.0))
-            .expect("bare room overheats");
+        let bare = ride_through(
+            &room,
+            it,
+            WattsPerKelvin::ZERO,
+            Joules::ZERO,
+            Celsius::new(28.0),
+        )
+        .expect("bare room overheats");
         let waxed = ride_through(
             &room,
             it,

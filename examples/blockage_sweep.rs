@@ -10,7 +10,10 @@ use tts_server::ServerClass;
 fn main() {
     for class in ServerClass::ALL {
         let spec = class.spec();
-        println!("=== {class} (wax placement: {}) ===", spec.default_wax().label);
+        println!(
+            "=== {class} (wax placement: {}) ===",
+            spec.default_wax().label
+        );
         println!(
             "{:>9} {:>11} {:>12} {:>12} {:>20}",
             "blockage", "outlet °C", "wax zone °C", "flow CFM", "sockets °C"

@@ -15,7 +15,10 @@ fn main() {
         let r = fig12(class);
         let run = &r.study.run;
         let (paper_gain, paper_hours) = paper_fig12(class);
-        println!("=== {class} (thermal limit {:.0} kW/cluster) ===", r.study.limit_kw);
+        println!(
+            "=== {class} (thermal limit {:.0} kW/cluster) ===",
+            r.study.limit_kw
+        );
         let chart = ascii_chart(
             &[
                 ("ideal", &run.ideal),

@@ -9,7 +9,9 @@ use thermal_time_shifting::chart::ascii_chart;
 use thermal_time_shifting::experiments::{fig11, paper_fig11_reduction};
 use tts_dcsim::datacenter::Datacenter;
 use tts_server::ServerClass;
-use tts_tco::{added_servers, cooling_downsize_savings_per_year, retrofit_savings_per_year, Table2};
+use tts_tco::{
+    added_servers, cooling_downsize_savings_per_year, retrofit_savings_per_year, Table2,
+};
 
 fn main() {
     let table = Table2::paper();
@@ -29,11 +31,7 @@ fn main() {
         println!(
             "  wax: {} ({:.1} L/server), melt onset ~{:.0} % of peak power",
             r.study.material.name(),
-            r.study
-                .chars
-                .mass
-                .value()
-                / (r.study.chars.material.density().value() * 1000.0),
+            r.study.chars.mass.value() / (r.study.chars.material.density().value() * 1000.0),
             run.melting_point.value()
         );
         println!(

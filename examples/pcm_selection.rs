@@ -34,12 +34,7 @@ fn main() {
 
     // The cost argument: a 1U server's 1.2 L of wax, priced both ways.
     println!("\nWax economics for one 1U server (1.2 L in 2 boxes):");
-    let bank = ContainerBank::subdivide(
-        Liters::new(1.2),
-        2,
-        Meters::new(0.38),
-        Meters::new(0.18),
-    );
+    let bank = ContainerBank::subdivide(Liters::new(1.2), 2, Meters::new(0.38), Meters::new(0.18));
     let eicosane = PcmMaterial::eicosane();
     let commercial = PcmMaterial::commercial_paraffin(Celsius::new(45.0));
     for m in [&eicosane, &commercial] {
@@ -67,12 +62,8 @@ fn main() {
     // The §6 subdivision argument: more boxes, faster melting.
     println!("\nContainer subdivision (4 L of wax, 0.40 m x 0.20 m footprint):");
     for n in [1usize, 2, 4, 8] {
-        let bank = ContainerBank::subdivide(
-            Liters::new(4.0),
-            n,
-            Meters::new(0.40),
-            Meters::new(0.20),
-        );
+        let bank =
+            ContainerBank::subdivide(Liters::new(4.0), n, Meters::new(0.40), Meters::new(0.20));
         let film = tts_units::WattsPerSquareMeterKelvin::new(30.0);
         println!(
             "  {n} box(es): {:>6.3} m² exposed, {:>5.2} W/K air-to-wax conductance",

@@ -114,9 +114,7 @@ pub fn parse_args<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command
                     .parse()
                     .map_err(|_| ParseError(format!("--sustainable: '{v}' is not a number")))?;
                 if !(0.05..=1.0).contains(&sustainable) {
-                    return Err(ParseError(
-                        "--sustainable must be in (0.05, 1.0]".into(),
-                    ));
+                    return Err(ParseError("--sustainable must be in (0.05, 1.0]".into()));
                 }
             }
             "--week" => week = true,
@@ -237,7 +235,10 @@ mod tests {
 
     #[test]
     fn errors_are_descriptive() {
-        assert!(parse("frobnicate").unwrap_err().0.contains("unknown command"));
+        assert!(parse("frobnicate")
+            .unwrap_err()
+            .0
+            .contains("unknown command"));
         assert!(parse("cooling-load --class 3u")
             .unwrap_err()
             .0
@@ -262,7 +263,10 @@ mod tests {
             .unwrap_err()
             .0
             .contains("sustainable"));
-        assert!(parse("cooling-load --bogus").unwrap_err().0.contains("unknown flag"));
+        assert!(parse("cooling-load --bogus")
+            .unwrap_err()
+            .0
+            .contains("unknown flag"));
     }
 
     #[test]

@@ -29,17 +29,13 @@ fn main() {
         } => {
             let mut scenario = Scenario::new(class).servers(servers);
             if let Some(c) = melting_c {
-                scenario =
-                    scenario.melting_point(MeltingPointChoice::Fixed(Celsius::new(c)));
+                scenario = scenario.melting_point(MeltingPointChoice::Fixed(Celsius::new(c)));
             }
             if week {
                 scenario = scenario.trace(weekly_trace(&WeeklyTraceConfig::default()));
             }
             let study = scenario.cooling_load_study();
-            println!(
-                "{class}, {servers} servers, wax {}:",
-                study.material.name()
-            );
+            println!("{class}, {servers} servers, wax {}:", study.material.name());
             println!(
                 "  peak {:.0} kW -> {:.0} kW  ({:.2} % reduction); refreeze tail {:.1} h/day",
                 study.run.peak_no_wax.value(),

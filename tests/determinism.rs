@@ -1,8 +1,10 @@
 //! Every experiment must be exactly reproducible: seeded randomness only.
 
+use thermal_time_shifting::experiments::{fig11, fig12};
 use thermal_time_shifting::Scenario;
 use tts_server::validation::{run, ValidationConfig};
 use tts_server::ServerClass;
+use tts_units::json::ToJson;
 use tts_units::Seconds;
 use tts_workload::{GoogleTrace, JobStream, JobType};
 
@@ -46,6 +48,24 @@ fn validation_experiment_is_bit_identical() {
     let a = run(&cfg);
     let b = run(&cfg);
     assert_eq!(a, b);
+}
+
+#[test]
+fn cooling_load_pipeline_json_is_byte_identical() {
+    // The whole seeded pipeline — trace generation, melting-point grid
+    // search, cluster simulation — run twice, serialized, and compared as
+    // raw bytes. Any hidden nondeterminism (map iteration order, float
+    // formatting, unseeded randomness) breaks this.
+    let a = fig11(ServerClass::LowPower1U).to_json_pretty();
+    let b = fig11(ServerClass::LowPower1U).to_json_pretty();
+    assert_eq!(a.as_bytes(), b.as_bytes());
+}
+
+#[test]
+fn constrained_pipeline_json_is_byte_identical() {
+    let a = fig12(ServerClass::HighThroughput2U).to_json_pretty();
+    let b = fig12(ServerClass::HighThroughput2U).to_json_pretty();
+    assert_eq!(a.as_bytes(), b.as_bytes());
 }
 
 #[test]

@@ -28,8 +28,14 @@ fn ride_through_with_real_server_characteristics() {
     );
     let room = RoomModel::cluster_room();
 
-    let bare = ride_through(&room, it_power, WattsPerKelvin::ZERO, Joules::ZERO, Celsius::new(30.0))
-        .expect("bare room overheats");
+    let bare = ride_through(
+        &room,
+        it_power,
+        WattsPerKelvin::ZERO,
+        Joules::ZERO,
+        Celsius::new(30.0),
+    )
+    .expect("bare room overheats");
     let waxed = ride_through(&room, it_power, coupling, budget, Celsius::new(30.0))
         .expect("waxed room overheats eventually");
     assert!(
@@ -51,7 +57,10 @@ fn extension_studies_cover_all_server_classes() {
             "{class}: opex"
         );
         let life = lifetime_study(class);
-        assert!(life.capacity_after_server_life.value() > 0.85, "{class}: lifetime");
+        assert!(
+            life.capacity_after_server_life.value() > 0.85,
+            "{class}: lifetime"
+        );
         let deploy = partial_deployment_study(class, 3);
         assert!(
             deploy[2].peak_reduction.value() > deploy[0].peak_reduction.value(),

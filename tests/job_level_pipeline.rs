@@ -17,8 +17,7 @@ fn job_level_and_fluid_cooling_loads_agree() {
     // cluster following the Google trace.
     let trace = GoogleTrace::default_two_day();
     let servers = 50;
-    let jobs = JobStream::new(trace.total().clone(), JobType::MapReduce, servers, 17)
-        .collect_all();
+    let jobs = JobStream::new(trace.total().clone(), JobType::MapReduce, servers, 17).collect_all();
     assert!(jobs.len() > 10_000, "expected a substantial job stream");
 
     let mut sim = DiscreteClusterSim::new(servers, 1, 10, RoundRobin::new());

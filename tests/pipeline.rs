@@ -55,11 +55,7 @@ fn aggregate_and_network_wax_agree_qualitatively() {
     let network_melt = model.melt_fraction().value();
 
     // Aggregate model under the same story.
-    let mut agg = PcmState::new(
-        &chars.material,
-        chars.mass,
-        chars.idle_air_temp,
-    );
+    let mut agg = PcmState::new(&chars.material, chars.mass, chars.idle_air_temp);
     let t_air = chars
         .air_temp_model
         .at(spec.wall_power(Fraction::ONE, Fraction::ONE));
