@@ -21,4 +21,11 @@ cargo test -q --offline --workspace
 echo "==> bench targets compile"
 cargo bench --offline --no-run -q
 
+echo "==> smoke benches (thermal_solver, fig7_blockage)"
+# Three samples apiece: enough to catch a hot-path regression or panic,
+# cheap enough to run on every push. BENCH_baseline.json holds the
+# pre-optimization reference for manual comparison.
+TTS_BENCH_SAMPLES=3 cargo bench --offline -q -p tts-bench --bench thermal_solver
+TTS_BENCH_SAMPLES=3 cargo bench --offline -q -p tts-bench --bench fig7_blockage
+
 echo "ci.sh: all gates passed"

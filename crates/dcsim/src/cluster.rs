@@ -127,15 +127,22 @@ pub fn select_melting_point(
     trace: &TimeSeries,
     candidates_c: impl IntoIterator<Item = f64>,
 ) -> (PcmMaterial, CoolingLoadRun) {
-    let mut best: Option<(PcmMaterial, CoolingLoadRun)> = None;
-    for c in candidates_c {
-        let material = PcmMaterial::commercial_paraffin(Celsius::new(c));
+    // Candidate evaluations are independent cluster simulations: fan them
+    // out on the tts_exec pool, then fold *in candidate order* so the
+    // winner (strict `<`, first-best tie-break) is the one the serial
+    // loop would have picked, at any thread count.
+    let candidates: Vec<f64> = candidates_c.into_iter().collect();
+    let runs = tts_exec::par_map(&candidates, |&c| {
         let cfg = ClusterConfig {
             chars: config.chars.with_melting_point(Celsius::new(c)),
             spec: config.spec.clone(),
             servers: config.servers,
         };
-        let run = run_cooling_load(&cfg, trace);
+        run_cooling_load(&cfg, trace)
+    });
+
+    let mut best: Option<(PcmMaterial, CoolingLoadRun)> = None;
+    for (&c, run) in candidates.iter().zip(runs) {
         if !run.refrozen_at_end {
             continue;
         }
@@ -144,7 +151,7 @@ pub fn select_melting_point(
             Some((_, b)) => run.peak_with_wax < b.peak_with_wax,
         };
         if better {
-            best = Some((material, run));
+            best = Some((PcmMaterial::commercial_paraffin(Celsius::new(c)), run));
         }
     }
     best.expect("at least one candidate melting point must refreeze daily")

@@ -273,9 +273,10 @@ impl<B: Balancer> DiscreteClusterSim<B> {
                 rec.account(s, end, self.cores_per_server);
             }
         }
-        for s in &mut self.servers {
-            s.account(end, self.cores_per_server);
-        }
+        // Independent per-server bookkeeping: disjoint &mut access, so the
+        // parallel sweep is deterministic by construction.
+        let cores = self.cores_per_server;
+        tts_exec::par_for_each_mut(&mut self.servers, |s| s.account(end, cores));
         self.metrics(end, queue.len() as u64)
     }
 
@@ -302,29 +303,33 @@ impl<B: Balancer> DiscreteClusterSim<B> {
             .collect();
         let cluster_utilization =
             server_utilization.iter().sum::<f64>() / server_utilization.len() as f64;
-        let per_type = JobType::ALL
-            .iter()
-            .filter_map(|&jt| {
-                let mut times: Vec<f64> = self
-                    .response_by_type
-                    .iter()
-                    .filter(|(t, _)| *t == jt)
-                    .map(|(_, r)| *r)
-                    .collect();
-                if times.is_empty() {
-                    return None;
-                }
-                times.sort_by(|a, b| a.total_cmp(b));
-                let mean = times.iter().sum::<f64>() / times.len() as f64;
-                let p95 = times[((times.len() as f64 * 0.95) as usize).min(times.len() - 1)];
-                Some(TypeQos {
-                    job_type: jt,
-                    completed: times.len() as u64,
-                    mean_response_s: mean,
-                    p95_response_s: p95,
-                })
+        // Per-type QoS digests are independent filters over the response
+        // log (sorting dominates at scale); compute them on the tts_exec
+        // pool — ordered results keep the report identical to serial.
+        // Borrow only the response log: the sim itself need not be Sync.
+        let response_by_type = &self.response_by_type;
+        let per_type = tts_exec::par_map(&JobType::ALL, |&jt| {
+            let mut times: Vec<f64> = response_by_type
+                .iter()
+                .filter(|(t, _)| *t == jt)
+                .map(|(_, r)| *r)
+                .collect();
+            if times.is_empty() {
+                return None;
+            }
+            times.sort_by(|a, b| a.total_cmp(b));
+            let mean = times.iter().sum::<f64>() / times.len() as f64;
+            let p95 = times[((times.len() as f64 * 0.95) as usize).min(times.len() - 1)];
+            Some(TypeQos {
+                job_type: jt,
+                completed: times.len() as u64,
+                mean_response_s: mean,
+                p95_response_s: p95,
             })
-            .collect();
+        })
+        .into_iter()
+        .flatten()
+        .collect();
         DiscreteMetrics {
             completed,
             in_flight: in_service + queued,

@@ -87,16 +87,18 @@ pub fn deployment_sweep(
     steps: usize,
 ) -> Vec<DeploymentPoint> {
     assert!(steps >= 2, "need at least the 0 % and 100 % endpoints");
-    (0..steps)
-        .map(|i| {
-            let f = Fraction::new(i as f64 / (steps - 1) as f64);
-            let run = run_partial_deployment(config, trace, f);
-            DeploymentPoint {
-                equipped: f,
-                peak_reduction: run.peak_reduction,
-            }
-        })
-        .collect()
+    // Every deployment fraction is an independent cluster run → fan out
+    // on the tts_exec pool with input-order (thread-count-invariant)
+    // results.
+    let fractions: Vec<usize> = (0..steps).collect();
+    tts_exec::par_map(&fractions, |&i| {
+        let f = Fraction::new(i as f64 / (steps - 1) as f64);
+        let run = run_partial_deployment(config, trace, f);
+        DeploymentPoint {
+            equipped: f,
+            peak_reduction: run.peak_reduction,
+        }
+    })
 }
 
 #[cfg(test)]

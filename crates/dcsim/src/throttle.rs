@@ -276,18 +276,18 @@ pub fn select_melting_point_constrained(
     trace: &TimeSeries,
     candidates_c: impl IntoIterator<Item = f64>,
 ) -> (tts_pcm::PcmMaterial, ConstrainedRun) {
-    let runs: Vec<(f64, ConstrainedRun)> = candidates_c
-        .into_iter()
-        .map(|c| {
-            let cfg = ConstrainedConfig {
-                chars: config.chars.with_melting_point(tts_units::Celsius::new(c)),
-                spec: config.spec.clone(),
-                servers: config.servers,
-                limit: config.limit,
-            };
-            (c, run_constrained(&cfg, trace))
-        })
-        .collect();
+    // Independent simulations per candidate → tts_exec pool; the ordered
+    // results feed the same in-order reduction as the serial loop.
+    let candidates: Vec<f64> = candidates_c.into_iter().collect();
+    let runs: Vec<(f64, ConstrainedRun)> = tts_exec::par_map(&candidates, |&c| {
+        let cfg = ConstrainedConfig {
+            chars: config.chars.with_melting_point(tts_units::Celsius::new(c)),
+            spec: config.spec.clone(),
+            servers: config.servers,
+            limit: config.limit,
+        };
+        (c, run_constrained(&cfg, trace))
+    });
     let best_gain = runs
         .iter()
         .map(|(_, r)| r.peak_gain.value())

@@ -1,0 +1,268 @@
+//! Deterministic parallel execution for embarrassingly parallel sweeps.
+//!
+//! Every headline experiment — the Figure 7 blockage sweeps, the
+//! melting-point grid searches, the deployment-fraction sweeps — evaluates
+//! many *independent* simulations. This crate provides the one primitive
+//! they all need: an ordered [`par_map`] over a slice, built on
+//! [`std::thread::scope`] with zero external dependencies.
+//!
+//! # Determinism contract
+//!
+//! `par_map(items, f)` returns `f` applied to every item **in input
+//! order**, regardless of the thread count or OS scheduling. For a pure
+//! `f` the returned `Vec` is therefore *byte-identical* to what the serial
+//! loop `items.iter().map(f).collect()` produces — same values, same
+//! order — so any consumer that folds the results **in input order**
+//! (melting-point selection, JSON serialization of a sweep) observes no
+//! difference between `TTS_THREADS=1` and `TTS_THREADS=64`. The
+//! determinism tests in `tests/determinism.rs` enforce this end to end on
+//! the figure pipelines.
+//!
+//! Work is distributed by an atomic index counter (dynamic load balancing:
+//! a slow item does not stall the queue behind a fixed chunking), and each
+//! worker tags results with their input index, so reassembly is exact.
+//!
+//! # Thread-count resolution
+//!
+//! 1. a process-wide override set via [`set_thread_override`] (used by the
+//!    `repro --threads N` flag and the determinism tests),
+//! 2. the `TTS_THREADS` environment variable,
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! At one thread every entry point degrades to the plain serial loop on
+//! the calling thread — no pool, no atomics, no spawn.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide thread-count override; 0 means "no override".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the thread count for every subsequent call in this process
+/// (`None` clears the override). Intended for CLI flags (`--threads N`)
+/// and tests; concurrent sweeps observe the new value on their next call.
+pub fn set_thread_override(threads: Option<usize>) {
+    THREAD_OVERRIDE.store(threads.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// The thread count used by [`par_map`] / [`par_for_each`]: the
+/// [`set_thread_override`] value if set, else `TTS_THREADS`, else the
+/// machine's available parallelism. Always at least 1.
+pub fn thread_count() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    if let Some(n) = std::env::var("TTS_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+    {
+        return n.max(1);
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item, returning results **in input order**. Uses
+/// [`thread_count`] workers; see the crate docs for the determinism
+/// contract.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_with(thread_count(), items, f)
+}
+
+/// [`par_map`] with an explicit worker count (1 = guaranteed serial
+/// execution on the calling thread).
+pub fn par_map_with<T, U, F>(threads: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let workers = threads.max(1).min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, U)> = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        out.push((i, f(&items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(part) => tagged.extend(part),
+                // Re-raise a worker panic on the caller, preserving the
+                // payload (mirrors what the serial loop would do).
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+
+    // Reassemble in input order. Every index appears exactly once.
+    let mut slots: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
+    for (i, v) in tagged {
+        debug_assert!(slots[i].is_none(), "index {i} computed twice");
+        slots[i] = Some(v);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index computed exactly once"))
+        .collect()
+}
+
+/// Runs `f` on every item for its side effects (ordered completion is not
+/// observable; use [`par_map`] when results must be collected).
+pub fn par_for_each<T, F>(items: &[T], f: F)
+where
+    T: Sync,
+    F: Fn(&T) + Sync,
+{
+    par_map(items, |item| f(item));
+}
+
+/// Applies `f` to every element of a mutable slice in parallel, each
+/// element visited exactly once (disjoint `&mut` access — deterministic by
+/// construction). Used for independent per-server state updates.
+pub fn par_for_each_mut<T, F>(items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(&mut T) + Sync,
+{
+    par_for_each_mut_with(thread_count(), items, f)
+}
+
+/// [`par_for_each_mut`] with an explicit worker count.
+pub fn par_for_each_mut_with<T, F>(threads: usize, items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(&mut T) + Sync,
+{
+    let workers = threads.max(1).min(items.len());
+    if workers <= 1 {
+        for item in items {
+            f(item);
+        }
+        return;
+    }
+    // Static chunking keeps the borrow checker happy with plain safe code;
+    // per-element cost is near-uniform in our per-server update loops.
+    let chunk = items.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for part in items.chunks_mut(chunk) {
+            handles.push(scope.spawn(|| {
+                for item in part {
+                    f(item);
+                }
+            }));
+        }
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_input_order() {
+        let items: Vec<usize> = (0..97).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let out = par_map_with(threads, &items, |&i| i * i);
+            let expected: Vec<usize> = items.iter().map(|&i| i * i).collect();
+            assert_eq!(out, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise_on_floats() {
+        // The contract that makes the figure pipelines thread-invariant:
+        // per-item results are computed independently, so parallel output
+        // bits equal serial output bits.
+        let items: Vec<f64> = (0..500).map(|i| 0.1 * i as f64).collect();
+        let f = |x: &f64| (x.sin() * 1e6).exp().sqrt() + x / 3.0;
+        let serial = par_map_with(1, &items, f);
+        let parallel = par_map_with(7, &items, f);
+        let s_bits: Vec<u64> = serial.iter().map(|v| v.to_bits()).collect();
+        let p_bits: Vec<u64> = parallel.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(s_bits, p_bits);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map_with(8, &empty, |&x| x).is_empty());
+        assert_eq!(par_map_with(8, &[41u32], |&x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn worker_count_never_exceeds_items() {
+        // 3 items with 64 requested threads must still produce 3 results.
+        let out = par_map_with(64, &[1, 2, 3], |&x| x * 10);
+        assert_eq!(out, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn for_each_mut_visits_every_element_once() {
+        for threads in [1, 2, 5, 16] {
+            let mut data: Vec<u64> = (0..83).collect();
+            par_for_each_mut_with(threads, &mut data, |v| *v += 1000);
+            let expected: Vec<u64> = (0..83).map(|v| v + 1000).collect();
+            assert_eq!(data, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn panics_propagate_to_the_caller() {
+        let result = std::panic::catch_unwind(|| {
+            par_map_with(4, &[1, 2, 3, 4, 5], |&x| {
+                if x == 3 {
+                    panic!("boom at {x}");
+                }
+                x
+            })
+        });
+        assert!(result.is_err(), "worker panic must reach the caller");
+    }
+
+    #[test]
+    fn override_beats_env_and_is_clearable() {
+        set_thread_override(Some(3));
+        assert_eq!(thread_count(), 3);
+        set_thread_override(None);
+        assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn side_effect_for_each_runs_every_item() {
+        use std::sync::atomic::AtomicU64;
+        let sum = AtomicU64::new(0);
+        let items: Vec<u64> = (1..=100).collect();
+        par_for_each(&items, |&i| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+    }
+}

@@ -29,27 +29,28 @@ tts_units::derive_json! { struct BlockageRow { blockage, outlet, wax_zone, socke
 
 /// Sweeps grille blockage at full load for one server.
 ///
+/// Each point is an independent steady-state settle, so the sweep runs on
+/// the [`tts_exec`] pool; row order (and every bit of every row) matches
+/// the serial sweep regardless of `TTS_THREADS`.
+///
 /// # Panics
 /// Panics if any steady state fails to converge (a model bug, not a data
 /// condition).
 pub fn sweep(spec: &ServerSpec, blockages: &[f64]) -> Vec<BlockageRow> {
-    blockages
-        .iter()
-        .map(|&b| {
-            let blockage = Fraction::new(b);
-            let mut m = ServerThermalModel::with_grille(spec.clone(), blockage);
-            m.set_load(Fraction::ONE, Fraction::ONE);
-            m.run_to_steady_state(Seconds::new(30.0), 1e-5, Seconds::new(1e6))
-                .expect("blockage sweep steady state");
-            BlockageRow {
-                blockage,
-                outlet: m.outlet_temp(),
-                wax_zone: m.wax_air_temp(),
-                sockets: (0..spec.cpu.sockets).map(|s| m.cpu_temp(s)).collect(),
-                flow: m.operating_point().flow,
-            }
-        })
-        .collect()
+    tts_exec::par_map(blockages, |&b| {
+        let blockage = Fraction::new(b);
+        let mut m = ServerThermalModel::with_grille(spec.clone(), blockage);
+        m.set_load(Fraction::ONE, Fraction::ONE);
+        m.run_to_steady_state(Seconds::new(30.0), 1e-5, Seconds::new(1e6))
+            .expect("blockage sweep steady state");
+        BlockageRow {
+            blockage,
+            outlet: m.outlet_temp(),
+            wax_zone: m.wax_air_temp(),
+            sockets: (0..spec.cpu.sockets).map(|s| m.cpu_temp(s)).collect(),
+            flow: m.operating_point().flow,
+        }
+    })
 }
 
 /// The paper's 0–90 % sweep in 10 % steps.

@@ -26,37 +26,78 @@ pub enum Integrator {
 
 tts_units::derive_json! { enum Integrator { ExponentialEuler, Rk4, ExplicitEuler } }
 
-/// One RK4 step of `dy/dt = f(t, y)`.
+/// Reusable scratch buffers for [`rk4_step_with`]. Holding one of these
+/// across steps makes the integrator allocation-free after the first call
+/// (the five stage buffers are grown once and then recycled).
+#[derive(Debug, Clone, Default)]
+pub struct Rk4Scratch {
+    k1: Vec<f64>,
+    k2: Vec<f64>,
+    k3: Vec<f64>,
+    k4: Vec<f64>,
+    tmp: Vec<f64>,
+}
+
+impl Rk4Scratch {
+    /// Sizes every stage buffer to `n` zeroed entries. No-op on the
+    /// allocator once the buffers have reached `n` capacity.
+    pub fn resize(&mut self, n: usize) {
+        for buf in [
+            &mut self.k1,
+            &mut self.k2,
+            &mut self.k3,
+            &mut self.k4,
+            &mut self.tmp,
+        ] {
+            buf.clear();
+            buf.resize(n, 0.0);
+        }
+    }
+}
+
+/// One RK4 step of `dy/dt = f(t, y)` using caller-provided scratch
+/// buffers, so a hot stepping loop allocates nothing.
 ///
-/// `f` fills `dydt` from `y`; scratch buffers are caller-provided so the
-/// hot loop allocates nothing.
-pub fn rk4_step<F>(f: F, y: &mut [f64], t: f64, dt: f64)
+/// `f` fills `dydt` from `y`.
+pub fn rk4_step_with<F>(f: F, y: &mut [f64], t: f64, dt: f64, scratch: &mut Rk4Scratch)
 where
     F: Fn(f64, &[f64], &mut [f64]),
 {
     let n = y.len();
-    let mut k1 = vec![0.0; n];
-    let mut k2 = vec![0.0; n];
-    let mut k3 = vec![0.0; n];
-    let mut k4 = vec![0.0; n];
-    let mut tmp = vec![0.0; n];
+    scratch.resize(n);
+    let Rk4Scratch {
+        k1,
+        k2,
+        k3,
+        k4,
+        tmp,
+    } = scratch;
 
-    f(t, y, &mut k1);
+    f(t, y, &mut k1[..]);
     for i in 0..n {
         tmp[i] = y[i] + 0.5 * dt * k1[i];
     }
-    f(t + 0.5 * dt, &tmp, &mut k2);
+    f(t + 0.5 * dt, &tmp[..], &mut k2[..]);
     for i in 0..n {
         tmp[i] = y[i] + 0.5 * dt * k2[i];
     }
-    f(t + 0.5 * dt, &tmp, &mut k3);
+    f(t + 0.5 * dt, &tmp[..], &mut k3[..]);
     for i in 0..n {
         tmp[i] = y[i] + dt * k3[i];
     }
-    f(t + dt, &tmp, &mut k4);
+    f(t + dt, &tmp[..], &mut k4[..]);
     for i in 0..n {
         y[i] += dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
     }
+}
+
+/// One RK4 step with freshly allocated scratch. Convenience wrapper over
+/// [`rk4_step_with`] for cold paths and tests.
+pub fn rk4_step<F>(f: F, y: &mut [f64], t: f64, dt: f64)
+where
+    F: Fn(f64, &[f64], &mut [f64]),
+{
+    rk4_step_with(f, y, t, dt, &mut Rk4Scratch::default());
 }
 
 #[cfg(test)]
@@ -102,5 +143,54 @@ mod tests {
     #[test]
     fn integrator_default_is_exponential() {
         assert_eq!(Integrator::default(), Integrator::ExponentialEuler);
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_to_fresh_buffers() {
+        let run = |scratch: Option<&mut Rk4Scratch>| {
+            let mut y = vec![1.0, 0.5];
+            let mut t = 0.0;
+            let dt = 0.05;
+            match scratch {
+                Some(s) => {
+                    // Dirty the buffers first: a recycled scratch must not
+                    // leak state between steps.
+                    s.resize(7);
+                    for _ in 0..20 {
+                        rk4_step_with(
+                            |_, y, d| {
+                                d[0] = -y[0] + y[1];
+                                d[1] = -y[1];
+                            },
+                            &mut y,
+                            t,
+                            dt,
+                            s,
+                        );
+                        t += dt;
+                    }
+                }
+                None => {
+                    for _ in 0..20 {
+                        rk4_step(
+                            |_, y, d| {
+                                d[0] = -y[0] + y[1];
+                                d[1] = -y[1];
+                            },
+                            &mut y,
+                            t,
+                            dt,
+                        );
+                        t += dt;
+                    }
+                }
+            }
+            y
+        };
+        let fresh = run(None);
+        let mut scratch = Rk4Scratch::default();
+        let reused = run(Some(&mut scratch));
+        assert_eq!(fresh[0].to_bits(), reused[0].to_bits());
+        assert_eq!(fresh[1].to_bits(), reused[1].to_bits());
     }
 }

@@ -5,7 +5,7 @@
 //! are used anywhere in the workspace.
 
 /// A dense row-major matrix.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Matrix {
     n: usize,
     data: Vec<f64>,
@@ -43,20 +43,30 @@ impl Matrix {
         self.data[r * self.n + c] += v;
     }
 
-    /// Solves `A x = b` by LU decomposition with partial pivoting,
-    /// consuming the matrix.
+    /// Resets to an `n × n` zero matrix, reusing the existing allocation
+    /// when the capacity suffices. This is what lets the air solver keep
+    /// one matrix buffer alive across every step.
+    pub fn reset_zeros(&mut self, n: usize) {
+        self.n = n;
+        self.data.clear();
+        self.data.resize(n * n, 0.0);
+    }
+
+    /// Solves `A x = b` in place by LU decomposition with partial
+    /// pivoting: the factorization overwrites the matrix and the solution
+    /// overwrites `b`. Borrowing instead of consuming means both buffers
+    /// can be reused across solves — the per-step air balance refills and
+    /// re-solves the same allocation.
     ///
-    /// Returns `None` when the matrix is numerically singular (pivot below
-    /// `1e-12` in magnitude after scaling).
+    /// Returns `false` when the matrix is numerically singular (pivot
+    /// below `1e-12` in magnitude); `b` is then left partially modified.
     ///
     /// # Panics
     /// Panics if `b.len() != n`.
     #[allow(clippy::needless_range_loop)] // index loops mirror the LU math
-    pub fn solve(mut self, b: &[f64]) -> Option<Vec<f64>> {
+    pub fn solve_in_place(&mut self, b: &mut [f64]) -> bool {
         let n = self.n;
         assert_eq!(b.len(), n, "rhs length mismatch");
-        let mut x: Vec<f64> = b.to_vec();
-        let mut perm: Vec<usize> = (0..n).collect();
 
         for k in 0..n {
             // Partial pivot: largest magnitude in column k at/below row k.
@@ -70,7 +80,7 @@ impl Matrix {
                 }
             }
             if best < 1e-12 {
-                return None;
+                return false;
             }
             if p != k {
                 for c in 0..n {
@@ -78,8 +88,7 @@ impl Matrix {
                     self.set(k, c, self.get(p, c));
                     self.set(p, c, tmp);
                 }
-                x.swap(k, p);
-                perm.swap(k, p);
+                b.swap(k, p);
             }
             let pivot = self.get(k, k);
             for r in (k + 1)..n {
@@ -91,19 +100,35 @@ impl Matrix {
                     let v = self.get(r, c) - factor * self.get(k, c);
                     self.set(r, c, v);
                 }
-                x[r] -= factor * x[k];
+                b[r] -= factor * b[k];
             }
         }
 
         // Back substitution.
         for k in (0..n).rev() {
-            let mut sum = x[k];
+            let mut sum = b[k];
             for c in (k + 1)..n {
-                sum -= self.get(k, c) * x[c];
+                sum -= self.get(k, c) * b[c];
             }
-            x[k] = sum / self.get(k, k);
+            b[k] = sum / self.get(k, k);
         }
-        Some(x)
+        true
+    }
+
+    /// Solves `A x = b`, consuming the matrix. Thin wrapper over
+    /// [`Self::solve_in_place`] for one-shot callers.
+    ///
+    /// Returns `None` when the matrix is numerically singular.
+    ///
+    /// # Panics
+    /// Panics if `b.len() != n`.
+    pub fn solve(mut self, b: &[f64]) -> Option<Vec<f64>> {
+        let mut x: Vec<f64> = b.to_vec();
+        if self.solve_in_place(&mut x) {
+            Some(x)
+        } else {
+            None
+        }
     }
 }
 
@@ -145,6 +170,42 @@ mod tests {
         let x = a.solve(&[2.0, 3.0]).unwrap();
         assert!((x[0] - 3.0).abs() < 1e-12);
         assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_in_place_matches_consuming_solve_and_reuses_buffers() {
+        let mut a = Matrix::zeros(2);
+        a.set(0, 0, 2.0);
+        a.set(0, 1, 1.0);
+        a.set(1, 0, 1.0);
+        a.set(1, 1, 3.0);
+        let consuming = a.clone().solve(&[5.0, 10.0]).unwrap();
+
+        let mut b = vec![5.0, 10.0];
+        assert!(a.solve_in_place(&mut b));
+        assert_eq!(b, consuming, "both APIs share one code path");
+
+        // Refill the same buffers and solve a different system.
+        a.reset_zeros(2);
+        a.set(0, 0, 1.0);
+        a.set(1, 1, 4.0);
+        b.copy_from_slice(&[7.0, 8.0]);
+        assert!(a.solve_in_place(&mut b));
+        assert!((b[0] - 7.0).abs() < 1e-12);
+        assert!((b[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_zeros_changes_dimension() {
+        let mut a = Matrix::zeros(3);
+        a.set(2, 2, 5.0);
+        a.reset_zeros(2);
+        assert_eq!(a.n(), 2);
+        for r in 0..2 {
+            for c in 0..2 {
+                assert_eq!(a.get(r, c), 0.0);
+            }
+        }
     }
 
     #[test]

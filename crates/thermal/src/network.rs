@@ -1,9 +1,12 @@
 //! The RC thermal network with quasi-steady air nodes and PCM elements.
 
-use crate::integrator::{rk4_step, Integrator};
+use crate::integrator::{rk4_step_with, Integrator, Rk4Scratch};
 use crate::linalg::Matrix;
 use tts_pcm::PcmState;
 use tts_units::{Celsius, JoulesPerKelvin, Seconds, Watts, WattsPerKelvin};
+
+/// Sentinel for "this node has no column in the dense air/solid maps".
+const NO_COL: usize = usize::MAX;
 
 /// Handle to a node in a [`ThermalNetwork`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -75,6 +78,50 @@ struct PcmElement {
     last_heat: f64,
 }
 
+/// Cached solver structure and scratch buffers, rebuilt lazily whenever
+/// the network topology changes (`adjacency_dirty`).
+///
+/// The structure half (node classification, dense column maps, per-node
+/// incidence lists) turns the per-step `solve_air` from O(edges ×
+/// air_nodes) full scans with a fresh `HashMap` into direct indexed
+/// walks. The scratch half (matrix, RHS, integrator buffers) is what
+/// makes a warm stepping loop allocation-free: every buffer is grown once
+/// at rebuild and recycled thereafter.
+///
+/// Incidence lists are built in ascending edge/advection/PCM index order
+/// so per-row floating-point accumulation happens in exactly the order
+/// the original full scans used — the golden-figure tests pin results to
+/// the last ulp.
+#[derive(Debug, Clone, Default)]
+struct SolverCache {
+    /// Indices of air nodes, ascending.
+    air_nodes: Vec<usize>,
+    /// node index → air-matrix column, [`NO_COL`] for non-air nodes.
+    col_of: Vec<usize>,
+    /// air column → incident edge indices, ascending.
+    air_edges: Vec<Vec<usize>>,
+    /// air column → advection indices flowing *into* the node, ascending.
+    air_advections: Vec<Vec<usize>>,
+    /// node index → attached PCM element indices, ascending.
+    node_pcm: Vec<Vec<usize>>,
+    /// Indices of capacitive nodes, ascending.
+    solid_ids: Vec<usize>,
+    /// Capacitance per solid, aligned with `solid_ids`.
+    solid_caps: Vec<f64>,
+    /// node index → solid column, [`NO_COL`] for non-solid nodes.
+    solid_col: Vec<usize>,
+    /// Air-balance matrix, refilled in place each step.
+    matrix: Matrix,
+    /// Air-balance RHS; holds the solved temperatures after the solve.
+    rhs: Vec<f64>,
+    /// Per-solid scratch (new temperatures / deltas / RK4 state).
+    solid_scratch: Vec<f64>,
+    /// RK4 stage buffers.
+    rk4: Rk4Scratch,
+    /// Previous temperatures for the steady-state convergence check.
+    settle_prev: Vec<f64>,
+}
+
 /// A lumped thermal network: the Icepak substitute.
 ///
 /// Three node kinds (capacitive solids, quasi-steady air, fixed boundaries),
@@ -92,6 +139,8 @@ pub struct ThermalNetwork {
     /// node index → adjacent (edge index) list, rebuilt lazily.
     adjacency: Vec<Vec<usize>>,
     adjacency_dirty: bool,
+    /// Cached solver structure + scratch, rebuilt with `adjacency`.
+    cache: SolverCache,
 }
 
 impl Default for ThermalNetwork {
@@ -112,6 +161,7 @@ impl ThermalNetwork {
             time: 0.0,
             adjacency: Vec::new(),
             adjacency_dirty: true,
+            cache: SolverCache::default(),
         }
     }
 
@@ -208,6 +258,7 @@ impl ThermalNetwork {
             to: to.0,
             mcp: mcp.value(),
         });
+        self.adjacency_dirty = true;
         AdvectionId(self.advections.len() - 1)
     }
 
@@ -221,6 +272,7 @@ impl ThermalNetwork {
             coupling: coupling.value(),
             last_heat: 0.0,
         });
+        self.adjacency_dirty = true;
         PcmId(self.pcm.len() - 1)
     }
 
@@ -297,124 +349,171 @@ impl ThermalNetwork {
         Seconds::new(self.time)
     }
 
-    fn rebuild_adjacency(&mut self) {
+    fn rebuild_caches(&mut self) {
         if !self.adjacency_dirty {
             return;
         }
-        self.adjacency = vec![Vec::new(); self.nodes.len()];
+        let n_nodes = self.nodes.len();
+        self.adjacency = vec![Vec::new(); n_nodes];
         for (ei, e) in self.edges.iter().enumerate() {
             self.adjacency[e.a].push(ei);
             self.adjacency[e.b].push(ei);
         }
+
+        let c = &mut self.cache;
+        c.air_nodes.clear();
+        c.solid_ids.clear();
+        c.solid_caps.clear();
+        c.col_of.clear();
+        c.col_of.resize(n_nodes, NO_COL);
+        c.solid_col.clear();
+        c.solid_col.resize(n_nodes, NO_COL);
+        for (i, node) in self.nodes.iter().enumerate() {
+            match node.kind {
+                NodeKind::Air => {
+                    c.col_of[i] = c.air_nodes.len();
+                    c.air_nodes.push(i);
+                }
+                NodeKind::Capacitive { capacitance } => {
+                    c.solid_col[i] = c.solid_ids.len();
+                    c.solid_ids.push(i);
+                    c.solid_caps.push(capacitance);
+                }
+                NodeKind::Boundary => {}
+            }
+        }
+
+        let n_air = c.air_nodes.len();
+        c.air_edges = vec![Vec::new(); n_air];
+        for (ei, e) in self.edges.iter().enumerate() {
+            for node in [e.a, e.b] {
+                let col = c.col_of[node];
+                if col != NO_COL {
+                    c.air_edges[col].push(ei);
+                }
+            }
+        }
+        c.air_advections = vec![Vec::new(); n_air];
+        for (ai, adv) in self.advections.iter().enumerate() {
+            let col = c.col_of[adv.to];
+            if col != NO_COL {
+                c.air_advections[col].push(ai);
+            }
+        }
+        c.node_pcm = vec![Vec::new(); n_nodes];
+        for (pi, p) in self.pcm.iter().enumerate() {
+            c.node_pcm[p.node].push(pi);
+        }
+
+        // Pre-size every scratch buffer so the first clean step — and all
+        // later ones — touch the allocator not at all.
+        c.matrix.reset_zeros(n_air);
+        c.rhs.clear();
+        c.rhs.resize(n_air, 0.0);
+        c.solid_scratch.clear();
+        c.solid_scratch.reserve(c.solid_ids.len());
+        c.rk4.resize(c.solid_ids.len());
+        c.settle_prev.clear();
+        c.settle_prev.reserve(n_nodes);
+
         self.adjacency_dirty = false;
     }
 
     /// Solves the quasi-steady air balance given current solid/boundary
     /// temperatures and PCM states, writing the solved temperatures back
-    /// into the air nodes.
+    /// into the air nodes. Uses the structure and buffers in `cache`
+    /// (moved out of `self` by [`Self::step`]).
     ///
     /// # Panics
     /// Panics if the air system is singular — an air node with no thermal
     /// connection at all, which is a model-construction bug.
-    fn solve_air(&mut self) {
-        let air_nodes: Vec<usize> = self
-            .nodes
-            .iter()
-            .enumerate()
-            .filter(|(_, n)| matches!(n.kind, NodeKind::Air))
-            .map(|(i, _)| i)
-            .collect();
-        if air_nodes.is_empty() {
+    fn solve_air(&mut self, cache: &mut SolverCache) {
+        let n = cache.air_nodes.len();
+        if n == 0 {
             return;
         }
-        let col_of: std::collections::HashMap<usize, usize> =
-            air_nodes.iter().enumerate().map(|(c, &i)| (i, c)).collect();
-        let n = air_nodes.len();
-        let mut a = Matrix::zeros(n);
-        let mut rhs = vec![0.0; n];
+        cache.matrix.reset_zeros(n);
+        cache.rhs.clear();
+        cache.rhs.resize(n, 0.0);
 
-        for (r, &i) in air_nodes.iter().enumerate() {
+        for r in 0..n {
+            let i = cache.air_nodes[r];
             let mut diag = 0.0;
-            rhs[r] += self.nodes[i].power;
-            for e in &self.edges {
-                let (me, other) = if e.a == i {
-                    (true, e.b)
-                } else if e.b == i {
-                    (true, e.a)
-                } else {
-                    (false, 0)
-                };
-                if !me {
-                    continue;
-                }
+            let mut rhs_r = self.nodes[i].power;
+            for &ei in &cache.air_edges[r] {
+                let e = self.edges[ei];
+                let other = if e.a == i { e.b } else { e.a };
                 diag += e.g;
-                if let Some(&c) = col_of.get(&other) {
-                    a.add(r, c, -e.g);
+                let col = cache.col_of[other];
+                if col != NO_COL {
+                    cache.matrix.add(r, col, -e.g);
                 } else {
-                    rhs[r] += e.g * self.nodes[other].temp;
+                    rhs_r += e.g * self.nodes[other].temp;
                 }
             }
-            for adv in &self.advections {
-                if adv.to == i {
-                    diag += adv.mcp;
-                    if let Some(&c) = col_of.get(&adv.from) {
-                        a.add(r, c, -adv.mcp);
-                    } else {
-                        rhs[r] += adv.mcp * self.nodes[adv.from].temp;
-                    }
+            for &ai in &cache.air_advections[r] {
+                let adv = self.advections[ai];
+                diag += adv.mcp;
+                let col = cache.col_of[adv.from];
+                if col != NO_COL {
+                    cache.matrix.add(r, col, -adv.mcp);
+                } else {
+                    rhs_r += adv.mcp * self.nodes[adv.from].temp;
                 }
             }
-            for p in &self.pcm {
-                if p.node == i {
-                    diag += p.coupling;
-                    rhs[r] += p.coupling * p.state.temperature().value();
-                }
+            for &pi in &cache.node_pcm[i] {
+                let p = &self.pcm[pi];
+                diag += p.coupling;
+                rhs_r += p.coupling * p.state.temperature().value();
             }
+            // Each RHS entry is written exactly once: either the held
+            // temperature (isolated node — accumulated power must not
+            // leak in) or the accumulated source terms.
             if diag == 0.0 {
-                // Isolated air node: hold its temperature.
-                a.set(r, r, 1.0);
-                rhs[r] = self.nodes[i].temp;
+                cache.matrix.set(r, r, 1.0);
+                cache.rhs[r] = self.nodes[i].temp;
             } else {
-                a.add(r, r, diag);
+                cache.matrix.add(r, r, diag);
+                cache.rhs[r] = rhs_r;
             }
         }
 
-        let x = a
-            .solve(&rhs)
-            .expect("air balance singular: an air node lacks thermal connections");
-        for (r, &i) in air_nodes.iter().enumerate() {
-            self.nodes[i].temp = x[r];
+        assert!(
+            cache.matrix.solve_in_place(&mut cache.rhs),
+            "air balance singular: an air node lacks thermal connections"
+        );
+        for (r, &i) in cache.air_nodes.iter().enumerate() {
+            self.nodes[i].temp = cache.rhs[r];
         }
     }
 
     /// Net conducted + PCM heat into solid node `i` at the current
     /// temperatures, W.
-    fn solid_inflow(&self, i: usize, temp_override: Option<(&[usize], &[f64])>) -> f64 {
-        let t_i = match temp_override {
-            Some((ids, temps)) => {
-                let pos = ids.iter().position(|&x| x == i);
-                pos.map(|p| temps[p]).unwrap_or(self.nodes[i].temp)
-            }
-            None => self.nodes[i].temp,
+    ///
+    /// `solid_col`/`node_pcm` come from the [`SolverCache`] (passed in
+    /// because RK4 moves the cache out of `self`); `temps`, when present,
+    /// overrides solid temperatures by solid column (RK4 stage states).
+    fn solid_inflow(
+        &self,
+        i: usize,
+        solid_col: &[usize],
+        node_pcm: &[Vec<usize>],
+        temps: Option<&[f64]>,
+    ) -> f64 {
+        let t_of = |node: usize| match temps {
+            Some(temps) if solid_col[node] != NO_COL => temps[solid_col[node]],
+            _ => self.nodes[node].temp,
         };
+        let t_i = t_of(i);
         let mut q = self.nodes[i].power;
         for &ei in &self.adjacency[i] {
             let e = self.edges[ei];
             let other = if e.a == i { e.b } else { e.a };
-            let t_other = match temp_override {
-                Some((ids, temps)) => ids
-                    .iter()
-                    .position(|&x| x == other)
-                    .map(|p| temps[p])
-                    .unwrap_or(self.nodes[other].temp),
-                None => self.nodes[other].temp,
-            };
-            q += e.g * (t_other - t_i);
+            q += e.g * (t_of(other) - t_i);
         }
-        for p in &self.pcm {
-            if p.node == i {
-                q += p.coupling * (p.state.temperature().value() - t_i);
-            }
+        for &pi in &node_pcm[i] {
+            let p = &self.pcm[pi];
+            q += p.coupling * (p.state.temperature().value() - t_i);
         }
         q
     }
@@ -426,25 +525,19 @@ impl ThermalNetwork {
     pub fn step(&mut self, dt: Seconds) {
         let dt_s = dt.value();
         assert!(dt_s > 0.0, "step requires a positive dt");
-        self.rebuild_adjacency();
-        self.solve_air();
-
-        let solid_ids: Vec<usize> = self
-            .nodes
-            .iter()
-            .enumerate()
-            .filter(|(_, n)| matches!(n.kind, NodeKind::Capacitive { .. }))
-            .map(|(i, _)| i)
-            .collect();
+        self.rebuild_caches();
+        // Move the cache out so its buffers can be borrowed mutably while
+        // `self` is read. Should a solver panic unwind past us before the
+        // restore below, the re-set dirty flag forces a clean rebuild.
+        let mut cache = std::mem::take(&mut self.cache);
+        self.adjacency_dirty = true;
+        self.solve_air(&mut cache);
 
         match self.integrator {
             Integrator::ExponentialEuler => {
-                let mut new_temps = Vec::with_capacity(solid_ids.len());
-                for &i in &solid_ids {
-                    let cap = match self.nodes[i].kind {
-                        NodeKind::Capacitive { capacitance } => capacitance,
-                        _ => unreachable!(),
-                    };
+                cache.solid_scratch.clear();
+                for (k, &i) in cache.solid_ids.iter().enumerate() {
+                    let cap = cache.solid_caps[k];
                     let mut g_tot = 0.0;
                     let mut g_t_sum = 0.0;
                     for &ei in &self.adjacency[i] {
@@ -453,11 +546,10 @@ impl ThermalNetwork {
                         g_tot += e.g;
                         g_t_sum += e.g * self.nodes[other].temp;
                     }
-                    for p in &self.pcm {
-                        if p.node == i {
-                            g_tot += p.coupling;
-                            g_t_sum += p.coupling * p.state.temperature().value();
-                        }
+                    for &pi in &cache.node_pcm[i] {
+                        let p = &self.pcm[pi];
+                        g_tot += p.coupling;
+                        g_t_sum += p.coupling * p.state.temperature().value();
                     }
                     let t = self.nodes[i].temp;
                     let t_new = if g_tot <= 0.0 {
@@ -466,51 +558,59 @@ impl ThermalNetwork {
                         let t_eq = (g_t_sum + self.nodes[i].power) / g_tot;
                         t_eq + (t - t_eq) * (-g_tot * dt_s / cap).exp()
                     };
-                    new_temps.push(t_new);
+                    cache.solid_scratch.push(t_new);
                 }
-                for (k, &i) in solid_ids.iter().enumerate() {
-                    self.nodes[i].temp = new_temps[k];
+                for (k, &i) in cache.solid_ids.iter().enumerate() {
+                    self.nodes[i].temp = cache.solid_scratch[k];
                 }
             }
             Integrator::Rk4 => {
-                let mut y: Vec<f64> = solid_ids.iter().map(|&i| self.nodes[i].temp).collect();
-                let ids = solid_ids.clone();
-                let caps: Vec<f64> = solid_ids
-                    .iter()
-                    .map(|&i| match self.nodes[i].kind {
-                        NodeKind::Capacitive { capacitance } => capacitance,
-                        _ => unreachable!(),
-                    })
-                    .collect();
+                let SolverCache {
+                    solid_ids,
+                    solid_caps,
+                    solid_col,
+                    node_pcm,
+                    solid_scratch: y,
+                    rk4,
+                    ..
+                } = &mut cache;
+                let (solid_ids, solid_caps, solid_col, node_pcm) =
+                    (&*solid_ids, &*solid_caps, &*solid_col, &*node_pcm);
+                y.clear();
+                y.extend(solid_ids.iter().map(|&i| self.nodes[i].temp));
                 let this = &*self;
-                rk4_step(
+                rk4_step_with(
                     |_, y, dydt| {
-                        for (k, &i) in ids.iter().enumerate() {
-                            dydt[k] = this.solid_inflow(i, Some((&ids, y))) / caps[k];
+                        for (k, &i) in solid_ids.iter().enumerate() {
+                            dydt[k] =
+                                this.solid_inflow(i, solid_col, node_pcm, Some(y)) / solid_caps[k];
                         }
                     },
-                    &mut y,
+                    y,
                     self.time,
                     dt_s,
+                    rk4,
                 );
                 for (k, &i) in solid_ids.iter().enumerate() {
                     self.nodes[i].temp = y[k];
                 }
             }
             Integrator::ExplicitEuler => {
-                let mut deltas = Vec::with_capacity(solid_ids.len());
-                for &i in &solid_ids {
-                    let cap = match self.nodes[i].kind {
-                        NodeKind::Capacitive { capacitance } => capacitance,
-                        _ => unreachable!(),
-                    };
-                    deltas.push(self.solid_inflow(i, None) / cap * dt_s);
+                cache.solid_scratch.clear();
+                for (k, &i) in cache.solid_ids.iter().enumerate() {
+                    let delta = self.solid_inflow(i, &cache.solid_col, &cache.node_pcm, None)
+                        / cache.solid_caps[k]
+                        * dt_s;
+                    cache.solid_scratch.push(delta);
                 }
-                for (k, &i) in solid_ids.iter().enumerate() {
-                    self.nodes[i].temp += deltas[k];
+                for (k, &i) in cache.solid_ids.iter().enumerate() {
+                    self.nodes[i].temp += cache.solid_scratch[k];
                 }
             }
         }
+
+        self.cache = cache;
+        self.adjacency_dirty = false;
 
         // PCM elements relax against their node's solved temperature.
         for p in &mut self.pcm {
@@ -532,8 +632,12 @@ impl ThermalNetwork {
         max_time: Seconds,
     ) -> Option<Seconds> {
         let start = self.time;
-        loop {
-            let before: Vec<f64> = self.nodes.iter().map(|n| n.temp).collect();
+        // Reuse one buffer for the convergence check across all steps
+        // (moved out because `step` itself takes the cache).
+        let mut before = std::mem::take(&mut self.cache.settle_prev);
+        let result = loop {
+            before.clear();
+            before.extend(self.nodes.iter().map(|n| n.temp));
             self.step(dt);
             let max_delta = self
                 .nodes
@@ -542,12 +646,14 @@ impl ThermalNetwork {
                 .map(|(n, &b)| (n.temp - b).abs())
                 .fold(0.0, f64::max);
             if max_delta < tol_k {
-                return Some(Seconds::new(self.time - start));
+                break Some(Seconds::new(self.time - start));
             }
             if self.time - start >= max_time.value() {
-                return None;
+                break None;
             }
-        }
+        };
+        self.cache.settle_prev = before;
+        result
     }
 
     /// Heat carried out of the system by air streams terminating at
@@ -859,6 +965,60 @@ mod tests {
         let lonely = net.add_air("lonely", Celsius::new(33.0));
         net.step(Seconds::new(10.0));
         assert_eq!(net.temperature(lonely), Celsius::new(33.0));
+    }
+
+    #[test]
+    fn isolated_air_node_with_power_holds_temperature() {
+        // Regression: the isolated-node branch writes the RHS exactly
+        // once — power accumulated before the isolation check must not
+        // leak into the held temperature.
+        let mut net = ThermalNetwork::new();
+        let lonely = net.add_air("lonely", Celsius::new(33.0));
+        net.set_power(lonely, Watts::new(75.0));
+        for _ in 0..3 {
+            net.step(Seconds::new(10.0));
+        }
+        assert_eq!(net.temperature(lonely), Celsius::new(33.0));
+    }
+
+    #[test]
+    fn attaching_pcm_mid_run_invalidates_the_solver_cache() {
+        // attach_pcm after stepping must rebuild the cached incidence
+        // lists, or the new element would be invisible to the air solve.
+        let (mut net, _inlet, air, _cpu) = heater_rig(46.0, 0.02);
+        net.run_to_steady_state(Seconds::new(5.0), 1e-6, Seconds::new(1e6))
+            .unwrap();
+        let t_hot = net.temperature(air).value();
+        let wax = PcmState::new(
+            &PcmMaterial::validation_wax(),
+            Grams::new(500.0),
+            Celsius::new(25.0),
+        );
+        let id = net.attach_pcm(air, wax, WattsPerKelvin::new(6.0));
+        net.step(Seconds::new(5.0));
+        assert!(
+            net.pcm_heat_flow(id).value() > 0.0,
+            "cold wax on hot air must absorb heat immediately"
+        );
+        assert!(net.temperature(air).value() < t_hot);
+    }
+
+    #[test]
+    fn adding_advection_mid_run_invalidates_the_solver_cache() {
+        // advect after stepping must rebuild the cache: the extra
+        // bypass stream doubles the flow and halves the temperature rise.
+        let (mut net, inlet, air, _cpu) = heater_rig(46.0, 0.02);
+        net.run_to_steady_state(Seconds::new(5.0), 1e-6, Seconds::new(1e6))
+            .unwrap();
+        let t_hot = net.temperature(air).value();
+        let mcp = air_heat_capacity_flow(CubicMetersPerSecond::new(0.02));
+        net.advect(inlet, air, mcp);
+        net.run_to_steady_state(Seconds::new(5.0), 1e-6, Seconds::new(1e6))
+            .unwrap();
+        assert!(
+            net.temperature(air).value() < t_hot - 0.5,
+            "extra inlet flow must cool the air node"
+        );
     }
 
     #[test]

@@ -74,10 +74,12 @@ pub fn solve_steady_state(net: &ThermalNetwork) -> Option<SteadyState> {
         a.add(r, r, diag);
     }
 
-    let x = a.solve(&rhs)?;
+    if !a.solve_in_place(&mut rhs) {
+        return None;
+    }
     let mut temps: Vec<f64> = (0..n).map(|i| net.temperature_index(i)).collect();
     for (r, &i) in unknowns.iter().enumerate() {
-        temps[i] = x[r];
+        temps[i] = rhs[r];
     }
     Some(SteadyState { temps })
 }

@@ -112,11 +112,12 @@ pub fn fig4_with(config: &ValidationConfig) -> ValidationResult {
 }
 
 /// Figure 7: blockage sweeps for the three servers, in paper order.
+///
+/// The three classes are independent simulations, so they run on the
+/// [`tts_exec`] pool; output order (and content) is identical at any
+/// `TTS_THREADS`.
 pub fn fig7() -> Vec<(ServerClass, Vec<BlockageRow>)> {
-    ServerClass::ALL
-        .iter()
-        .map(|&c| (c, default_sweep(&c.spec())))
-        .collect()
+    tts_exec::par_map(&ServerClass::ALL, |&c| (c, default_sweep(&c.spec())))
 }
 
 /// Figure 10: the two-day workload trace.

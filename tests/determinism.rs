@@ -1,6 +1,6 @@
 //! Every experiment must be exactly reproducible: seeded randomness only.
 
-use thermal_time_shifting::experiments::{fig11, fig12};
+use thermal_time_shifting::experiments::{fig11, fig12, fig7};
 use thermal_time_shifting::Scenario;
 use tts_server::validation::{run, ValidationConfig};
 use tts_server::ServerClass;
@@ -66,6 +66,59 @@ fn constrained_pipeline_json_is_byte_identical() {
     let a = fig12(ServerClass::HighThroughput2U).to_json_pretty();
     let b = fig12(ServerClass::HighThroughput2U).to_json_pretty();
     assert_eq!(a.as_bytes(), b.as_bytes());
+}
+
+/// Runs `f` with the `tts_exec` worker count pinned to `threads`,
+/// restoring the default afterwards even on panic. The override is
+/// process-global, so a mutex keeps concurrently running tests from
+/// clobbering each other's setting.
+fn with_threads<T>(threads: usize, f: impl FnOnce() -> T) -> T {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let guard = LOCK.lock();
+    struct Reset;
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            tts_exec::set_thread_override(None);
+        }
+    }
+    let _reset = Reset;
+    tts_exec::set_thread_override(Some(threads));
+    let out = f();
+    drop(guard);
+    out
+}
+
+#[test]
+fn fig7_json_is_byte_identical_across_thread_counts() {
+    // The tentpole determinism contract: the parallel execution engine
+    // must make thread count unobservable. The full Figure 7 pipeline
+    // (three servers × ten blockage steady-states) serialized at 1 worker
+    // and at 8 workers must agree byte for byte.
+    let serial = with_threads(1, || {
+        fig7()
+            .iter()
+            .map(|(c, rows)| format!("{c}:{}", rows.to_json_pretty()))
+            .collect::<Vec<_>>()
+            .join("\n")
+    });
+    let parallel = with_threads(8, || {
+        fig7()
+            .iter()
+            .map(|(c, rows)| format!("{c}:{}", rows.to_json_pretty()))
+            .collect::<Vec<_>>()
+            .join("\n")
+    });
+    assert_eq!(serial.as_bytes(), parallel.as_bytes());
+}
+
+#[test]
+fn fig11_json_is_byte_identical_across_thread_counts() {
+    // The melting-point grid search fans out per candidate; its in-order
+    // reduction must pick the same winner (and produce the same bytes)
+    // at any worker count.
+    let serial = with_threads(1, || fig11(ServerClass::LowPower1U).to_json_pretty());
+    let parallel = with_threads(8, || fig11(ServerClass::LowPower1U).to_json_pretty());
+    assert_eq!(serial.as_bytes(), parallel.as_bytes());
 }
 
 #[test]
