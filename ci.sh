@@ -23,9 +23,27 @@ cargo bench --offline --no-run -q
 
 echo "==> smoke benches (thermal_solver, fig7_blockage)"
 # Three samples apiece: enough to catch a hot-path regression or panic,
-# cheap enough to run on every push. BENCH_baseline.json holds the
-# pre-optimization reference for manual comparison.
-TTS_BENCH_SAMPLES=3 cargo bench --offline -q -p tts-bench --bench thermal_solver
+# cheap enough to run on every push. The thermal_solver report is kept
+# and gated against BENCH_baseline.json below.
+TMPDIR_CI="$(mktemp -d)"
+trap 'rm -rf "$TMPDIR_CI"' EXIT
+TTS_BENCH_SAMPLES=3 TTS_BENCH_OUT="$TMPDIR_CI/thermal_solver.json" \
+  cargo bench --offline -q -p tts-bench --bench thermal_solver
 TTS_BENCH_SAMPLES=3 cargo bench --offline -q -p tts-bench --bench fig7_blockage
+
+echo "==> metrics sidecar smoke (fig7, byte-identical across thread counts)"
+# The observability layer must not perturb determinism: the same run at
+# 1 and 4 workers has to produce byte-identical sidecars, and the
+# sidecar must parse through the in-repo JSON layer (repro also
+# round-trips it before writing; a parse failure aborts the run).
+REPRO=target/release/repro
+TTS_THREADS=1 "$REPRO" fig7 --metrics "$TMPDIR_CI/fig7.t1.json" > /dev/null
+TTS_THREADS=4 "$REPRO" fig7 --metrics "$TMPDIR_CI/fig7.t4.json" > /dev/null
+cmp "$TMPDIR_CI/fig7.t1.json" "$TMPDIR_CI/fig7.t4.json"
+
+echo "==> bench gate (disabled-metrics thermal_solver within 5% of baseline)"
+# Metrics are off by default; the solver hot path must stay within the
+# pre-observability envelope recorded in BENCH_baseline.json.
+"$REPRO" bench-check "$TMPDIR_CI/thermal_solver.json" BENCH_baseline.json 5
 
 echo "ci.sh: all gates passed"

@@ -9,7 +9,17 @@ use std::sync::Once;
 use tts_bench::harness::{criterion_group, criterion_main, BatchSize, Criterion};
 use tts_dcsim::balancer::{LeastLoaded, RandomBalancer, RoundRobin};
 use tts_dcsim::cluster::{run_cooling_load, select_melting_point, ClusterConfig};
-use tts_dcsim::discrete::DiscreteClusterSim;
+use tts_dcsim::discrete::ClusterConfig as DiscreteConfig;
+
+/// The ablation cluster: 32 four-core servers in racks of eight.
+fn discrete_32x4<B: tts_dcsim::balancer::Balancer>(
+    balancer: B,
+) -> tts_dcsim::discrete::DiscreteClusterSim<B> {
+    DiscreteConfig::new(32)
+        .cores_per_server(4)
+        .rack_size(8)
+        .build(balancer)
+}
 use tts_pcm::{ContainerBank, PcmMaterial};
 use tts_server::{ServerClass, ServerWaxCharacteristics};
 use tts_thermal::network::ThermalNetwork;
@@ -68,21 +78,21 @@ fn bench_balancers(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("round_robin", |b| {
         b.iter_batched(
-            || DiscreteClusterSim::new(32, 4, 8, RoundRobin::new()),
+            || discrete_32x4(RoundRobin::new()),
             |mut sim| black_box(sim.run(&jobs, Seconds::new(1800.0))),
             BatchSize::SmallInput,
         )
     });
     group.bench_function("least_loaded", |b| {
         b.iter_batched(
-            || DiscreteClusterSim::new(32, 4, 8, LeastLoaded::new()),
+            || discrete_32x4(LeastLoaded::new()),
             |mut sim| black_box(sim.run(&jobs, Seconds::new(1800.0))),
             BatchSize::SmallInput,
         )
     });
     group.bench_function("random", |b| {
         b.iter_batched(
-            || DiscreteClusterSim::new(32, 4, 8, RandomBalancer::new(9)),
+            || discrete_32x4(RandomBalancer::new(9)),
             |mut sim| black_box(sim.run(&jobs, Seconds::new(1800.0))),
             BatchSize::SmallInput,
         )
@@ -162,10 +172,10 @@ fn report_quality_metrics() {
         let trace = TimeSeries::new(Seconds::new(60.0), vec![0.85; 30]);
         JobStream::new(trace, JobType::MapReduce, 32, 7).collect_all()
     };
-    let rr = DiscreteClusterSim::new(32, 4, 8, RoundRobin::new())
+    let rr = discrete_32x4(RoundRobin::new())
         .run(&jobs, Seconds::new(1800.0))
         .mean_response_s;
-    let ll = DiscreteClusterSim::new(32, 4, 8, LeastLoaded::new())
+    let ll = discrete_32x4(LeastLoaded::new())
         .run(&jobs, Seconds::new(1800.0))
         .mean_response_s;
     eprintln!("[ablation] balancer mean response: round-robin {rr:.2}s, least-loaded {ll:.2}s");

@@ -3,7 +3,7 @@
 use std::hint::black_box;
 use tts_bench::harness::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use tts_dcsim::balancer::RoundRobin;
-use tts_dcsim::discrete::DiscreteClusterSim;
+use tts_dcsim::discrete::ClusterConfig;
 use tts_units::Seconds;
 use tts_workload::series::TimeSeries;
 use tts_workload::{Job, JobStream, JobType};
@@ -21,7 +21,12 @@ fn bench_discrete(c: &mut Criterion) {
         group.throughput(Throughput::Elements(jobs.len() as u64));
         group.bench_function(format!("round_robin_{servers}_servers"), |b| {
             b.iter_batched(
-                || DiscreteClusterSim::new(servers, 4, 8, RoundRobin::new()),
+                || {
+                    ClusterConfig::new(servers)
+                        .cores_per_server(4)
+                        .rack_size(8)
+                        .build(RoundRobin::new())
+                },
                 |mut sim| black_box(sim.run(&jobs, Seconds::new(3600.0))),
                 BatchSize::SmallInput,
             )

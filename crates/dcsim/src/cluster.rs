@@ -11,10 +11,15 @@
 //! cluster cooling load `N · (P_wall − q_wax)`.
 
 use tts_cooling::cooling_load;
+use tts_obs::MetricsSink;
 use tts_pcm::{PcmMaterial, PcmState};
 use tts_server::{ServerSpec, ServerWaxCharacteristics};
 use tts_units::{Celsius, Fraction, KiloWatts};
 use tts_workload::TimeSeries;
+
+/// Bucket edges for the melt-fraction histogram (fraction of latent
+/// capacity molten, 0–1). Shared with the constrained (Figure 12) runs.
+pub(crate) const MELT_EDGES: [f64; 11] = [0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95];
 
 /// Cluster configuration for the cooling-load study.
 #[derive(Debug, Clone)]
@@ -67,6 +72,33 @@ pub struct CoolingLoadRun {
 
 tts_units::derive_json! { struct CoolingLoadRun { times_h, load_no_wax_kw, load_with_wax_kw, melt_fraction, peak_no_wax, peak_with_wax, peak_reduction, elevated_hours, refrozen_at_end, melting_point } }
 
+/// Records one finished cooling-load run into `sink`: tick count, the
+/// melt-fraction series (histogram + final-value gauge), and the headline
+/// peaks. Recording happens *after* the run from its stored series, so
+/// every gauge write is serial (the deterministic-snapshot rule) and the
+/// simulation loop itself stays untouched.
+fn record_run(sink: &MetricsSink, run: &CoolingLoadRun) {
+    if !sink.is_enabled() {
+        return;
+    }
+    sink.counter("cluster.ticks")
+        .add(run.melt_fraction.len() as u64);
+    let hist = sink.histogram("cluster.melt_fraction", &MELT_EDGES);
+    for &m in &run.melt_fraction {
+        hist.record(m);
+    }
+    sink.gauge("cluster.melt_fraction_last")
+        .set(run.melt_fraction.last().copied().unwrap_or(0.0));
+    sink.gauge("cluster.peak_no_wax_kw")
+        .set(run.peak_no_wax.value());
+    sink.gauge("cluster.peak_with_wax_kw")
+        .set(run.peak_with_wax.value());
+    sink.gauge("cluster.peak_reduction")
+        .set(run.peak_reduction.value());
+    sink.gauge("cluster.melting_point_c")
+        .set(run.melting_point.value());
+}
+
 /// Runs the cooling-load study for one cluster over a utilization trace.
 pub fn run_cooling_load(config: &ClusterConfig, trace: &TimeSeries) -> CoolingLoadRun {
     let dt = trace.dt();
@@ -116,6 +148,20 @@ pub fn run_cooling_load(config: &ClusterConfig, trace: &TimeSeries) -> CoolingLo
     }
 }
 
+/// [`run_cooling_load`] with telemetry: the run's tick count,
+/// melt-fraction series, and headline peaks are recorded into `sink` once
+/// the run completes (see [`record_run`]). Only call from serial code —
+/// the gauges are last-value-wins.
+pub fn run_cooling_load_with(
+    config: &ClusterConfig,
+    trace: &TimeSeries,
+    sink: &MetricsSink,
+) -> CoolingLoadRun {
+    let run = run_cooling_load(config, trace);
+    record_run(sink, &run);
+    run
+}
+
 /// Grid-searches the commercial-paraffin melting point that minimizes the
 /// cluster's peak cooling load (§5.1: "selected the melting temperature to
 /// minimize cooling load"), requiring the wax to refreeze by the end of
@@ -126,6 +172,22 @@ pub fn select_melting_point(
     config: &ClusterConfig,
     trace: &TimeSeries,
     candidates_c: impl IntoIterator<Item = f64>,
+) -> (PcmMaterial, CoolingLoadRun) {
+    select_melting_point_with(config, trace, candidates_c, &MetricsSink::disabled())
+}
+
+/// [`select_melting_point`] with telemetry. The parallel candidate
+/// evaluations run unobserved (per-candidate series would race on the
+/// gauges); the search records `cluster.candidates_evaluated` /
+/// `cluster.candidates_refrozen` counters and then replays the *winner's*
+/// stored series into `sink` serially (see [`record_run`]) — so the
+/// snapshot describes the selected configuration, byte-identically at any
+/// thread count.
+pub fn select_melting_point_with(
+    config: &ClusterConfig,
+    trace: &TimeSeries,
+    candidates_c: impl IntoIterator<Item = f64>,
+    sink: &MetricsSink,
 ) -> (PcmMaterial, CoolingLoadRun) {
     // Candidate evaluations are independent cluster simulations: fan them
     // out on the tts_exec pool, then fold *in candidate order* so the
@@ -141,11 +203,15 @@ pub fn select_melting_point(
         run_cooling_load(&cfg, trace)
     });
 
+    sink.counter("cluster.candidates_evaluated")
+        .add(candidates.len() as u64);
+    let mut refrozen: u64 = 0;
     let mut best: Option<(PcmMaterial, CoolingLoadRun)> = None;
     for (&c, run) in candidates.iter().zip(runs) {
         if !run.refrozen_at_end {
             continue;
         }
+        refrozen += 1;
         let better = match &best {
             None => true,
             Some((_, b)) => run.peak_with_wax < b.peak_with_wax,
@@ -154,7 +220,10 @@ pub fn select_melting_point(
             best = Some((PcmMaterial::commercial_paraffin(Celsius::new(c)), run));
         }
     }
-    best.expect("at least one candidate melting point must refreeze daily")
+    sink.counter("cluster.candidates_refrozen").add(refrozen);
+    let best = best.expect("at least one candidate melting point must refreeze daily");
+    record_run(sink, &best.1);
+    best
 }
 
 /// The default candidate range: the paraffin catalogue in half-degree
@@ -231,6 +300,34 @@ mod tests {
             run.peak_reduction.value() < 0.20,
             "reduction implausibly large: {}",
             run.peak_reduction
+        );
+    }
+
+    #[test]
+    fn instrumented_search_records_the_winner() {
+        let config = one_u_config();
+        let trace = GoogleTrace::default_two_day();
+        let sink = MetricsSink::fresh();
+        let (_, run) =
+            select_melting_point_with(&config, trace.total(), default_melting_candidates(), &sink);
+        let n_candidates = default_melting_candidates().len() as u64;
+        assert_eq!(
+            sink.counter("cluster.candidates_evaluated").value(),
+            n_candidates
+        );
+        assert!(sink.counter("cluster.candidates_refrozen").value() >= 1);
+        // The replayed series belongs to the winner, not a candidate.
+        assert_eq!(
+            sink.counter("cluster.ticks").value(),
+            run.melt_fraction.len() as u64
+        );
+        assert_eq!(
+            sink.gauge("cluster.peak_with_wax_kw").value(),
+            run.peak_with_wax.value()
+        );
+        assert_eq!(
+            sink.gauge("cluster.melting_point_c").value(),
+            run.melting_point.value()
         );
     }
 

@@ -8,8 +8,144 @@
 use crate::balancer::Balancer;
 use crate::event::EventQueue;
 use std::collections::VecDeque;
+use tts_obs::{Counter, Gauge, MetricsSink};
 use tts_units::Seconds;
 use tts_workload::{Job, JobType};
+
+/// Builder for [`DiscreteClusterSim`], replacing the positional
+/// four-argument constructor. Defaults: one core per server, one rack
+/// spanning the whole cluster, no utilization recording, telemetry off.
+///
+/// ```
+/// use tts_dcsim::balancer::RoundRobin;
+/// use tts_dcsim::discrete::ClusterConfig;
+///
+/// let sim = ClusterConfig::new(8)
+///     .cores_per_server(4)
+///     .rack_size(4)
+///     .build(RoundRobin::new());
+/// # let _ = sim;
+/// ```
+#[derive(Debug, Clone)]
+#[must_use = "a cluster config does nothing until .build(balancer)"]
+pub struct ClusterConfig {
+    servers: usize,
+    cores_per_server: usize,
+    rack_size: Option<usize>,
+    record_utilization: Option<Seconds>,
+    metrics: MetricsSink,
+}
+
+impl ClusterConfig {
+    /// A config for a cluster of `servers` machines (validated at
+    /// [`Self::build`]).
+    pub fn new(servers: usize) -> Self {
+        Self {
+            servers,
+            cores_per_server: 1,
+            rack_size: None,
+            record_utilization: None,
+            metrics: MetricsSink::disabled(),
+        }
+    }
+
+    /// Concurrent job slots per server (default 1).
+    pub fn cores_per_server(mut self, cores: usize) -> Self {
+        self.cores_per_server = cores;
+        self
+    }
+
+    /// Servers per rack (default: one rack spanning the whole cluster).
+    pub fn rack_size(mut self, servers: usize) -> Self {
+        self.rack_size = Some(servers);
+        self
+    }
+
+    /// Records the cluster-utilization trace with the given bucket width
+    /// (see [`DiscreteClusterSim::utilization_trace`]).
+    pub fn record_utilization(mut self, interval: Seconds) -> Self {
+        self.record_utilization = Some(interval);
+        self
+    }
+
+    /// Routes event-loop telemetry (events, arrivals, completions, queue
+    /// depth gauges) to `sink`. The event loop is serial, so everything
+    /// registers deterministic.
+    pub fn metrics(mut self, sink: &MetricsSink) -> Self {
+        self.metrics = sink.clone();
+        self
+    }
+
+    /// Builds the simulator.
+    ///
+    /// # Panics
+    /// Panics if `servers`, `cores_per_server`, `rack_size`, or the
+    /// utilization-recording interval is zero/non-positive.
+    pub fn build<B: Balancer>(self, balancer: B) -> DiscreteClusterSim<B> {
+        assert!(self.servers > 0, "need at least one server");
+        assert!(self.cores_per_server > 0, "need at least one core");
+        let rack_size = self.rack_size.unwrap_or(self.servers);
+        assert!(rack_size > 0, "need at least one server per rack");
+        let util_recording = self.record_utilization.map(|interval| {
+            assert!(interval.value() > 0.0, "interval must be positive");
+            UtilRecorder::new(self.servers, interval.value())
+        });
+        DiscreteClusterSim {
+            servers: (0..self.servers).map(|_| ServerState::default()).collect(),
+            cores_per_server: self.cores_per_server,
+            rack_size,
+            balancer,
+            response_times: Vec::new(),
+            response_by_type: Vec::new(),
+            util_recording,
+            obs: SimObs::resolve(&self.metrics),
+            flush_hook: None,
+        }
+    }
+}
+
+/// Resolved event-loop metric handles (no-ops when built without a sink).
+/// All writes happen on the serial event loop, so every entry is
+/// [`tts_obs::Determinism::Deterministic`].
+#[derive(Debug, Clone, Default)]
+struct SimObs {
+    events: Counter,
+    arrivals: Counter,
+    completions: Counter,
+    enqueued: Counter,
+    active_jobs: Gauge,
+    queued_jobs: Gauge,
+}
+
+impl SimObs {
+    fn resolve(sink: &MetricsSink) -> Self {
+        Self {
+            events: sink.counter("dcsim.events"),
+            arrivals: sink.counter("dcsim.arrivals"),
+            completions: sink.counter("dcsim.completions"),
+            enqueued: sink.counter("dcsim.enqueued"),
+            active_jobs: sink.gauge("dcsim.active_jobs"),
+            queued_jobs: sink.gauge("dcsim.queued_jobs"),
+        }
+    }
+}
+
+/// A periodic callback on simulated time (see
+/// [`DiscreteClusterSim::set_periodic_flush`]).
+struct FlushHook {
+    interval: f64,
+    next: f64,
+    f: Box<dyn FnMut(Seconds) + Send>,
+}
+
+impl std::fmt::Debug for FlushHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlushHook")
+            .field("interval", &self.interval)
+            .field("next", &self.next)
+            .finish_non_exhaustive()
+    }
+}
 
 /// A completion event.
 #[derive(Debug, Clone, Copy)]
@@ -84,6 +220,10 @@ pub struct DiscreteClusterSim<B: Balancer> {
     /// Busy core-seconds accumulated per recording interval (when
     /// utilization recording is enabled).
     util_recording: Option<UtilRecorder>,
+    /// Event-loop metric handles (no-ops unless configured).
+    obs: SimObs,
+    /// Periodic simulated-time callback, fired during [`Self::run`].
+    flush_hook: Option<FlushHook>,
 }
 
 #[derive(Debug)]
@@ -132,19 +272,57 @@ impl<B: Balancer> DiscreteClusterSim<B> {
     ///
     /// # Panics
     /// Panics if any size is zero.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use discrete::ClusterConfig::new(servers)\
+                .cores_per_server(..).rack_size(..).build(balancer)"
+    )]
     pub fn new(servers: usize, cores_per_server: usize, rack_size: usize, balancer: B) -> Self {
-        assert!(servers > 0, "need at least one server");
-        assert!(cores_per_server > 0, "need at least one core");
-        assert!(rack_size > 0, "need at least one server per rack");
-        Self {
-            servers: (0..servers).map(|_| ServerState::default()).collect(),
-            cores_per_server,
-            rack_size,
-            balancer,
-            response_times: Vec::new(),
-            response_by_type: Vec::new(),
-            util_recording: None,
+        ClusterConfig::new(servers)
+            .cores_per_server(cores_per_server)
+            .rack_size(rack_size)
+            .build(balancer)
+    }
+
+    /// Installs a callback fired every `interval` of *simulated* time
+    /// during [`Self::run`] — the flush hook the `repro --metrics` sidecar
+    /// uses to snapshot the registry periodically. Before each firing the
+    /// `dcsim.active_jobs` / `dcsim.queued_jobs` gauges are refreshed, so
+    /// a registry snapshot taken inside the callback sees the queue state
+    /// at that boundary. Boundaries are drained up to each event's time
+    /// (and the run's closing time), so firing times — and therefore any
+    /// snapshot sequence — are deterministic.
+    ///
+    /// # Panics
+    /// Panics if `interval` is not positive.
+    pub fn set_periodic_flush(
+        &mut self,
+        interval: Seconds,
+        f: impl FnMut(Seconds) + Send + 'static,
+    ) {
+        assert!(interval.value() > 0.0, "flush interval must be positive");
+        self.flush_hook = Some(FlushHook {
+            interval: interval.value(),
+            next: interval.value(),
+            f: Box::new(f),
+        });
+    }
+
+    /// Fires the flush hook at every interval boundary ≤ `t`, refreshing
+    /// the queue-depth gauges first.
+    fn drain_flushes(&mut self, t: f64) {
+        let Some(mut hook) = self.flush_hook.take() else {
+            return;
+        };
+        while hook.next <= t {
+            let active: usize = self.servers.iter().map(|s| s.active).sum();
+            let queued: usize = self.servers.iter().map(|s| s.queue.len()).sum();
+            self.obs.active_jobs.set(active as f64);
+            self.obs.queued_jobs.set(queued as f64);
+            (hook.f)(Seconds::new(hook.next));
+            hook.next += hook.interval;
         }
+        self.flush_hook = Some(hook);
     }
 
     /// Enables recording of the cluster's utilization as a time series
@@ -161,6 +339,7 @@ impl<B: Balancer> DiscreteClusterSim<B> {
     /// This is the bridge from the event-driven simulator to the thermal
     /// pipeline: feed the result to
     /// [`crate::cluster::run_cooling_load`] for a job-level Figure 11.
+    #[must_use = "returns the recorded trace without side effects"]
     pub fn utilization_trace(&self) -> Option<tts_workload::TimeSeries> {
         let rec = self.util_recording.as_ref()?;
         if rec.busy.is_empty() {
@@ -201,6 +380,8 @@ impl<B: Balancer> DiscreteClusterSim<B> {
                 break;
             }
             now = t;
+            self.drain_flushes(now);
+            self.obs.events.incr();
 
             if is_arrival {
                 let job = *job_iter.next().expect("peeked job exists");
@@ -209,6 +390,7 @@ impl<B: Balancer> DiscreteClusterSim<B> {
                     "jobs must be sorted by arrival"
                 );
                 last_arrival = job.arrival.value();
+                self.obs.arrivals.incr();
                 let occupancy: Vec<usize> = self
                     .servers
                     .iter()
@@ -232,6 +414,7 @@ impl<B: Balancer> DiscreteClusterSim<B> {
                     );
                 } else {
                     server.queue.push_back(job);
+                    self.obs.enqueued.incr();
                 }
                 let active_now = self.servers[target].active;
                 if let Some(rec) = self.util_recording.as_mut() {
@@ -246,6 +429,7 @@ impl<B: Balancer> DiscreteClusterSim<B> {
                 server.account(now, self.cores_per_server);
                 server.active -= 1;
                 server.completed += 1;
+                self.obs.completions.incr();
                 self.response_times.push(now - c.arrival);
                 self.response_by_type.push((c.job_type, now - c.arrival));
                 if let Some(next) = server.queue.pop_front() {
@@ -268,6 +452,7 @@ impl<B: Balancer> DiscreteClusterSim<B> {
 
         // Close the books at the horizon (or last event).
         let end = now.max(horizon.min(now + 1.0));
+        self.drain_flushes(end);
         if let Some(rec) = self.util_recording.as_mut() {
             for s in 0..self.servers.len() {
                 rec.account(s, end, self.cores_per_server);
@@ -362,7 +547,10 @@ mod tests {
     fn conservation_of_jobs() {
         let jobs = flat_jobs(0.5, 8, 0.5, 1);
         let total = jobs.len() as u64;
-        let mut sim = DiscreteClusterSim::new(8, 4, 4, RoundRobin::new());
+        let mut sim = ClusterConfig::new(8)
+            .cores_per_server(4)
+            .rack_size(4)
+            .build(RoundRobin::new());
         let m = sim.run(&jobs, Seconds::new(3600.0));
         assert_eq!(m.completed + m.in_flight, total);
         assert!(m.completed > 0);
@@ -375,7 +563,10 @@ mod tests {
         // JobStream offers util×servers server-equivalents of work; with
         // `cores` slots per server, the per-core utilization is util/cores.
         let jobs = flat_jobs(0.6, servers, 2.0, 2);
-        let mut sim = DiscreteClusterSim::new(servers, 1, 5, RoundRobin::new());
+        let mut sim = ClusterConfig::new(servers)
+            .cores_per_server(1)
+            .rack_size(5)
+            .build(RoundRobin::new());
         let m = sim.run(&jobs, Seconds::new(2.0 * 3600.0));
         assert!(
             (m.cluster_utilization - 0.6).abs() < 0.05,
@@ -387,7 +578,10 @@ mod tests {
     #[test]
     fn round_robin_spreads_load_evenly() {
         let jobs = flat_jobs(0.5, 8, 1.0, 3);
-        let mut sim = DiscreteClusterSim::new(8, 4, 4, RoundRobin::new());
+        let mut sim = ClusterConfig::new(8)
+            .cores_per_server(4)
+            .rack_size(4)
+            .build(RoundRobin::new());
         let m = sim.run(&jobs, Seconds::new(3600.0));
         let max = m
             .server_utilization
@@ -405,7 +599,10 @@ mod tests {
     #[test]
     fn rack_metrics_aggregate_servers() {
         let jobs = flat_jobs(0.5, 8, 0.5, 4);
-        let mut sim = DiscreteClusterSim::new(8, 4, 4, RoundRobin::new());
+        let mut sim = ClusterConfig::new(8)
+            .cores_per_server(4)
+            .rack_size(4)
+            .build(RoundRobin::new());
         let m = sim.run(&jobs, Seconds::new(1800.0));
         assert_eq!(m.rack_utilization.len(), 2);
         let rack_mean = (m.rack_utilization[0] + m.rack_utilization[1]) / 2.0;
@@ -416,7 +613,10 @@ mod tests {
     fn response_time_grows_under_overload() {
         let light = {
             let jobs = flat_jobs(0.3, 4, 1.0, 5);
-            let mut sim = DiscreteClusterSim::new(4, 2, 2, RoundRobin::new());
+            let mut sim = ClusterConfig::new(4)
+                .cores_per_server(2)
+                .rack_size(2)
+                .build(RoundRobin::new());
             sim.run(&jobs, Seconds::new(3600.0)).mean_response_s
         };
         let heavy = {
@@ -424,7 +624,10 @@ mod tests {
             let n = 60;
             let trace = TimeSeries::new(Seconds::new(60.0), vec![0.95; n]);
             let jobs = JobStream::new(trace, JobType::SocialNetworking, 16, 5).collect_all();
-            let mut sim = DiscreteClusterSim::new(4, 2, 2, RoundRobin::new());
+            let mut sim = ClusterConfig::new(4)
+                .cores_per_server(2)
+                .rack_size(2)
+                .build(RoundRobin::new());
             sim.run(&jobs, Seconds::new(3600.0)).mean_response_s
         };
         assert!(
@@ -442,11 +645,17 @@ mod tests {
             JobStream::new(trace, JobType::MapReduce, 6, 9).collect_all()
         };
         let rr = {
-            let mut sim = DiscreteClusterSim::new(6, 2, 3, RoundRobin::new());
+            let mut sim = ClusterConfig::new(6)
+                .cores_per_server(2)
+                .rack_size(3)
+                .build(RoundRobin::new());
             sim.run(&jobs, Seconds::new(3600.0)).mean_response_s
         };
         let ll = {
-            let mut sim = DiscreteClusterSim::new(6, 2, 3, LeastLoaded::new());
+            let mut sim = ClusterConfig::new(6)
+                .cores_per_server(2)
+                .rack_size(3)
+                .build(LeastLoaded::new());
             sim.run(&jobs, Seconds::new(3600.0)).mean_response_s
         };
         assert!(ll <= rr * 1.05, "JSQ {ll} should not lose to RR {rr}");
@@ -455,7 +664,10 @@ mod tests {
     #[test]
     fn p95_at_least_mean() {
         let jobs = flat_jobs(0.7, 8, 1.0, 6);
-        let mut sim = DiscreteClusterSim::new(8, 4, 4, RoundRobin::new());
+        let mut sim = ClusterConfig::new(8)
+            .cores_per_server(4)
+            .rack_size(4)
+            .build(RoundRobin::new());
         let m = sim.run(&jobs, Seconds::new(3600.0));
         assert!(m.p95_response_s >= m.mean_response_s * 0.9);
         assert!(m.throughput_jobs_per_s > 0.0);
@@ -464,7 +676,60 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one server")]
     fn zero_servers_panics() {
-        DiscreteClusterSim::new(0, 1, 1, RoundRobin::new());
+        ClusterConfig::new(0)
+            .cores_per_server(1)
+            .rack_size(1)
+            .build(RoundRobin::new());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructor_still_builds_an_equivalent_sim() {
+        // The positional constructor stays one PR as a thin wrapper over
+        // the builder; both must produce identical runs.
+        let jobs = flat_jobs(0.5, 8, 0.5, 1);
+        let mut old = DiscreteClusterSim::new(8, 4, 4, RoundRobin::new());
+        let mut new = ClusterConfig::new(8)
+            .cores_per_server(4)
+            .rack_size(4)
+            .build(RoundRobin::new());
+        assert_eq!(
+            old.run(&jobs, Seconds::new(3600.0)),
+            new.run(&jobs, Seconds::new(3600.0))
+        );
+    }
+
+    #[test]
+    fn metrics_and_flush_hook_observe_the_event_loop() {
+        use std::sync::{Arc, Mutex};
+        let jobs = flat_jobs(0.5, 8, 0.5, 1);
+        let sink = MetricsSink::fresh();
+        let mut sim = ClusterConfig::new(8)
+            .cores_per_server(4)
+            .rack_size(4)
+            .metrics(&sink)
+            .build(RoundRobin::new());
+        let fired: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(Vec::new()));
+        let log = Arc::clone(&fired);
+        sim.set_periodic_flush(Seconds::new(300.0), move |t| {
+            log.lock().unwrap().push(t.value());
+        });
+        let m = sim.run(&jobs, Seconds::new(1800.0));
+        assert_eq!(sink.counter("dcsim.completions").value(), m.completed);
+        assert_eq!(
+            sink.counter("dcsim.arrivals").value(),
+            m.completed + m.in_flight
+        );
+        assert_eq!(
+            sink.counter("dcsim.events").value(),
+            sink.counter("dcsim.arrivals").value() + m.completed
+        );
+        // Flush boundaries are exact multiples of the interval, in order.
+        let fired = fired.lock().unwrap();
+        assert!(!fired.is_empty(), "flush hook never fired");
+        for (i, t) in fired.iter().enumerate() {
+            assert_eq!(*t, 300.0 * (i as f64 + 1.0));
+        }
     }
 
     #[test]
@@ -475,7 +740,10 @@ mod tests {
         let mut jobs = JobStream::new(trace.clone(), JobType::WebSearch, 16, 1).collect_all();
         jobs.extend(JobStream::new(trace, JobType::MapReduce, 16, 2).collect_all());
         jobs.sort_by(|a, b| a.arrival.value().total_cmp(&b.arrival.value()));
-        let mut sim = DiscreteClusterSim::new(16, 4, 8, RoundRobin::new());
+        let mut sim = ClusterConfig::new(16)
+            .cores_per_server(4)
+            .rack_size(8)
+            .build(RoundRobin::new());
         let m = sim.run(&jobs, Seconds::new(3600.0));
         let qos: std::collections::HashMap<_, _> =
             m.per_type.iter().map(|q| (q.job_type, q)).collect();
@@ -497,7 +765,10 @@ mod tests {
     #[test]
     fn recorded_utilization_matches_aggregate_metric() {
         let jobs = flat_jobs(0.6, 10, 2.0, 8);
-        let mut sim = DiscreteClusterSim::new(10, 1, 5, RoundRobin::new());
+        let mut sim = ClusterConfig::new(10)
+            .cores_per_server(1)
+            .rack_size(5)
+            .build(RoundRobin::new());
         sim.record_utilization(Seconds::new(300.0));
         let horizon = Seconds::new(2.0 * 3600.0);
         let m = sim.run(&jobs, horizon);
@@ -517,7 +788,10 @@ mod tests {
     #[test]
     fn utilization_trace_requires_recording() {
         let jobs = flat_jobs(0.5, 4, 0.5, 9);
-        let mut sim = DiscreteClusterSim::new(4, 2, 2, RoundRobin::new());
+        let mut sim = ClusterConfig::new(4)
+            .cores_per_server(2)
+            .rack_size(2)
+            .build(RoundRobin::new());
         sim.run(&jobs, Seconds::new(1800.0));
         assert!(sim.utilization_trace().is_none());
     }
@@ -529,7 +803,10 @@ mod tests {
         vals.extend(vec![0.8; 60]);
         let trace_in = TimeSeries::new(Seconds::new(60.0), vals);
         let jobs = JobStream::new(trace_in, JobType::SocialNetworking, 20, 4).collect_all();
-        let mut sim = DiscreteClusterSim::new(20, 1, 10, RoundRobin::new());
+        let mut sim = ClusterConfig::new(20)
+            .cores_per_server(1)
+            .rack_size(10)
+            .build(RoundRobin::new());
         sim.record_utilization(Seconds::new(600.0));
         sim.run(&jobs, Seconds::new(7200.0));
         let out = sim.utilization_trace().unwrap();

@@ -13,6 +13,7 @@
 //! paraffin — the comparison this module quantifies.
 
 use crate::throttle::{run_constrained, ConstrainedConfig};
+use tts_obs::MetricsSink;
 use tts_units::{Dollars, Fraction, Seconds};
 use tts_workload::TimeSeries;
 
@@ -42,6 +43,45 @@ tts_units::derive_json! { struct RelocationRun { times_h, local, relocated, relo
 /// Runs the relocation policy: the local cluster serves what its thermal
 /// budget allows (with DVFS, no wax); everything else ships out.
 pub fn run_relocation(
+    config: &ConstrainedConfig,
+    trace: &TimeSeries,
+    cost_per_server_hour: Dollars,
+) -> RelocationRun {
+    run_relocation_with(
+        config,
+        trace,
+        cost_per_server_hour,
+        &MetricsSink::disabled(),
+    )
+}
+
+/// [`run_relocation`] with telemetry: counts ticks that shipped work out
+/// (`relocation.relocated_ticks` of `relocation.ticks`) and gauges the
+/// relocated server-hours, fraction, and bill, recorded serially after
+/// the run. Only call from serial code — gauges are last-value-wins.
+pub fn run_relocation_with(
+    config: &ConstrainedConfig,
+    trace: &TimeSeries,
+    cost_per_server_hour: Dollars,
+    sink: &MetricsSink,
+) -> RelocationRun {
+    let run = relocation_inner(config, trace, cost_per_server_hour);
+    if sink.is_enabled() {
+        sink.counter("relocation.ticks")
+            .add(run.times_h.len() as u64);
+        let moved = run.relocated.iter().filter(|&&x| x > 1e-9).count();
+        sink.counter("relocation.relocated_ticks").add(moved as u64);
+        sink.gauge("relocation.server_hours")
+            .set(run.relocated_server_hours);
+        sink.gauge("relocation.fraction")
+            .set(run.relocated_fraction.value());
+        sink.gauge("relocation.cost_dollars")
+            .set(run.relocation_cost.value());
+    }
+    run
+}
+
+fn relocation_inner(
     config: &ConstrainedConfig,
     trace: &TimeSeries,
     cost_per_server_hour: Dollars,

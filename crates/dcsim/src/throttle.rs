@@ -15,6 +15,8 @@
 //! server, letting the cluster hold nominal frequency "until the thermal
 //! capacity of the wax is full".
 
+use crate::cluster::MELT_EDGES;
+use tts_obs::MetricsSink;
 use tts_pcm::PcmState;
 use tts_server::{ServerSpec, ServerWaxCharacteristics};
 use tts_units::{Fraction, KiloWatts, Watts};
@@ -127,6 +129,48 @@ fn max_feasible_util(
         }
     }
     Fraction::new(lo)
+}
+
+/// Records one finished constrained run into `sink`: tick counts (total
+/// and thermally throttled), the melt-fraction series, and the headline
+/// gains. Post-hoc from the stored series, so all gauge writes are serial.
+fn record_run(sink: &MetricsSink, run: &ConstrainedRun) {
+    if !sink.is_enabled() {
+        return;
+    }
+    sink.counter("throttle.ticks").add(run.times_h.len() as u64);
+    // A tick is throttled when the wax arm serves less than the ideal arm
+    // would — the thermal limit forced a downclock or utilization cap.
+    let throttled = run
+        .ideal
+        .iter()
+        .zip(&run.with_wax)
+        .filter(|(ideal, wax)| **wax < **ideal - 1e-9)
+        .count();
+    sink.counter("throttle.throttled_ticks")
+        .add(throttled as u64);
+    let hist = sink.histogram("throttle.melt_fraction", &MELT_EDGES);
+    for &m in &run.melt_fraction {
+        hist.record(m);
+    }
+    sink.gauge("throttle.melt_fraction_last")
+        .set(run.melt_fraction.last().copied().unwrap_or(0.0));
+    sink.gauge("throttle.peak_gain").set(run.peak_gain.value());
+    sink.gauge("throttle.delay_hours").set(run.delay_hours);
+    sink.gauge("throttle.boosted_hours").set(run.boosted_hours);
+}
+
+/// [`run_constrained`] with telemetry recorded into `sink` after the run
+/// (see [`record_run`]). Only call from serial code — the gauges are
+/// last-value-wins.
+pub fn run_constrained_with(
+    config: &ConstrainedConfig,
+    trace: &TimeSeries,
+    sink: &MetricsSink,
+) -> ConstrainedRun {
+    let run = run_constrained(config, trace);
+    record_run(sink, &run);
+    run
 }
 
 /// Runs the Figure 12 experiment: ideal / no-wax / with-wax throughput
@@ -276,6 +320,20 @@ pub fn select_melting_point_constrained(
     trace: &TimeSeries,
     candidates_c: impl IntoIterator<Item = f64>,
 ) -> (tts_pcm::PcmMaterial, ConstrainedRun) {
+    select_melting_point_constrained_with(config, trace, candidates_c, &MetricsSink::disabled())
+}
+
+/// [`select_melting_point_constrained`] with telemetry: candidate runs
+/// stay unobserved (they would race on the gauges); the search counts
+/// `throttle.candidates_evaluated` and then serially replays the winner's
+/// stored series into `sink` (see [`record_run`]), keeping the snapshot
+/// byte-identical at any thread count.
+pub fn select_melting_point_constrained_with(
+    config: &ConstrainedConfig,
+    trace: &TimeSeries,
+    candidates_c: impl IntoIterator<Item = f64>,
+    sink: &MetricsSink,
+) -> (tts_pcm::PcmMaterial, ConstrainedRun) {
     // Independent simulations per candidate → tts_exec pool; the ordered
     // results feed the same in-order reduction as the serial loop.
     let candidates: Vec<f64> = candidates_c.into_iter().collect();
@@ -288,6 +346,8 @@ pub fn select_melting_point_constrained(
         };
         (c, run_constrained(&cfg, trace))
     });
+    sink.counter("throttle.candidates_evaluated")
+        .add(candidates.len() as u64);
     let best_gain = runs
         .iter()
         .map(|(_, r)| r.peak_gain.value())
@@ -304,6 +364,7 @@ pub fn select_melting_point_constrained(
                 .expect("delays are finite")
         })
         .expect("at least one candidate melting point");
+    record_run(sink, &run);
     (
         tts_pcm::PcmMaterial::commercial_paraffin(tts_units::Celsius::new(c)),
         run,

@@ -32,10 +32,47 @@
 //! At one thread every entry point degrades to the plain serial loop on
 //! the calling thread — no pool, no atomics, no spawn.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use tts_obs::{Determinism, MetricsSink};
 
 /// Process-wide thread-count override; 0 means "no override".
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Fast-path flag mirroring whether [`METRICS`] holds an enabled sink, so
+/// the disabled path never touches the mutex.
+static METRICS_ON: AtomicBool = AtomicBool::new(false);
+
+/// Process-wide metrics sink for the execution engine. The engine is
+/// reached through free functions, so the sink is global rather than
+/// threaded through every call site. Every metric it records is
+/// [`Determinism::BestEffort`] — worker splits, drain times, and imbalance
+/// are inherently thread-dependent — so a globally installed sink can
+/// never leak into a deterministic snapshot.
+static METRICS: Mutex<MetricsSink> = Mutex::new(MetricsSink::disabled());
+
+/// Installs a process-wide sink for execution-engine telemetry (pass a
+/// disabled sink to turn it back off). All exec metrics are best-effort;
+/// see [`tts_obs::Determinism`].
+pub fn set_metrics_sink(sink: MetricsSink) {
+    METRICS_ON.store(sink.is_enabled(), Ordering::Relaxed);
+    *METRICS.lock().expect("exec metrics sink poisoned") = sink;
+}
+
+/// The installed sink, or `None` when telemetry is off (the common case —
+/// a single relaxed load).
+fn metrics() -> Option<MetricsSink> {
+    if !METRICS_ON.load(Ordering::Relaxed) {
+        return None;
+    }
+    let sink = METRICS.lock().expect("exec metrics sink poisoned").clone();
+    sink.is_enabled().then_some(sink)
+}
+
+/// Bucket edges for the per-worker task-count histogram (powers of two).
+const TASKS_PER_WORKER_EDGES: [f64; 11] = [
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0,
+];
 
 /// Overrides the thread count for every subsequent call in this process
 /// (`None` clears the override). Intended for CLI flags (`--threads N`)
@@ -83,6 +120,19 @@ where
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
+    let obs = metrics();
+    if let Some(sink) = &obs {
+        sink.counter_tagged("exec.par_map_calls", Determinism::BestEffort)
+            .incr();
+        sink.counter_tagged("exec.items", Determinism::BestEffort)
+            .add(items.len() as u64);
+    }
+
+    // Times the whole map (spawn → last join on the parallel path) on the
+    // calling thread. Opened on the serial path too so the span's entry
+    // count stays thread-invariant.
+    let _drain = obs.as_ref().map(|sink| sink.span("exec.par_map"));
+
     let workers = threads.max(1).min(items.len());
     if workers <= 1 {
         return items.iter().map(f).collect();
@@ -90,6 +140,7 @@ where
 
     let next = AtomicUsize::new(0);
     let mut tagged: Vec<(usize, U)> = Vec::with_capacity(items.len());
+    let mut worker_loads: Vec<u64> = Vec::with_capacity(workers);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
@@ -108,13 +159,19 @@ where
             .collect();
         for h in handles {
             match h.join() {
-                Ok(part) => tagged.extend(part),
+                Ok(part) => {
+                    worker_loads.push(part.len() as u64);
+                    tagged.extend(part);
+                }
                 // Re-raise a worker panic on the caller, preserving the
                 // payload (mirrors what the serial loop would do).
                 Err(payload) => std::panic::resume_unwind(payload),
             }
         }
     });
+    if let Some(sink) = &obs {
+        record_worker_stats(sink, &worker_loads);
+    }
 
     // Reassemble in input order. Every index appears exactly once.
     let mut slots: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
@@ -126,6 +183,26 @@ where
         .into_iter()
         .map(|s| s.expect("every index computed exactly once"))
         .collect()
+}
+
+/// Records how the dynamic queue split across workers: per-worker task
+/// counts, the worker count, and the load imbalance (max / mean tasks per
+/// worker, 1.0 = perfectly even). All best-effort.
+fn record_worker_stats(sink: &MetricsSink, loads: &[u64]) {
+    let hist = sink.histogram_tagged(
+        "exec.tasks_per_worker",
+        &TASKS_PER_WORKER_EDGES,
+        Determinism::BestEffort,
+    );
+    for &n in loads {
+        hist.record(n as f64);
+    }
+    sink.gauge_tagged("exec.workers", Determinism::BestEffort)
+        .set(loads.len() as f64);
+    let mean = loads.iter().sum::<u64>() as f64 / loads.len().max(1) as f64;
+    let max = loads.iter().max().copied().unwrap_or(0) as f64;
+    sink.gauge_tagged("exec.imbalance", Determinism::BestEffort)
+        .set(if mean > 0.0 { max / mean } else { 0.0 });
 }
 
 /// Runs `f` on every item for its side effects (ordered completion is not
@@ -253,6 +330,38 @@ mod tests {
         assert_eq!(thread_count(), 3);
         set_thread_override(None);
         assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn metrics_sink_records_best_effort_worker_stats() {
+        let sink = MetricsSink::fresh();
+        set_metrics_sink(sink.clone());
+        let items: Vec<u64> = (0..100).collect();
+        let out = par_map_with(4, &items, |&x| x * 2);
+        set_metrics_sink(MetricsSink::disabled());
+        assert_eq!(out.len(), 100);
+        // ">=" rather than "==": other tests in this binary may run
+        // par_map concurrently while the global sink is installed.
+        assert!(
+            sink.counter_tagged("exec.par_map_calls", Determinism::BestEffort)
+                .value()
+                >= 1
+        );
+        assert!(
+            sink.counter_tagged("exec.items", Determinism::BestEffort)
+                .value()
+                >= 100
+        );
+        // Exec counters/gauges/histograms are all best-effort: only the
+        // span entry count (thread-invariant) may appear deterministically.
+        let det = sink.snapshot(None, None).expect("sink is enabled");
+        for section in ["counters", "gauges", "histograms"] {
+            let rendered = det
+                .get(section)
+                .expect("section present")
+                .to_string_pretty();
+            assert!(!rendered.contains("exec."), "{section}: {rendered}");
+        }
     }
 
     #[test]

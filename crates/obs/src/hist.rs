@@ -1,0 +1,136 @@
+//! Fixed-bucket histograms with atomic counts.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use tts_units::json::Json;
+
+/// The bucket a value lands in: bucket `i` covers `(edge[i-1], edge[i]]`
+/// (closed on the right), bucket 0 is `(-inf, edge[0]]`, and the final
+/// bucket `edges.len()` is `(edge[last], +inf)`.
+///
+/// Exposed so the property tests can pin the edge semantics.
+#[must_use]
+pub fn bucket_index(edges: &[f64], v: f64) -> usize {
+    edges.partition_point(|&e| e < v)
+}
+
+/// Shared histogram state: per-bucket counts plus order-free aggregates
+/// (total, min, max). All updates are relaxed atomics, so totals are
+/// invariant under thread interleaving.
+#[derive(Debug)]
+pub(crate) struct HistCore {
+    edges: Vec<f64>,
+    /// One count per bucket; `edges.len() + 1` entries (overflow bucket
+    /// last).
+    counts: Vec<AtomicU64>,
+    total: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl HistCore {
+    pub(crate) fn new(edges: &[f64]) -> Self {
+        assert!(!edges.is_empty(), "histogram needs at least one edge");
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]) && edges.iter().all(|e| e.is_finite()),
+            "histogram edges must be finite and strictly increasing"
+        );
+        Self {
+            edges: edges.to_vec(),
+            counts: (0..=edges.len()).map(|_| AtomicU64::new(0)).collect(),
+            total: AtomicU64::new(0),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    pub(crate) fn edges(&self) -> &[f64] {
+        &self.edges
+    }
+
+    pub(crate) fn record(&self, v: f64) {
+        if v.is_nan() {
+            // A NaN has no bucket and would poison min/max; dropping it
+            // keeps recording order-independent.
+            return;
+        }
+        self.counts[bucket_index(&self.edges, v)].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        atomic_order_free(&self.min_bits, v, |cur, v| v < cur);
+        atomic_order_free(&self.max_bits, v, |cur, v| v > cur);
+    }
+
+    /// Renders `{edges, counts, total, min, max}` (min/max `null` while
+    /// empty).
+    pub(crate) fn to_json(&self) -> Json {
+        let total = self.total.load(Ordering::Relaxed);
+        let bound = |bits: &AtomicU64| {
+            if total == 0 {
+                Json::Null
+            } else {
+                Json::Num(f64::from_bits(bits.load(Ordering::Relaxed)))
+            }
+        };
+        Json::Obj(vec![
+            (
+                "edges".to_string(),
+                Json::Arr(self.edges.iter().map(|&e| Json::Num(e)).collect()),
+            ),
+            (
+                "counts".to_string(),
+                Json::Arr(
+                    self.counts
+                        .iter()
+                        .map(|c| Json::Num(c.load(Ordering::Relaxed) as f64))
+                        .collect(),
+                ),
+            ),
+            ("total".to_string(), Json::Num(total as f64)),
+            ("min".to_string(), bound(&self.min_bits)),
+            ("max".to_string(), bound(&self.max_bits)),
+        ])
+    }
+}
+
+/// CAS loop updating `cell` to `v` whenever `better(current, v)` holds.
+/// Min/max are order-free, so concurrent updates converge to the same
+/// value regardless of interleaving.
+fn atomic_order_free(cell: &AtomicU64, v: f64, better: impl Fn(f64, f64) -> bool) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    while better(f64::from_bits(cur), v) {
+        match cell.compare_exchange_weak(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(now) => cur = now,
+        }
+    }
+}
+
+/// A fixed-bucket histogram handle; see [`crate::MetricsSink::histogram`]
+/// for the bucket semantics.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Option<Arc<HistCore>>);
+
+impl Histogram {
+    /// A handle that records nothing.
+    pub const fn disabled() -> Self {
+        Self(None)
+    }
+
+    pub(crate) fn live(core: Arc<HistCore>) -> Self {
+        Self(Some(core))
+    }
+
+    /// Records one observation (NaN observations are dropped).
+    #[inline]
+    pub fn record(&self, v: f64) {
+        if let Some(core) = &self.0 {
+            core.record(v);
+        }
+    }
+
+    /// Whether this handle records anywhere.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+}

@@ -1,0 +1,409 @@
+//! Zero-dependency observability for the simulation stack.
+//!
+//! The paper's evaluation is built from time-resolved aggregates — melt
+//! fraction, cooling load, throttled throughput — yet the figure pipelines
+//! used to surface only end-of-run numbers. This crate provides the
+//! instrumentation substrate: atomic [`Counter`]s and [`Gauge`]s,
+//! fixed-bucket [`Histogram`]s, scoped span timers with a thread-local
+//! span stack, and a [`Registry`] that snapshots everything to
+//! byte-deterministic JSON via [`tts_units::json`].
+//!
+//! # The `MetricsSink` gate
+//!
+//! Instrumented components hold handles resolved from a [`MetricsSink`].
+//! A disabled sink (the default everywhere) hands out disabled handles
+//! whose record operations are a single branch on an `Option` — no
+//! atomics, no locks, no allocation — so the hot paths pay nothing when
+//! telemetry is off. An enabled sink resolves handles against its shared
+//! [`Registry`]; the handles are cheap `Arc` clones and recording is a
+//! relaxed atomic operation.
+//!
+//! # Determinism rules
+//!
+//! The repo's core contract is that results are byte-identical at any
+//! `TTS_THREADS`. Telemetry obeys the same contract through three rules:
+//!
+//! 1. Every metric is registered with a [`Determinism`] tag.
+//!    [`Registry::snapshot`] renders only `Deterministic` entries;
+//!    [`Registry::snapshot_full`] appends the `BestEffort` ones under a
+//!    separate `best_effort` key.
+//! 2. `Deterministic` metrics may only carry values that are invariant
+//!    under work partitioning: counter totals and histogram bucket counts
+//!    (relaxed atomic adds commute), histogram min/max (order-free), span
+//!    entry counts, and gauges written exclusively from serial code (the
+//!    *serial-writer rule*). Wall-clock durations, per-worker task splits,
+//!    and gauges written from parallel regions must be `BestEffort`.
+//! 3. Snapshot timestamps come from the caller: simulated time and an
+//!    optional caller-supplied wall clock. The registry never stamps
+//!    snapshots with `SystemTime` on its own, so two runs of the same
+//!    pipeline serialize to the same bytes.
+//!
+//! Span *durations* are measured against the registry's clock (a
+//! monotonic wall clock by default, replaceable via
+//! [`Registry::with_clock`] for tests) and always render as best-effort;
+//! span *entry counts* are deterministic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hist;
+mod registry;
+mod span;
+
+pub use hist::{bucket_index, Histogram};
+pub use registry::{ClockFn, Registry};
+pub use span::{span_depth, span_stack, SpanGuard};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use tts_units::json::Json;
+
+/// Whether a metric's rendered value is invariant under thread count and
+/// scheduling (see the crate docs for the exact rules).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Determinism {
+    /// Included in [`Registry::snapshot`]: byte-identical at any thread
+    /// count.
+    Deterministic,
+    /// Diagnostics only (wall times, per-worker splits); rendered only by
+    /// [`Registry::snapshot_full`].
+    BestEffort,
+}
+
+/// A monotonically increasing `u64` counter handle.
+///
+/// Disabled handles (the [`Default`]) make [`Counter::add`] a no-op
+/// branch. Clones share the underlying cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// A handle that records nothing.
+    pub const fn disabled() -> Self {
+        Self(None)
+    }
+
+    pub(crate) fn live(cell: Arc<AtomicU64>) -> Self {
+        Self(Some(cell))
+    }
+
+    /// Adds `n` (relaxed; totals commute across threads).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current total (0 when disabled).
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// Whether this handle records anywhere.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+/// A last-value-wins `f64` gauge handle (stored as bits in an atomic).
+///
+/// Gauges registered [`Determinism::Deterministic`] must only be written
+/// from serial code — concurrent `set` calls race on which value is last.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// A handle that records nothing.
+    pub const fn disabled() -> Self {
+        Self(None)
+    }
+
+    pub(crate) fn live(cell: Arc<AtomicU64>) -> Self {
+        Self(Some(cell))
+    }
+
+    /// Stores `v` as the gauge's current value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if let Some(c) = &self.0 {
+            c.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// The last stored value (0.0 when disabled or never set).
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        self.0
+            .as_ref()
+            .map_or(0.0, |c| f64::from_bits(c.load(Ordering::Relaxed)))
+    }
+
+    /// Whether this handle records anywhere.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+/// The gate instrumented components hold: either disabled (all handles
+/// no-ops) or backed by a shared [`Registry`].
+///
+/// Cloning is cheap (an `Option<Arc>`); pass it by value or reference
+/// through the pipelines and resolve handles once per component.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSink {
+    reg: Option<Arc<Registry>>,
+}
+
+impl MetricsSink {
+    /// The do-nothing sink (also the [`Default`]).
+    pub const fn disabled() -> Self {
+        Self { reg: None }
+    }
+
+    /// A sink recording into `registry`.
+    pub fn new(registry: Arc<Registry>) -> Self {
+        Self {
+            reg: Some(registry),
+        }
+    }
+
+    /// A sink over a fresh private registry — the usual way to start a
+    /// telemetry session.
+    pub fn fresh() -> Self {
+        Self::new(Arc::new(Registry::new()))
+    }
+
+    /// Whether handles resolved from this sink record anywhere.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.reg.is_some()
+    }
+
+    /// The backing registry, if enabled.
+    #[must_use]
+    pub fn registry(&self) -> Option<&Arc<Registry>> {
+        self.reg.as_ref()
+    }
+
+    /// Resolves (registering on first use) a deterministic counter.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counter_tagged(name, Determinism::Deterministic)
+    }
+
+    /// Resolves a counter with an explicit determinism tag.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind
+    /// or with a different tag.
+    #[must_use]
+    pub fn counter_tagged(&self, name: &str, det: Determinism) -> Counter {
+        match &self.reg {
+            None => Counter::disabled(),
+            Some(r) => Counter::live(r.counter_cell(name, det)),
+        }
+    }
+
+    /// Resolves (registering on first use) a deterministic gauge. Only
+    /// register a gauge deterministic when every writer is serial.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauge_tagged(name, Determinism::Deterministic)
+    }
+
+    /// Resolves a gauge with an explicit determinism tag.
+    ///
+    /// # Panics
+    /// Panics on kind or tag mismatch with an existing registration.
+    #[must_use]
+    pub fn gauge_tagged(&self, name: &str, det: Determinism) -> Gauge {
+        match &self.reg {
+            None => Gauge::disabled(),
+            Some(r) => Gauge::live(r.gauge_cell(name, det)),
+        }
+    }
+
+    /// Resolves (registering on first use) a deterministic fixed-bucket
+    /// histogram. `edges` must be strictly increasing and finite; a value
+    /// `v` lands in the first bucket whose upper edge satisfies `v <= e`
+    /// (the last bucket is unbounded above).
+    #[must_use]
+    pub fn histogram(&self, name: &str, edges: &[f64]) -> Histogram {
+        self.histogram_tagged(name, edges, Determinism::Deterministic)
+    }
+
+    /// Resolves a histogram with an explicit determinism tag.
+    ///
+    /// # Panics
+    /// Panics on kind, tag, or bucket-edge mismatch with an existing
+    /// registration, or if `edges` is not strictly increasing and finite.
+    #[must_use]
+    pub fn histogram_tagged(&self, name: &str, edges: &[f64], det: Determinism) -> Histogram {
+        match &self.reg {
+            None => Histogram::disabled(),
+            Some(r) => Histogram::live(r.hist_core(name, edges, det)),
+        }
+    }
+
+    /// Opens a scoped span: pushes `name` on the thread-local span stack,
+    /// bumps the span's entry count, and times the scope against the
+    /// registry clock until the guard drops. Entry counts render
+    /// deterministically; durations are best-effort.
+    #[must_use = "the span is timed until the guard drops; binding to _ closes it immediately"]
+    pub fn span(&self, name: &str) -> SpanGuard {
+        match &self.reg {
+            None => SpanGuard::disabled(),
+            Some(r) => SpanGuard::enter(name, r.span_core(name), r.clock()),
+        }
+    }
+
+    /// Renders the deterministic snapshot, or `None` when disabled. See
+    /// [`Registry::snapshot`].
+    #[must_use]
+    pub fn snapshot(&self, sim_time_s: Option<f64>, wall_unix_s: Option<f64>) -> Option<Json> {
+        self.reg
+            .as_ref()
+            .map(|r| r.snapshot(sim_time_s, wall_unix_s))
+    }
+
+    /// Renders the full snapshot (deterministic + best-effort), or `None`
+    /// when disabled. See [`Registry::snapshot_full`].
+    #[must_use]
+    pub fn snapshot_full(&self, sim_time_s: Option<f64>, wall_unix_s: Option<f64>) -> Option<Json> {
+        self.reg
+            .as_ref()
+            .map(|r| r.snapshot_full(sim_time_s, wall_unix_s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handles_are_inert() {
+        let sink = MetricsSink::disabled();
+        let c = sink.counter("c");
+        let g = sink.gauge("g");
+        let h = sink.histogram("h", &[1.0, 2.0]);
+        c.add(5);
+        g.set(3.0);
+        h.record(1.5);
+        let _span = sink.span("s");
+        assert_eq!(c.value(), 0);
+        assert_eq!(g.value(), 0.0);
+        assert!(!c.is_enabled() && !g.is_enabled());
+        assert!(sink.snapshot(None, None).is_none());
+    }
+
+    #[test]
+    fn counters_and_gauges_record() {
+        let sink = MetricsSink::fresh();
+        let c = sink.counter("events");
+        c.incr();
+        c.add(9);
+        assert_eq!(c.value(), 10);
+        let g = sink.gauge("melt");
+        g.set(0.25);
+        assert_eq!(g.value(), 0.25);
+        // A second resolution shares the cell.
+        assert_eq!(sink.counter("events").value(), 10);
+    }
+
+    #[test]
+    fn snapshot_is_byte_deterministic_across_recording_order() {
+        let render = |names: &[&str]| {
+            let sink = MetricsSink::fresh();
+            for n in names {
+                sink.counter(n).incr();
+            }
+            sink.snapshot(Some(7.5), None).unwrap().to_string_pretty()
+        };
+        // Registration order must not leak into the output bytes.
+        assert_eq!(render(&["a", "b", "c"]), render(&["c", "a", "b"]));
+    }
+
+    #[test]
+    fn parallel_counter_totals_match_serial() {
+        let sink = MetricsSink::fresh();
+        let c = sink.counter("n");
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.value(), 8000);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as")]
+    fn kind_mismatch_panics() {
+        let sink = MetricsSink::fresh();
+        let _c = sink.counter("x");
+        let _g = sink.gauge("x");
+    }
+
+    #[test]
+    fn best_effort_metrics_stay_out_of_the_deterministic_snapshot() {
+        let sink = MetricsSink::fresh();
+        sink.counter("stable_total").incr();
+        sink.counter_tagged("scratch_total", Determinism::BestEffort)
+            .incr();
+        let det = sink.snapshot(None, None).unwrap().to_string_pretty();
+        let full = sink.snapshot_full(None, None).unwrap().to_string_pretty();
+        assert!(det.contains("stable_total") && !det.contains("scratch_total"));
+        assert!(full.contains("scratch_total"));
+    }
+
+    #[test]
+    fn spans_nest_on_the_thread_local_stack() {
+        let sink = MetricsSink::fresh();
+        {
+            let _outer = sink.span("outer");
+            assert_eq!(span_stack(), vec!["outer".to_string()]);
+            {
+                let _inner = sink.span("inner");
+                assert_eq!(span_depth(), 2);
+            }
+            assert_eq!(span_depth(), 1);
+        }
+        assert_eq!(span_depth(), 0);
+        let snap = sink.snapshot(None, None).unwrap().to_string_pretty();
+        assert!(snap.contains("outer") && snap.contains("inner"));
+    }
+
+    #[test]
+    fn snapshot_parses_back_via_tts_units_json() {
+        let sink = MetricsSink::fresh();
+        sink.counter("a").add(2);
+        sink.gauge("b").set(1.5);
+        sink.histogram("h", &[1.0, 10.0]).record(3.0);
+        let text = sink
+            .snapshot(Some(1.0), Some(0.0))
+            .unwrap()
+            .to_string_pretty();
+        let parsed = tts_units::json::parse(&text).expect("snapshot must round-trip");
+        assert_eq!(
+            parsed
+                .get("counters")
+                .and_then(|c| c.get("a"))
+                .and_then(Json::as_f64),
+            Some(2.0)
+        );
+    }
+}

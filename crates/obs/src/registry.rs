@@ -1,0 +1,280 @@
+//! The metric registry: name → metric, snapshot rendering.
+
+use crate::hist::HistCore;
+use crate::span::SpanCore;
+use crate::Determinism;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use tts_units::json::Json;
+
+/// The clock spans are timed against: nanoseconds since an arbitrary
+/// epoch. Replace it ([`Registry::with_clock`]) with a manual counter in
+/// tests that need reproducible durations.
+pub type ClockFn = Arc<dyn Fn() -> u64 + Send + Sync>;
+
+enum Entry {
+    Counter {
+        cell: Arc<AtomicU64>,
+        det: Determinism,
+    },
+    Gauge {
+        cell: Arc<AtomicU64>,
+        det: Determinism,
+    },
+    Hist {
+        core: Arc<HistCore>,
+        det: Determinism,
+    },
+    Span {
+        core: Arc<SpanCore>,
+    },
+}
+
+impl Entry {
+    fn kind(&self) -> &'static str {
+        match self {
+            Entry::Counter { .. } => "counter",
+            Entry::Gauge { .. } => "gauge",
+            Entry::Hist { .. } => "histogram",
+            Entry::Span { .. } => "span",
+        }
+    }
+}
+
+/// A registry of named metrics, snapshotting to byte-deterministic JSON.
+///
+/// Handle resolution takes a lock over a `BTreeMap` (cold path — resolve
+/// once per component); recording through resolved handles is lock-free.
+/// Names render in sorted order, so output bytes never depend on
+/// registration order.
+pub struct Registry {
+    entries: Mutex<BTreeMap<String, Entry>>,
+    clock: ClockFn,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.entries.lock().map(|e| e.len()).unwrap_or(0);
+        f.debug_struct("Registry").field("entries", &n).finish()
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// An empty registry whose span clock is a monotonic wall clock
+    /// anchored at creation.
+    #[must_use]
+    pub fn new() -> Self {
+        let epoch = Instant::now();
+        Self::with_clock(Arc::new(move || {
+            u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        }))
+    }
+
+    /// An empty registry with a caller-supplied span clock.
+    #[must_use]
+    pub fn with_clock(clock: ClockFn) -> Self {
+        Self {
+            entries: Mutex::new(BTreeMap::new()),
+            clock,
+        }
+    }
+
+    pub(crate) fn clock(&self) -> ClockFn {
+        Arc::clone(&self.clock)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Entry>> {
+        self.entries.lock().expect("metric registry poisoned")
+    }
+
+    fn mismatch(name: &str, existing: &Entry, wanted: &str) -> ! {
+        panic!(
+            "metric {name:?} already registered as a {} but resolved as a {wanted}",
+            existing.kind()
+        );
+    }
+
+    pub(crate) fn counter_cell(&self, name: &str, det: Determinism) -> Arc<AtomicU64> {
+        let mut entries = self.lock();
+        match entries
+            .entry(name.to_string())
+            .or_insert_with(|| Entry::Counter {
+                cell: Arc::new(AtomicU64::new(0)),
+                det,
+            }) {
+            Entry::Counter { cell, det: tag } => {
+                assert!(
+                    *tag == det,
+                    "metric {name:?} registered as {tag:?}, resolved as {det:?}"
+                );
+                Arc::clone(cell)
+            }
+            other => Self::mismatch(name, other, "counter"),
+        }
+    }
+
+    pub(crate) fn gauge_cell(&self, name: &str, det: Determinism) -> Arc<AtomicU64> {
+        let mut entries = self.lock();
+        match entries
+            .entry(name.to_string())
+            .or_insert_with(|| Entry::Gauge {
+                cell: Arc::new(AtomicU64::new(0.0_f64.to_bits())),
+                det,
+            }) {
+            Entry::Gauge { cell, det: tag } => {
+                assert!(
+                    *tag == det,
+                    "metric {name:?} registered as {tag:?}, resolved as {det:?}"
+                );
+                Arc::clone(cell)
+            }
+            other => Self::mismatch(name, other, "gauge"),
+        }
+    }
+
+    pub(crate) fn hist_core(&self, name: &str, edges: &[f64], det: Determinism) -> Arc<HistCore> {
+        let mut entries = self.lock();
+        match entries
+            .entry(name.to_string())
+            .or_insert_with(|| Entry::Hist {
+                core: Arc::new(HistCore::new(edges)),
+                det,
+            }) {
+            Entry::Hist { core, det: tag } => {
+                assert!(
+                    *tag == det,
+                    "metric {name:?} registered as {tag:?}, resolved as {det:?}"
+                );
+                assert!(
+                    core.edges() == edges,
+                    "histogram {name:?} resolved with different bucket edges"
+                );
+                Arc::clone(core)
+            }
+            other => Self::mismatch(name, other, "histogram"),
+        }
+    }
+
+    pub(crate) fn span_core(&self, name: &str) -> Arc<SpanCore> {
+        let mut entries = self.lock();
+        match entries
+            .entry(name.to_string())
+            .or_insert_with(|| Entry::Span {
+                core: Arc::new(SpanCore::default()),
+            }) {
+            Entry::Span { core } => Arc::clone(core),
+            other => Self::mismatch(name, other, "span"),
+        }
+    }
+
+    /// The deterministic snapshot: header (caller-supplied simulated time
+    /// and wall clock), then `Deterministic` counters, gauges, and
+    /// histograms, then span entry counts — all keyed in sorted order, so
+    /// the bytes are identical at any thread count.
+    #[must_use]
+    pub fn snapshot(&self, sim_time_s: Option<f64>, wall_unix_s: Option<f64>) -> Json {
+        self.render(sim_time_s, wall_unix_s, false)
+    }
+
+    /// The full snapshot: everything in [`Registry::snapshot`] plus a
+    /// `best_effort` section (wall-time span durations, `BestEffort`
+    /// metrics). Not byte-stable across runs — diagnostics only.
+    #[must_use]
+    pub fn snapshot_full(&self, sim_time_s: Option<f64>, wall_unix_s: Option<f64>) -> Json {
+        self.render(sim_time_s, wall_unix_s, true)
+    }
+
+    fn render(&self, sim_time_s: Option<f64>, wall_unix_s: Option<f64>, full: bool) -> Json {
+        let entries = self.lock();
+        let section = |want: Determinism| {
+            let mut counters = Vec::new();
+            let mut gauges = Vec::new();
+            let mut hists = Vec::new();
+            for (name, entry) in entries.iter() {
+                match entry {
+                    Entry::Counter { cell, det } if *det == want => counters
+                        .push((name.clone(), Json::Num(cell.load(Ordering::Relaxed) as f64))),
+                    Entry::Gauge { cell, det } if *det == want => gauges.push((
+                        name.clone(),
+                        Json::Num(f64::from_bits(cell.load(Ordering::Relaxed))),
+                    )),
+                    Entry::Hist { core, det } if *det == want => {
+                        hists.push((name.clone(), core.to_json()));
+                    }
+                    _ => {}
+                }
+            }
+            (counters, gauges, hists)
+        };
+
+        let (counters, gauges, hists) = section(Determinism::Deterministic);
+        let spans: Vec<(String, Json)> = entries
+            .iter()
+            .filter_map(|(name, e)| match e {
+                Entry::Span { core } => Some((
+                    name.clone(),
+                    Json::Obj(vec![(
+                        "count".to_string(),
+                        Json::Num(core.count.load(Ordering::Relaxed) as f64),
+                    )]),
+                )),
+                _ => None,
+            })
+            .collect();
+
+        let opt = |v: Option<f64>| v.map_or(Json::Null, Json::Num);
+        let mut top = vec![
+            ("sim_time_s".to_string(), opt(sim_time_s)),
+            ("wall_unix_s".to_string(), opt(wall_unix_s)),
+            ("counters".to_string(), Json::Obj(counters)),
+            ("gauges".to_string(), Json::Obj(gauges)),
+            ("histograms".to_string(), Json::Obj(hists)),
+            ("spans".to_string(), Json::Obj(spans)),
+        ];
+
+        if full {
+            let (counters, gauges, hists) = section(Determinism::BestEffort);
+            let timings: Vec<(String, Json)> = entries
+                .iter()
+                .filter_map(|(name, e)| match e {
+                    Entry::Span { core } => Some((
+                        name.clone(),
+                        Json::Obj(vec![
+                            (
+                                "total_ns".to_string(),
+                                Json::Num(core.total_ns.load(Ordering::Relaxed) as f64),
+                            ),
+                            (
+                                "max_ns".to_string(),
+                                Json::Num(core.max_ns.load(Ordering::Relaxed) as f64),
+                            ),
+                            (
+                                "max_depth".to_string(),
+                                Json::Num(core.max_depth.load(Ordering::Relaxed) as f64),
+                            ),
+                        ]),
+                    )),
+                    _ => None,
+                })
+                .collect();
+            top.push((
+                "best_effort".to_string(),
+                Json::Obj(vec![
+                    ("counters".to_string(), Json::Obj(counters)),
+                    ("gauges".to_string(), Json::Obj(gauges)),
+                    ("histograms".to_string(), Json::Obj(hists)),
+                    ("span_timings".to_string(), Json::Obj(timings)),
+                ]),
+            ));
+        }
+        Json::Obj(top)
+    }
+}

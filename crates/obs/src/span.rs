@@ -1,0 +1,87 @@
+//! Scoped span timers with a thread-local span stack.
+
+use crate::registry::ClockFn;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+thread_local! {
+    /// Open span names on this thread, outermost first.
+    static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The currently open spans on this thread, outermost first.
+#[must_use]
+pub fn span_stack() -> Vec<String> {
+    STACK.with(|s| s.borrow().clone())
+}
+
+/// The current span nesting depth on this thread.
+#[must_use]
+pub fn span_depth() -> usize {
+    STACK.with(|s| s.borrow().len())
+}
+
+/// Shared per-span state. Entry counts are thread-invariant totals
+/// (deterministic); durations and depth come from the registry clock and
+/// the caller's thread structure (best-effort).
+#[derive(Debug, Default)]
+pub(crate) struct SpanCore {
+    pub(crate) count: AtomicU64,
+    pub(crate) total_ns: AtomicU64,
+    pub(crate) max_ns: AtomicU64,
+    pub(crate) max_depth: AtomicU64,
+}
+
+/// RAII guard returned by [`crate::MetricsSink::span`]: times its scope
+/// and maintains the thread-local stack. Dropping records.
+#[derive(Debug)]
+pub struct SpanGuard {
+    live: Option<Live>,
+}
+
+struct Live {
+    core: Arc<SpanCore>,
+    clock: ClockFn,
+    start: u64,
+}
+
+impl std::fmt::Debug for Live {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Live").field("start", &self.start).finish()
+    }
+}
+
+impl SpanGuard {
+    pub(crate) fn disabled() -> Self {
+        Self { live: None }
+    }
+
+    pub(crate) fn enter(name: &str, core: Arc<SpanCore>, clock: ClockFn) -> Self {
+        let depth = STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            s.push(name.to_string());
+            s.len() as u64
+        });
+        core.count.fetch_add(1, Ordering::Relaxed);
+        core.max_depth.fetch_max(depth, Ordering::Relaxed);
+        let start = clock();
+        Self {
+            live: Some(Live { core, clock, start }),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(live) = self.live.take() else {
+            return;
+        };
+        let elapsed = (live.clock)().saturating_sub(live.start);
+        live.core.total_ns.fetch_add(elapsed, Ordering::Relaxed);
+        live.core.max_ns.fetch_max(elapsed, Ordering::Relaxed);
+        STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}

@@ -1,0 +1,157 @@
+//! Property tests pinning the histogram bucket-edge semantics.
+//!
+//! The contract (documented on [`tts_obs::bucket_index`]): bucket `i`
+//! covers `(edge[i-1], edge[i]]` — closed on the right — with bucket 0
+//! reaching down to `-inf` and a final overflow bucket past the last
+//! edge. These properties drive randomized edge sets and observation
+//! streams through both the raw index function and a live sink, and
+//! check the snapshot against a serial recount.
+
+use tts_obs::{bucket_index, MetricsSink};
+use tts_rng::prop::prelude::*;
+use tts_units::json::Json;
+
+/// Builds a strictly increasing edge vector from a start point and
+/// positive increments.
+fn cum_edges(start: f64, steps: &[f64]) -> Vec<f64> {
+    let mut edges = Vec::with_capacity(steps.len());
+    let mut e = start;
+    for &s in steps {
+        e += s;
+        edges.push(e);
+    }
+    edges
+}
+
+/// Pulls `{counts, total, min, max}` for histogram `name` out of a
+/// deterministic snapshot.
+fn hist_fields(snap: &Json, name: &str) -> (Vec<u64>, u64, Json, Json) {
+    let hist = snap
+        .get("histograms")
+        .and_then(|h| h.get(name))
+        .expect("histogram in snapshot");
+    let counts = match hist.get("counts") {
+        Some(Json::Arr(a)) => a
+            .iter()
+            .map(|c| c.as_f64().expect("numeric count") as u64)
+            .collect(),
+        other => panic!("counts missing: {other:?}"),
+    };
+    let total = hist
+        .get("total")
+        .and_then(Json::as_f64)
+        .expect("numeric total") as u64;
+    let min = hist.get("min").expect("min present").clone();
+    let max = hist.get("max").expect("max present").clone();
+    (counts, total, min, max)
+}
+
+proptest! {
+    #[test]
+    fn bucket_index_counts_edges_strictly_below(
+        start in -100.0f64..100.0,
+        steps in collection::vec(0.125f64..8.0, 1..8),
+        v in -300.0f64..300.0,
+    ) {
+        let edges = cum_edges(start, &steps);
+        let i = bucket_index(&edges, v);
+        // The index IS the number of edges strictly below the value …
+        prop_assert_eq!(i, edges.iter().filter(|&&e| e < v).count());
+        // … which pins the interval: (edge[i-1], edge[i]].
+        if i > 0 {
+            prop_assert!(edges[i - 1] < v);
+        }
+        if i < edges.len() {
+            prop_assert!(v <= edges[i]);
+        }
+    }
+
+    #[test]
+    fn edge_values_land_in_their_closed_right_bucket(
+        start in -100.0f64..100.0,
+        steps in collection::vec(0.125f64..8.0, 1..8),
+        pick in 0usize..64,
+    ) {
+        let edges = cum_edges(start, &steps);
+        let i = pick % edges.len();
+        // An observation exactly on an edge belongs to the bucket that
+        // edge closes, never the one it opens.
+        prop_assert_eq!(bucket_index(&edges, edges[i]), i);
+        // Below every edge and past the last one: the two open ends.
+        prop_assert_eq!(bucket_index(&edges, edges[0] - 1.0), 0);
+        prop_assert_eq!(bucket_index(&edges, edges[edges.len() - 1] + 1.0), edges.len());
+    }
+
+    #[test]
+    fn recorded_counts_match_a_serial_recount(
+        values in collection::vec(-50.0f64..50.0, 0..64),
+    ) {
+        let edges = [-10.0, 0.0, 10.0, 25.0];
+        let sink = MetricsSink::fresh();
+        let h = sink.histogram("prop.recount", &edges);
+        for &v in &values {
+            h.record(v);
+        }
+        let mut expect = vec![0u64; edges.len() + 1];
+        for &v in &values {
+            expect[bucket_index(&edges, v)] += 1;
+        }
+        let snap = sink.snapshot(None, None).expect("live sink snapshots");
+        let (counts, total, min, max) = hist_fields(&snap, "prop.recount");
+        prop_assert_eq!(counts, expect);
+        prop_assert_eq!(total, values.len() as u64);
+        if values.is_empty() {
+            prop_assert_eq!(min, Json::Null);
+            prop_assert_eq!(max, Json::Null);
+        } else {
+            let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert_eq!(min.as_f64(), Some(lo));
+            prop_assert_eq!(max.as_f64(), Some(hi));
+        }
+    }
+
+    #[test]
+    fn nan_observations_are_dropped(
+        values in collection::vec(-50.0f64..50.0, 1..32),
+        nan_every in 1usize..5,
+    ) {
+        let edges = [0.0, 20.0];
+        let clean = MetricsSink::fresh();
+        let noisy = MetricsSink::fresh();
+        let hc = clean.histogram("prop.nan", &edges);
+        let hn = noisy.histogram("prop.nan", &edges);
+        for (i, &v) in values.iter().enumerate() {
+            hc.record(v);
+            hn.record(v);
+            if i % nan_every == 0 {
+                hn.record(f64::NAN);
+            }
+        }
+        // A NaN has no bucket and must not perturb counts, total, or the
+        // min/max aggregates — the two sinks snapshot identically.
+        let a = clean.snapshot(None, None).expect("live").to_string_pretty();
+        let b = noisy.snapshot(None, None).expect("live").to_string_pretty();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn recording_order_is_unobservable(
+        values in collection::vec(-50.0f64..50.0, 0..64),
+    ) {
+        let edges = [-25.0, -5.0, 5.0, 25.0];
+        let fwd = MetricsSink::fresh();
+        let rev = MetricsSink::fresh();
+        let hf = fwd.histogram("prop.order", &edges);
+        let hr = rev.histogram("prop.order", &edges);
+        for &v in &values {
+            hf.record(v);
+        }
+        for &v in values.iter().rev() {
+            hr.record(v);
+        }
+        let a = fwd.snapshot(None, None).expect("live").to_string_pretty();
+        let b = rev.snapshot(None, None).expect("live").to_string_pretty();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -8,6 +8,7 @@
 
 use crate::model::ServerThermalModel;
 use crate::spec::ServerSpec;
+use tts_obs::MetricsSink;
 use tts_units::{Celsius, CubicMetersPerSecond, Fraction, Seconds};
 
 /// One point of a blockage sweep.
@@ -37,9 +38,18 @@ tts_units::derive_json! { struct BlockageRow { blockage, outlet, wax_zone, socke
 /// Panics if any steady state fails to converge (a model bug, not a data
 /// condition).
 pub fn sweep(spec: &ServerSpec, blockages: &[f64]) -> Vec<BlockageRow> {
-    tts_exec::par_map(blockages, |&b| {
+    sweep_with(spec, blockages, &MetricsSink::disabled())
+}
+
+/// [`sweep`] with telemetry: every per-point model reports its thermal
+/// hot-path metrics to `sink` (shared counters — totals commute, so the
+/// snapshot is thread-invariant), and the sweep adds one
+/// `fig7.blockage_points` count per row.
+pub fn sweep_with(spec: &ServerSpec, blockages: &[f64], sink: &MetricsSink) -> Vec<BlockageRow> {
+    let rows = tts_exec::par_map(blockages, |&b| {
         let blockage = Fraction::new(b);
         let mut m = ServerThermalModel::with_grille(spec.clone(), blockage);
+        m.set_metrics(sink);
         m.set_load(Fraction::ONE, Fraction::ONE);
         m.run_to_steady_state(Seconds::new(30.0), 1e-5, Seconds::new(1e6))
             .expect("blockage sweep steady state");
@@ -50,13 +60,20 @@ pub fn sweep(spec: &ServerSpec, blockages: &[f64]) -> Vec<BlockageRow> {
             sockets: (0..spec.cpu.sockets).map(|s| m.cpu_temp(s)).collect(),
             flow: m.operating_point().flow,
         }
-    })
+    });
+    sink.counter("fig7.blockage_points").add(rows.len() as u64);
+    rows
 }
 
 /// The paper's 0–90 % sweep in 10 % steps.
 pub fn default_sweep(spec: &ServerSpec) -> Vec<BlockageRow> {
+    default_sweep_with(spec, &MetricsSink::disabled())
+}
+
+/// [`default_sweep`] with telemetry; see [`sweep_with`].
+pub fn default_sweep_with(spec: &ServerSpec, sink: &MetricsSink) -> Vec<BlockageRow> {
     let points: Vec<f64> = (0..=9).map(|i| i as f64 * 0.1).collect();
-    sweep(spec, &points)
+    sweep_with(spec, &points, sink)
 }
 
 #[cfg(test)]

@@ -448,6 +448,13 @@ impl ServerThermalModel {
         &mut self.net
     }
 
+    /// Routes the underlying network's hot-path telemetry (steps, cache
+    /// rebuilds, settle iterations) to `sink`; see
+    /// [`ThermalNetwork::set_metrics`].
+    pub fn set_metrics(&mut self, sink: &tts_obs::MetricsSink) {
+        self.net.set_metrics(sink);
+    }
+
     /// The bypass-lane air temperature.
     pub fn bypass_air_temp(&self) -> Celsius {
         self.net.temperature(self.bypass)

@@ -63,6 +63,7 @@ impl Matrix {
     ///
     /// # Panics
     /// Panics if `b.len() != n`.
+    #[must_use = "a false return means the system was singular and `b` is garbage"]
     #[allow(clippy::needless_range_loop)] // index loops mirror the LU math
     pub fn solve_in_place(&mut self, b: &mut [f64]) -> bool {
         let n = self.n;
@@ -122,6 +123,7 @@ impl Matrix {
     ///
     /// # Panics
     /// Panics if `b.len() != n`.
+    #[must_use = "solving has no effect besides the returned solution"]
     pub fn solve(mut self, b: &[f64]) -> Option<Vec<f64>> {
         let mut x: Vec<f64> = b.to_vec();
         if self.solve_in_place(&mut x) {
@@ -143,8 +145,9 @@ mod tests {
         for i in 0..3 {
             a.set(i, i, 1.0);
         }
-        let x = a.solve(&[1.0, 2.0, 3.0]).unwrap();
-        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+        let mut x = [1.0, 2.0, 3.0];
+        assert!(a.solve_in_place(&mut x));
+        assert_eq!(x, [1.0, 2.0, 3.0]);
     }
 
     #[test]
@@ -155,7 +158,8 @@ mod tests {
         a.set(0, 1, 1.0);
         a.set(1, 0, 1.0);
         a.set(1, 1, 3.0);
-        let x = a.solve(&[5.0, 10.0]).unwrap();
+        let mut x = [5.0, 10.0];
+        assert!(a.solve_in_place(&mut x));
         assert!((x[0] - 1.0).abs() < 1e-12);
         assert!((x[1] - 3.0).abs() < 1e-12);
     }
@@ -167,7 +171,8 @@ mod tests {
         a.set(0, 1, 1.0);
         a.set(1, 0, 1.0);
         a.set(1, 1, 0.0);
-        let x = a.solve(&[2.0, 3.0]).unwrap();
+        let mut x = [2.0, 3.0];
+        assert!(a.solve_in_place(&mut x));
         assert!((x[0] - 3.0).abs() < 1e-12);
         assert!((x[1] - 2.0).abs() < 1e-12);
     }
@@ -215,7 +220,7 @@ mod tests {
         a.set(0, 1, 2.0);
         a.set(1, 0, 2.0);
         a.set(1, 1, 4.0);
-        assert!(a.solve(&[1.0, 2.0]).is_none());
+        assert!(!a.solve_in_place(&mut [1.0, 2.0]));
     }
 
     proptest! {
@@ -243,7 +248,8 @@ mod tests {
             }
             let b: Vec<f64> = (0..n).map(|i| seed_vals[(i + 77) % seed_vals.len()] * 10.0).collect();
             let a2 = a.clone();
-            let x = a.solve(&b).unwrap();
+            let mut x = b.clone();
+            prop_assert!(a.solve_in_place(&mut x));
             // Verify A x ≈ b.
             for r in 0..n {
                 let mut dot = 0.0;

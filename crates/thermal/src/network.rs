@@ -2,11 +2,30 @@
 
 use crate::integrator::{rk4_step_with, Integrator, Rk4Scratch};
 use crate::linalg::Matrix;
+use tts_obs::{Counter, Histogram, MetricsSink};
 use tts_pcm::PcmState;
 use tts_units::{Celsius, JoulesPerKelvin, Seconds, Watts, WattsPerKelvin};
 
 /// Sentinel for "this node has no column in the dense air/solid maps".
 const NO_COL: usize = usize::MAX;
+
+/// Bucket edges for the settle-iteration histogram: decade-ish spacing
+/// covering "converged immediately" through "hit max_time".
+const SETTLE_EDGES: [f64; 10] = [
+    10.0, 30.0, 100.0, 300.0, 1_000.0, 3_000.0, 10_000.0, 30_000.0, 100_000.0, 300_000.0,
+];
+
+/// Resolved metric handles for the network hot paths (disabled no-ops by
+/// default). All three are thread-invariant totals, so they register as
+/// [`tts_obs::Determinism::Deterministic`]: step and rebuild counts are
+/// relaxed-add totals that commute, and each settle-iteration observation
+/// is a per-call value independent of how sweeps are partitioned.
+#[derive(Debug, Clone, Default)]
+struct NetObs {
+    steps: Counter,
+    rebuilds: Counter,
+    settle_iterations: Histogram,
+}
 
 /// Handle to a node in a [`ThermalNetwork`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -141,6 +160,9 @@ pub struct ThermalNetwork {
     adjacency_dirty: bool,
     /// Cached solver structure + scratch, rebuilt with `adjacency`.
     cache: SolverCache,
+    /// Metric handles (no-ops until [`Self::set_metrics`]). Clones of the
+    /// network share the underlying cells.
+    obs: NetObs,
 }
 
 impl Default for ThermalNetwork {
@@ -162,7 +184,21 @@ impl ThermalNetwork {
             adjacency: Vec::new(),
             adjacency_dirty: true,
             cache: SolverCache::default(),
+            obs: NetObs::default(),
         }
+    }
+
+    /// Points the network's hot-path telemetry at `sink`: `thermal.steps`
+    /// and `thermal.cache_rebuilds` counters plus a
+    /// `thermal.settle_iterations` histogram (steps taken per
+    /// [`Self::run_to_steady_state`] call). A disabled sink (the default)
+    /// detaches — every record becomes a no-op branch.
+    pub fn set_metrics(&mut self, sink: &MetricsSink) {
+        self.obs = NetObs {
+            steps: sink.counter("thermal.steps"),
+            rebuilds: sink.counter("thermal.cache_rebuilds"),
+            settle_iterations: sink.histogram("thermal.settle_iterations", &SETTLE_EDGES),
+        };
     }
 
     /// Selects the integrator for capacitive nodes.
@@ -353,6 +389,9 @@ impl ThermalNetwork {
         if !self.adjacency_dirty {
             return;
         }
+        // Past the early return: this counts *real* rebuilds only, not the
+        // cheap dirty-flag checks every step performs.
+        self.obs.rebuilds.incr();
         let n_nodes = self.nodes.len();
         self.adjacency = vec![Vec::new(); n_nodes];
         for (ei, e) in self.edges.iter().enumerate() {
@@ -525,6 +564,7 @@ impl ThermalNetwork {
     pub fn step(&mut self, dt: Seconds) {
         let dt_s = dt.value();
         assert!(dt_s > 0.0, "step requires a positive dt");
+        self.obs.steps.incr();
         self.rebuild_caches();
         // Move the cache out so its buffers can be borrowed mutably while
         // `self` is read. Should a solver panic unwind past us before the
@@ -635,10 +675,12 @@ impl ThermalNetwork {
         // Reuse one buffer for the convergence check across all steps
         // (moved out because `step` itself takes the cache).
         let mut before = std::mem::take(&mut self.cache.settle_prev);
+        let mut iterations: u64 = 0;
         let result = loop {
             before.clear();
             before.extend(self.nodes.iter().map(|n| n.temp));
             self.step(dt);
+            iterations += 1;
             let max_delta = self
                 .nodes
                 .iter()
@@ -653,6 +695,7 @@ impl ThermalNetwork {
             }
         };
         self.cache.settle_prev = before;
+        self.obs.settle_iterations.record(iterations as f64);
         result
     }
 
@@ -789,6 +832,32 @@ mod tests {
         }
         assert!((results[0] - results[1]).abs() < 0.01, "{results:?}");
         assert!((results[0] - results[2]).abs() < 0.01, "{results:?}");
+    }
+
+    #[test]
+    fn metrics_count_steps_rebuilds_and_settles() {
+        let (mut net, _, _, cpu) = heater_rig(46.0, 0.02);
+        let sink = MetricsSink::fresh();
+        net.set_metrics(&sink);
+        net.step(Seconds::new(1.0));
+        net.step(Seconds::new(1.0));
+        assert_eq!(sink.counter("thermal.steps").value(), 2);
+        // The first step rebuilt; the second hit the warm cache.
+        assert_eq!(sink.counter("thermal.cache_rebuilds").value(), 1);
+        // A topology change dirties the cache; the next step rebuilds.
+        let amb = net.add_boundary("leak", Celsius::new(25.0));
+        net.connect(cpu, amb, WattsPerKelvin::new(0.5));
+        net.step(Seconds::new(1.0));
+        assert_eq!(sink.counter("thermal.cache_rebuilds").value(), 2);
+        // Settling records one histogram observation.
+        net.run_to_steady_state(Seconds::new(5.0), 1e-6, Seconds::new(1e6))
+            .expect("must converge");
+        let snap = sink.snapshot(None, None).expect("enabled");
+        let hist = snap
+            .get("histograms")
+            .and_then(|h| h.get("thermal.settle_iterations"))
+            .expect("settle histogram present");
+        assert_eq!(hist.get("total").and_then(|t| t.as_f64()), Some(1.0));
     }
 
     #[test]

@@ -34,6 +34,7 @@ impl SteadyState {
 ///
 /// Returns `None` when the system is singular — some node has no path to
 /// any boundary, so its equilibrium is undefined.
+#[must_use = "solving has no effect besides the returned equilibrium"]
 pub fn solve_steady_state(net: &ThermalNetwork) -> Option<SteadyState> {
     let n = net.node_count();
     // Unknowns: every non-boundary node.

@@ -7,7 +7,7 @@
 //! into other tests.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::cell::Cell;
 
 use tts_thermal::network::ThermalNetwork;
 use tts_thermal::Integrator;
@@ -18,15 +18,27 @@ use tts_units::{
 
 struct CountingAlloc;
 
-static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
-/// Nonzero while a test section is being measured.
-static COUNTING: AtomicUsize = AtomicUsize::new(0);
+thread_local! {
+    /// Per-thread so concurrently running tests only count their own
+    /// allocations, not each other's warmup traffic.
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+    /// True while this thread's test section is being measured.
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Bumps this thread's allocation count while it is measuring.
+/// `try_with` tolerates allocator calls during TLS teardown.
+fn note_allocation() {
+    let _ = COUNTING.try_with(|counting| {
+        if counting.get() {
+            let _ = ALLOCATIONS.try_with(|a| a.set(a.get() + 1));
+        }
+    });
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        if COUNTING.load(Ordering::Relaxed) != 0 {
-            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        }
+        note_allocation();
         System.alloc(layout)
     }
 
@@ -35,9 +47,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        if COUNTING.load(Ordering::Relaxed) != 0 {
-            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        }
+        note_allocation();
         System.realloc(ptr, layout, new_size)
     }
 }
@@ -45,13 +55,13 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
-/// Counts heap allocations performed while `f` runs.
+/// Counts heap allocations performed by this thread while `f` runs.
 fn count_allocations(f: impl FnOnce()) -> u64 {
-    COUNTING.store(1, Ordering::SeqCst);
-    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    COUNTING.with(|c| c.set(true));
+    let before = ALLOCATIONS.with(Cell::get);
     f();
-    let after = ALLOCATIONS.load(Ordering::SeqCst);
-    COUNTING.store(0, Ordering::SeqCst);
+    let after = ALLOCATIONS.with(Cell::get);
+    COUNTING.with(|c| c.set(false));
     after - before
 }
 

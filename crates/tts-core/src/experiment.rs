@@ -1,0 +1,514 @@
+//! The unified experiment API.
+//!
+//! Each paper artifact the repro harness regenerates is an [`Experiment`]:
+//! a named unit that runs against an [`ExecCtx`] (metrics sink + flush
+//! buffer) and returns a [`Figure`] — the rendered console text, the
+//! `EXPERIMENTS.md` section, the paper-vs-measured comparisons, the JSON
+//! artifacts to write, and the headline scalars downstream analyses (TCO)
+//! consume. The harness dispatches by name via [`find`] and no longer owns
+//! per-figure rendering code.
+
+use std::sync::{Arc, Mutex};
+
+use tts_dcsim::balancer::RoundRobin;
+use tts_dcsim::discrete;
+use tts_obs::MetricsSink;
+use tts_server::ServerClass;
+use tts_units::json::{Json, ToJson};
+use tts_units::Seconds;
+use tts_workload::{GoogleTrace, JobStream, JobType};
+
+use crate::chart::ascii_chart;
+use crate::experiments::{self, Comparison};
+use crate::report::text_table;
+
+/// The execution context handed to every experiment: the metrics sink the
+/// run reports into, plus the buffer periodic flushes land in.
+///
+/// Cloning is cheap and shares both the registry and the flush buffer, so
+/// a clone can be moved into a long-lived callback (e.g. the discrete
+/// simulator's flush hook) while the caller keeps reading.
+#[derive(Debug, Clone)]
+pub struct ExecCtx {
+    sink: MetricsSink,
+    flushes: Arc<Mutex<Vec<Json>>>,
+}
+
+impl ExecCtx {
+    /// A context with telemetry off: every metric write is a no-op and
+    /// [`Self::sidecar`] returns `None`.
+    pub fn disabled() -> Self {
+        Self {
+            sink: MetricsSink::disabled(),
+            flushes: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// A context backed by a fresh metrics registry.
+    pub fn with_metrics() -> Self {
+        Self {
+            sink: MetricsSink::fresh(),
+            flushes: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// The sink experiments report into.
+    pub fn sink(&self) -> &MetricsSink {
+        &self.sink
+    }
+
+    /// Whether telemetry is being collected.
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_enabled()
+    }
+
+    /// Snapshots the registry at simulated time `sim_time` and appends it
+    /// to the flush buffer (no-op when telemetry is off). Wired into the
+    /// discrete simulator's periodic flush hook.
+    pub fn record_flush(&self, sim_time: Seconds) {
+        if let Some(snap) = self.sink.snapshot(Some(sim_time.value()), None) {
+            self.flushes.lock().expect("flush buffer lock").push(snap);
+        }
+    }
+
+    /// The flushes recorded so far, in order.
+    pub fn flushes(&self) -> Vec<Json> {
+        self.flushes.lock().expect("flush buffer lock").clone()
+    }
+
+    /// The metrics sidecar document: the final deterministic snapshot
+    /// (stamped with the caller-supplied wall clock, if any) plus every
+    /// periodic flush. `None` when telemetry is off.
+    pub fn sidecar(&self, sim_time: Option<f64>, wall_unix: Option<f64>) -> Option<Json> {
+        let snap = self.sink.snapshot(sim_time, wall_unix)?;
+        Some(Json::Obj(vec![
+            ("snapshot".to_string(), snap),
+            ("flushes".to_string(), Json::Arr(self.flushes())),
+        ]))
+    }
+}
+
+/// What an experiment produced: everything the harness needs to print,
+/// record, and chain into downstream analyses.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// The experiment's dispatch name (e.g. `fig11`).
+    pub name: String,
+    /// Human title, printed as the console section header.
+    pub title: String,
+    /// Rendered console output (charts, tables).
+    pub text: String,
+    /// The `EXPERIMENTS.md` section body.
+    pub markdown: String,
+    /// Paper-vs-measured records, each with its context label
+    /// (e.g. `("Fig 11a", …)`).
+    pub comparisons: Vec<(String, Comparison)>,
+    /// JSON artifacts to write on `--write`: `(relative path, document)`.
+    pub artifacts: Vec<(String, Json)>,
+    /// Headline scalars keyed by name, the hand-off surface between
+    /// experiments (TCO reads Figure 11/12 headline numbers from here).
+    pub key_values: Vec<(String, f64)>,
+}
+
+impl Figure {
+    /// An empty figure with the given name and title.
+    pub fn new(name: impl Into<String>, title: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            title: title.into(),
+            text: String::new(),
+            markdown: String::new(),
+            comparisons: Vec::new(),
+            artifacts: Vec::new(),
+            key_values: Vec::new(),
+        }
+    }
+
+    /// Looks up a headline scalar by key.
+    pub fn key_value(&self, key: &str) -> Option<f64> {
+        self.key_values
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// A named, self-rendering unit of the repro suite.
+pub trait Experiment {
+    /// The dispatch name (`repro <name>`).
+    fn name(&self) -> &'static str;
+
+    /// Runs the experiment, reporting telemetry into `ctx`.
+    fn run(&self, ctx: &ExecCtx) -> Figure;
+
+    /// Serializes a figure's machine-readable face: name, title, headline
+    /// scalars, and comparisons. Override to emit richer documents.
+    fn emit_json(&self, fig: &Figure) -> Json {
+        Json::Obj(vec![
+            ("name".to_string(), Json::Str(fig.name.clone())),
+            ("title".to_string(), Json::Str(fig.title.clone())),
+            (
+                "key_values".to_string(),
+                Json::Obj(
+                    fig.key_values
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "comparisons".to_string(),
+                Json::Arr(
+                    fig.comparisons
+                        .iter()
+                        .map(|(ctx, c)| {
+                            Json::Obj(vec![
+                                ("context".to_string(), Json::Str(ctx.clone())),
+                                ("comparison".to_string(), c.to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Every registered experiment, in suite order.
+pub fn registry() -> Vec<Box<dyn Experiment>> {
+    vec![
+        Box::new(Fig7Blockage),
+        Box::new(Fig11CoolingLoad),
+        Box::new(Fig12Constrained),
+        Box::new(DcsimQos),
+    ]
+}
+
+/// Finds an experiment by dispatch name.
+pub fn find(name: &str) -> Option<Box<dyn Experiment>> {
+    registry().into_iter().find(|e| e.name() == name)
+}
+
+/// Figure 7: the airflow-blockage temperature sweeps.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fig7Blockage;
+
+impl Experiment for Fig7Blockage {
+    fn name(&self) -> &'static str {
+        "fig7"
+    }
+
+    fn run(&self, ctx: &ExecCtx) -> Figure {
+        let mut fig = Figure::new("fig7", "Figure 7: temperatures vs. airflow blockage");
+        fig.markdown
+            .push_str("## Figure 7 — airflow blockage sweeps\n\n");
+        for (class, rows) in experiments::fig7_with(ctx.sink()) {
+            let table_rows: Vec<Vec<String>> = rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        format!("{:.0}%", r.blockage.percent()),
+                        format!("{:.1}", r.outlet.value()),
+                        format!("{:.1}", r.wax_zone.value()),
+                        r.sockets
+                            .iter()
+                            .map(|t| format!("{:.0}", t.value()))
+                            .collect::<Vec<_>>()
+                            .join("/"),
+                        format!("{:.1}", r.flow.cfm()),
+                    ]
+                })
+                .collect();
+            let table = text_table(
+                &[
+                    "blockage",
+                    "outlet °C",
+                    "wax zone °C",
+                    "sockets °C",
+                    "flow CFM",
+                ],
+                &table_rows,
+            );
+            fig.text.push_str(&format!("--- {class} ---\n{table}"));
+            fig.markdown
+                .push_str(&format!("### {class}\n\n```text\n{table}```\n\n"));
+            if class == ServerClass::LowPower1U {
+                let rise = rows[9].outlet.value() - rows[0].outlet.value();
+                fig.comparisons.push((
+                    "Fig 7a".into(),
+                    Comparison::new("1U outlet rise 0→90 % blockage", 14.0, rise, "K"),
+                ));
+                fig.key_values.push(("outlet_rise_1u_k".into(), rise));
+            }
+            if class == ServerClass::OpenComputeBlade {
+                let baseline = rows[0].outlet.value();
+                fig.comparisons.push((
+                    "Fig 7c".into(),
+                    Comparison::new("OCP baseline outlet", 68.0, baseline, "°C"),
+                ));
+                fig.key_values
+                    .push(("ocp_baseline_outlet_c".into(), baseline));
+            }
+        }
+        fig
+    }
+}
+
+/// Figure 11: the fully-subscribed cooling-load study, all three classes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fig11CoolingLoad;
+
+impl Experiment for Fig11CoolingLoad {
+    fn name(&self) -> &'static str {
+        "fig11"
+    }
+
+    fn run(&self, ctx: &ExecCtx) -> Figure {
+        let mut fig = Figure::new(
+            "fig11",
+            "Figure 11: cluster cooling load, fully subscribed cooling",
+        );
+        fig.markdown
+            .push_str("## Figure 11 — peak cooling-load reduction\n\n");
+        for (panel, class) in ["a", "b", "c"].iter().zip(ServerClass::ALL) {
+            let r = experiments::fig11_with(class, ctx.sink());
+            let chart = ascii_chart(
+                &[
+                    ("cooling load", &r.study.run.load_no_wax_kw),
+                    ("load with PCM", &r.study.run.load_with_wax_kw),
+                ],
+                72,
+                12,
+            );
+            fig.text.push_str(&format!(
+                "--- ({panel}) {class} ---\n{chart}\npeak: {:.0} kW → {:.0} kW; reduction {:.1} % (paper {:.1} %); wax {}; refreeze tail {:.1} h\n\n",
+                r.study.run.peak_no_wax.value(),
+                r.study.run.peak_with_wax.value(),
+                r.peak_reduction.measured,
+                r.peak_reduction.paper,
+                r.study.material.name(),
+                r.study.run.elevated_hours / 2.0,
+            ));
+            fig.markdown.push_str(&format!(
+                "### ({panel}) {class}\n\n```text\n{chart}```\n\nPeak {:.0} kW → {:.0} kW: **{:.1} % reduction** (paper: {:.1} %), wax = {}, melt onset at {:.0} % load, refreeze tail ≈ {:.1} h/day (paper: 6–9 h).\n\n",
+                r.study.run.peak_no_wax.value(),
+                r.study.run.peak_with_wax.value(),
+                r.peak_reduction.measured,
+                r.peak_reduction.paper,
+                r.study.material.name(),
+                tts_dcsim::cluster::melt_onset_load_fraction(&tts_dcsim::cluster::ClusterConfig {
+                    spec: class.spec(),
+                    servers: 1008,
+                    chars: r.study.chars.clone(),
+                }) * 100.0,
+                r.study.run.elevated_hours / 2.0
+            ));
+            fig.comparisons
+                .push((format!("Fig 11{panel}"), r.peak_reduction.clone()));
+            fig.artifacts
+                .push((format!("results/fig11{panel}.json"), r.study.run.to_json()));
+            fig.key_values.push((
+                format!("peak_reduction_frac.{class}"),
+                r.study.run.peak_reduction.value(),
+            ));
+        }
+        fig
+    }
+}
+
+/// Figure 12: the thermally constrained throughput study, all three
+/// classes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fig12Constrained;
+
+impl Experiment for Fig12Constrained {
+    fn name(&self) -> &'static str {
+        "fig12"
+    }
+
+    fn run(&self, ctx: &ExecCtx) -> Figure {
+        let mut fig = Figure::new(
+            "fig12",
+            "Figure 12: throughput in a thermally constrained datacenter",
+        );
+        fig.markdown
+            .push_str("## Figure 12 — constrained throughput\n\n");
+        for (panel, class) in ["a", "b", "c"].iter().zip(ServerClass::ALL) {
+            let r = experiments::fig12_with(class, ctx.sink());
+            let chart = ascii_chart(
+                &[
+                    ("ideal", &r.study.run.ideal),
+                    ("no wax", &r.study.run.no_wax),
+                    ("with wax", &r.study.run.with_wax),
+                ],
+                72,
+                12,
+            );
+            fig.text.push_str(&format!(
+                "--- ({panel}) {class} ---\n{chart}\npeak gain {:.1} % (paper {:.1} %); throttle delayed {:.2} h; boosted {:.1} h/day (paper {:.1} h); wax {}\n\n",
+                r.peak_gain.measured,
+                r.peak_gain.paper,
+                r.study.run.delay_hours,
+                r.boost_hours.measured,
+                r.boost_hours.paper,
+                r.study.material.name(),
+            ));
+            fig.markdown.push_str(&format!(
+                "### ({panel}) {class}\n\n```text\n{chart}```\n\nPeak throughput gain **{:.1} %** (paper: {:.1} %); throttle onset delayed {:.2} h; boosted {:.1} h/day (paper: {:.1} h); wax = {}.\n\n",
+                r.peak_gain.measured,
+                r.peak_gain.paper,
+                r.study.run.delay_hours,
+                r.boost_hours.measured,
+                r.boost_hours.paper,
+                r.study.material.name()
+            ));
+            fig.comparisons
+                .push((format!("Fig 12{panel}"), r.peak_gain.clone()));
+            fig.comparisons
+                .push((format!("Fig 12{panel}"), r.boost_hours.clone()));
+            fig.artifacts
+                .push((format!("results/fig12{panel}.json"), r.study.run.to_json()));
+            fig.key_values.push((
+                format!("peak_gain_frac.{class}"),
+                r.study.run.peak_gain.value(),
+            ));
+        }
+        fig
+    }
+}
+
+/// The discrete job-level cluster simulation: runs two days of
+/// MapReduce-class jobs through the event-driven simulator and reports
+/// QoS. The event loop streams telemetry into the context's sink and
+/// flushes a registry snapshot every six simulated hours.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DcsimQos;
+
+impl Experiment for DcsimQos {
+    fn name(&self) -> &'static str {
+        "dcsim"
+    }
+
+    fn run(&self, ctx: &ExecCtx) -> Figure {
+        let trace = GoogleTrace::default_two_day();
+        let servers = 32;
+        let jobs =
+            JobStream::new(trace.total().clone(), JobType::MapReduce, servers, 17).collect_all();
+        let mut sim = discrete::ClusterConfig::new(servers)
+            .rack_size(8)
+            .record_utilization(Seconds::from_minutes(5.0))
+            .metrics(ctx.sink())
+            .build(RoundRobin::new());
+        let flush_ctx = ctx.clone();
+        sim.set_periodic_flush(Seconds::new(6.0 * 3600.0), move |t| {
+            flush_ctx.record_flush(t)
+        });
+        let m = sim.run(&jobs, trace.total().duration());
+
+        let mut fig = Figure::new(
+            "dcsim",
+            "Discrete cluster simulation: job-level QoS (two-day trace)",
+        );
+        let table = text_table(
+            &["metric", "value"],
+            &[
+                vec!["jobs offered".into(), format!("{}", jobs.len())],
+                vec!["jobs completed".into(), format!("{}", m.completed)],
+                vec!["in flight at end".into(), format!("{}", m.in_flight)],
+                vec![
+                    "mean response".into(),
+                    format!("{:.1} s", m.mean_response_s),
+                ],
+                vec!["p95 response".into(), format!("{:.1} s", m.p95_response_s)],
+                vec![
+                    "cluster utilization".into(),
+                    format!("{:.1} %", m.cluster_utilization * 100.0),
+                ],
+                vec![
+                    "throughput".into(),
+                    format!("{:.2} jobs/s", m.throughput_jobs_per_s),
+                ],
+            ],
+        );
+        fig.text.push_str(&format!(
+            "{servers} servers, round-robin, MapReduce jobs following the Figure 10 trace\n{table}"
+        ));
+        fig.markdown.push_str(&format!(
+            "## Discrete simulation — job-level QoS\n\n{servers} servers behind a round-robin \
+             balancer serve two days of MapReduce-class jobs offered along the Figure 10 \
+             trace.\n\n```text\n{table}```\n\n"
+        ));
+        fig.key_values = vec![
+            ("completed".into(), m.completed as f64),
+            ("mean_response_s".into(), m.mean_response_s),
+            ("p95_response_s".into(), m.p95_response_s),
+            ("cluster_utilization".into(), m.cluster_utilization),
+            ("throughput_jobs_per_s".into(), m.throughput_jobs_per_s),
+        ];
+        fig
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_dispatches_by_name() {
+        let names: Vec<&str> = registry().iter().map(|e| e.name()).collect();
+        assert_eq!(names, ["fig7", "fig11", "fig12", "dcsim"]);
+        assert!(find("fig11").is_some());
+        assert!(find("fig99").is_none());
+    }
+
+    #[test]
+    fn disabled_ctx_has_no_sidecar() {
+        let ctx = ExecCtx::disabled();
+        ctx.record_flush(Seconds::new(60.0));
+        assert!(ctx.flushes().is_empty());
+        assert!(ctx.sidecar(None, None).is_none());
+    }
+
+    #[test]
+    fn dcsim_experiment_reports_qos_and_flushes() {
+        let ctx = ExecCtx::with_metrics();
+        let fig = DcsimQos.run(&ctx);
+        assert!(fig.key_value("completed").expect("completed") > 1000.0);
+        assert!(fig.key_value("cluster_utilization").expect("util") > 0.2);
+        // Two simulated days at a six-hour flush cadence.
+        let flushes = ctx.flushes();
+        assert!(
+            (7..=9).contains(&flushes.len()),
+            "expected ~8 flushes, got {}",
+            flushes.len()
+        );
+        // Flushes carry simulated timestamps; the sidecar wraps them.
+        let first = &flushes[0];
+        assert_eq!(
+            first.get("sim_time_s").and_then(|v| v.as_f64()),
+            Some(6.0 * 3600.0)
+        );
+        let sidecar = ctx.sidecar(None, Some(1.75e9)).expect("enabled");
+        assert!(sidecar.get("snapshot").is_some());
+        assert!(sidecar.get("flushes").is_some());
+        let text = sidecar.to_string_pretty();
+        let parsed = tts_units::json::parse(&text).expect("round-trips");
+        assert_eq!(parsed, sidecar);
+    }
+
+    #[test]
+    fn default_emit_json_carries_key_values() {
+        let mut fig = Figure::new("fig7", "t");
+        fig.key_values.push(("x".into(), 1.5));
+        fig.comparisons
+            .push(("Fig 7a".into(), Comparison::new("m", 1.0, 2.0, "K")));
+        let doc = Fig7Blockage.emit_json(&fig);
+        assert_eq!(
+            doc.get("key_values")
+                .and_then(|kv| kv.get("x"))
+                .and_then(|v| v.as_f64()),
+            Some(1.5)
+        );
+        assert!(doc.get("comparisons").is_some());
+    }
+}

@@ -6,8 +6,9 @@
 //! (`EXPERIMENTS.md`).
 
 use tts_dcsim::datacenter::Datacenter;
+use tts_obs::MetricsSink;
 use tts_pcm::{PcmMaterial, Stability};
-use tts_server::blockage::{default_sweep, BlockageRow};
+use tts_server::blockage::{default_sweep_with, BlockageRow};
 use tts_server::validation::{self, ValidationConfig, ValidationResult};
 use tts_server::ServerClass;
 use tts_tco::{
@@ -117,7 +118,15 @@ pub fn fig4_with(config: &ValidationConfig) -> ValidationResult {
 /// [`tts_exec`] pool; output order (and content) is identical at any
 /// `TTS_THREADS`.
 pub fn fig7() -> Vec<(ServerClass, Vec<BlockageRow>)> {
-    tts_exec::par_map(&ServerClass::ALL, |&c| (c, default_sweep(&c.spec())))
+    fig7_with(&MetricsSink::disabled())
+}
+
+/// [`fig7`] with telemetry: every per-point thermal model and the sweep
+/// itself report into `sink` (see `tts_server::blockage::sweep_with`).
+pub fn fig7_with(sink: &MetricsSink) -> Vec<(ServerClass, Vec<BlockageRow>)> {
+    tts_exec::par_map(&ServerClass::ALL, |&c| {
+        (c, default_sweep_with(&c.spec(), sink))
+    })
 }
 
 /// Figure 10: the two-day workload trace.
@@ -150,7 +159,13 @@ pub fn paper_fig11_reduction(class: ServerClass) -> f64 {
 
 /// Figure 11: the fully-subscribed cooling-load study.
 pub fn fig11(class: ServerClass) -> Fig11Result {
-    let study = Scenario::new(class).cooling_load_study();
+    fig11_with(class, &MetricsSink::disabled())
+}
+
+/// [`fig11`] with telemetry routed through the scenario (grid-search
+/// counters + the winning run's series; see `tts_dcsim::cluster`).
+pub fn fig11_with(class: ServerClass, sink: &MetricsSink) -> Fig11Result {
+    let study = Scenario::new(class).metrics(sink).cooling_load_study();
     let peak_reduction = Comparison::new(
         "peak cooling-load reduction",
         paper_fig11_reduction(class),
@@ -192,7 +207,13 @@ pub fn paper_fig12(class: ServerClass) -> (f64, f64) {
 
 /// Figure 12: the thermally constrained throughput study.
 pub fn fig12(class: ServerClass) -> Fig12Result {
-    let study = Scenario::new(class).constrained_study();
+    fig12_with(class, &MetricsSink::disabled())
+}
+
+/// [`fig12`] with telemetry routed through the scenario (grid-search
+/// counters + the winning run's series; see `tts_dcsim::throttle`).
+pub fn fig12_with(class: ServerClass, sink: &MetricsSink) -> Fig12Result {
+    let study = Scenario::new(class).metrics(sink).constrained_study();
     let (paper_gain, paper_hours) = paper_fig12(class);
     let peak_gain = Comparison::new(
         "peak throughput gain",
@@ -251,10 +272,25 @@ pub fn paper_tco(class: ServerClass) -> (f64, f64, f64, f64) {
 
 /// Runs the four §5 cost analyses from measured Figure 11/12 results.
 pub fn tco_summary(class: ServerClass, fig11: &Fig11Result, fig12: &Fig12Result) -> TcoSummary {
+    tco_summary_from(
+        class,
+        fig11.study.run.peak_reduction,
+        fig12.study.run.peak_gain,
+    )
+}
+
+/// [`tco_summary`] from the two scalars that actually drive it — the
+/// measured Figure 11 peak cooling-load reduction and the Figure 12 peak
+/// throughput gain — so callers holding only headline numbers (e.g. an
+/// [`Experiment`](crate::experiment::Experiment) figure's key/values) can
+/// run the cost analyses without the full study structs.
+pub fn tco_summary_from(
+    class: ServerClass,
+    reduction: tts_units::Fraction,
+    gain: tts_units::Fraction,
+) -> TcoSummary {
     let table = Table2::paper();
     let dc = Datacenter::paper_10mw(class);
-    let reduction = fig11.study.run.peak_reduction;
-    let gain = fig12.study.run.peak_gain;
     let (p_downsize, p_added, p_retrofit, p_eff) = paper_tco(class);
 
     let downsize =

@@ -1,12 +1,13 @@
 //! The high-level scenario builder.
 
 use tts_dcsim::cluster::{
-    default_melting_candidates, run_cooling_load, select_melting_point, ClusterConfig,
+    default_melting_candidates, run_cooling_load_with, select_melting_point_with, ClusterConfig,
     CoolingLoadRun,
 };
 use tts_dcsim::throttle::{
-    run_constrained, select_melting_point_constrained, ConstrainedConfig, ConstrainedRun,
+    run_constrained_with, select_melting_point_constrained_with, ConstrainedConfig, ConstrainedRun,
 };
+use tts_obs::MetricsSink;
 use tts_pcm::PcmMaterial;
 use tts_server::{ServerClass, ServerSpec, ServerWaxCharacteristics};
 use tts_units::{Celsius, Fraction};
@@ -63,6 +64,7 @@ pub struct Scenario {
     trace: Option<TimeSeries>,
     melting_point: MeltingPointChoice,
     sustainable_util: Fraction,
+    sink: MetricsSink,
 }
 
 /// Result of the fully-subscribed cooling-load study (§5.1 / Figure 11).
@@ -104,7 +106,16 @@ impl Scenario {
             trace: None,
             melting_point: MeltingPointChoice::Optimize,
             sustainable_util: Fraction::new(0.71),
+            sink: MetricsSink::disabled(),
         }
+    }
+
+    /// Routes study telemetry (tick counts, melt-fraction histograms,
+    /// headline gauges — see `tts_dcsim::cluster` / `tts_dcsim::throttle`)
+    /// to `sink`. Off by default; the disabled path costs nothing.
+    pub fn metrics(mut self, sink: &MetricsSink) -> Self {
+        self.sink = sink.clone();
+        self
     }
 
     /// Overrides the cluster size.
@@ -153,6 +164,7 @@ impl Scenario {
     }
 
     /// Runs the §5.1 fully-subscribed cooling-load study (Figure 11).
+    #[must_use = "the study has no effect besides the returned result"]
     pub fn cooling_load_study(&self) -> CoolingLoadStudy {
         let chars = self.characteristics();
         let trace = self.resolve_trace();
@@ -163,7 +175,7 @@ impl Scenario {
         };
         let (material, run) = match self.melting_point {
             MeltingPointChoice::Optimize => {
-                select_melting_point(&config, &trace, default_melting_candidates())
+                select_melting_point_with(&config, &trace, default_melting_candidates(), &self.sink)
             }
             MeltingPointChoice::Fixed(t) => {
                 let cfg = ClusterConfig {
@@ -173,7 +185,7 @@ impl Scenario {
                 };
                 (
                     PcmMaterial::commercial_paraffin(t),
-                    run_cooling_load(&cfg, &trace),
+                    run_cooling_load_with(&cfg, &trace, &self.sink),
                 )
             }
         };
@@ -186,6 +198,7 @@ impl Scenario {
     }
 
     /// Runs the §5.2 thermally constrained study (Figure 12).
+    #[must_use = "the study has no effect besides the returned result"]
     pub fn constrained_study(&self) -> ConstrainedStudy {
         let chars = self.characteristics();
         let trace = self.resolve_trace();
@@ -197,9 +210,12 @@ impl Scenario {
         );
         let limit_kw = config.limit.value();
         let (material, run) = match self.melting_point {
-            MeltingPointChoice::Optimize => {
-                select_melting_point_constrained(&config, &trace, default_melting_candidates())
-            }
+            MeltingPointChoice::Optimize => select_melting_point_constrained_with(
+                &config,
+                &trace,
+                default_melting_candidates(),
+                &self.sink,
+            ),
             MeltingPointChoice::Fixed(t) => {
                 let cfg = ConstrainedConfig {
                     chars: chars.with_melting_point(t),
@@ -209,7 +225,7 @@ impl Scenario {
                 };
                 (
                     PcmMaterial::commercial_paraffin(t),
-                    run_constrained(&cfg, &trace),
+                    run_constrained_with(&cfg, &trace, &self.sink),
                 )
             }
         };

@@ -121,6 +121,43 @@ fn fig11_json_is_byte_identical_across_thread_counts() {
     assert_eq!(serial.as_bytes(), parallel.as_bytes());
 }
 
+/// Runs a registered experiment with a fresh metrics registry at the
+/// given worker count and returns the rendered sidecar bytes.
+fn sidecar_bytes(name: &str, threads: usize) -> String {
+    with_threads(threads, || {
+        let exp = thermal_time_shifting::experiment::find(name).expect("registered experiment");
+        let ctx = thermal_time_shifting::ExecCtx::with_metrics();
+        let _fig = exp.run(&ctx);
+        ctx.sidecar(None, None)
+            .expect("metrics enabled")
+            .to_string_pretty()
+    })
+}
+
+#[test]
+fn fig7_metrics_sidecar_is_byte_identical_across_thread_counts() {
+    // The observability contract: deterministic metrics (tick counters,
+    // solver histograms, replayed gauges) must be as thread-invariant as
+    // the physics. The whole Figure 7 pipeline instrumented and snapshotted
+    // at 1, 4, and 8 workers must serialize byte for byte.
+    let one = sidecar_bytes("fig7", 1);
+    let four = sidecar_bytes("fig7", 4);
+    let eight = sidecar_bytes("fig7", 8);
+    assert_eq!(one.as_bytes(), four.as_bytes());
+    assert_eq!(one.as_bytes(), eight.as_bytes());
+}
+
+#[test]
+fn discrete_sim_metrics_sidecar_is_byte_identical_across_thread_counts() {
+    // Same contract for the event-driven simulator, including the periodic
+    // flush snapshots stamped with simulated time.
+    let one = sidecar_bytes("dcsim", 1);
+    let four = sidecar_bytes("dcsim", 4);
+    let eight = sidecar_bytes("dcsim", 8);
+    assert_eq!(one.as_bytes(), four.as_bytes());
+    assert_eq!(one.as_bytes(), eight.as_bytes());
+}
+
 #[test]
 fn different_seeds_change_the_noise_not_the_physics() {
     let base = ValidationConfig {

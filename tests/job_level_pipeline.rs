@@ -5,7 +5,7 @@
 
 use tts_dcsim::balancer::RoundRobin;
 use tts_dcsim::cluster::{run_cooling_load, ClusterConfig};
-use tts_dcsim::discrete::DiscreteClusterSim;
+use tts_dcsim::discrete::ClusterConfig as DiscreteConfig;
 use tts_pcm::PcmMaterial;
 use tts_server::{ServerClass, ServerWaxCharacteristics};
 use tts_units::{Celsius, Seconds};
@@ -20,8 +20,10 @@ fn job_level_and_fluid_cooling_loads_agree() {
     let jobs = JobStream::new(trace.total().clone(), JobType::MapReduce, servers, 17).collect_all();
     assert!(jobs.len() > 10_000, "expected a substantial job stream");
 
-    let mut sim = DiscreteClusterSim::new(servers, 1, 10, RoundRobin::new());
-    sim.record_utilization(Seconds::from_minutes(5.0));
+    let mut sim = DiscreteConfig::new(servers)
+        .rack_size(10)
+        .record_utilization(Seconds::from_minutes(5.0))
+        .build(RoundRobin::new());
     let metrics = sim.run(&jobs, trace.total().duration());
     let measured = sim.utilization_trace().expect("recording enabled");
 
@@ -82,8 +84,10 @@ fn mixed_job_types_fill_the_cluster_proportionally() {
     all_jobs.sort_by(|a, b| a.arrival.value().total_cmp(&b.arrival.value()));
     // Re-id to satisfy the simulator's ordering assertion (ids are
     // informational here).
-    let mut sim = DiscreteClusterSim::new(servers, 1, 10, RoundRobin::new());
-    sim.record_utilization(Seconds::from_minutes(10.0));
+    let mut sim = DiscreteConfig::new(servers)
+        .rack_size(10)
+        .record_utilization(Seconds::from_minutes(10.0))
+        .build(RoundRobin::new());
     sim.run(&all_jobs, sub.duration());
     let measured = sim.utilization_trace().expect("recorded");
     assert!(

@@ -113,7 +113,7 @@ fn cluster_energy_shift_balances() {
 #[test]
 fn discrete_and_fluid_utilization_agree() {
     use tts_dcsim::balancer::RoundRobin;
-    use tts_dcsim::discrete::DiscreteClusterSim;
+    use tts_dcsim::discrete::ClusterConfig;
     use tts_workload::{JobStream, JobType};
 
     let trace = GoogleTrace::default_two_day();
@@ -122,7 +122,9 @@ fn discrete_and_fluid_utilization_agree() {
     let sub_trace = tts_workload::TimeSeries::new(Seconds::new(300.0), six_hours.clone());
     let mean_offered = sub_trace.mean();
     let jobs = JobStream::new(sub_trace, JobType::SocialNetworking, 24, 11).collect_all();
-    let mut sim = DiscreteClusterSim::new(24, 1, 12, RoundRobin::new());
+    let mut sim = ClusterConfig::new(24)
+        .rack_size(12)
+        .build(RoundRobin::new());
     let m = sim.run(&jobs, Seconds::new(6.0 * 3600.0));
     assert!(
         (m.cluster_utilization - mean_offered).abs() < 0.08,
