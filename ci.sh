@@ -43,7 +43,41 @@ cmp "$TMPDIR_CI/fig7.t1.json" "$TMPDIR_CI/fig7.t4.json"
 
 echo "==> bench gate (disabled-metrics thermal_solver within 5% of baseline)"
 # Metrics are off by default; the solver hot path must stay within the
-# pre-observability envelope recorded in BENCH_baseline.json.
-"$REPRO" bench-check "$TMPDIR_CI/thermal_solver.json" BENCH_baseline.json 5
+# pre-observability envelope recorded in BENCH_baseline.json. Exit 3
+# means a report/baseline was absent or malformed: the gate degrades to
+# a warning instead of masquerading as a perf regression or a crash.
+bench_rc=0
+"$REPRO" bench-check "$TMPDIR_CI/thermal_solver.json" BENCH_baseline.json 5 || bench_rc=$?
+if [ "$bench_rc" -eq 3 ]; then
+  echo "ci.sh: WARNING: bench gate skipped (no usable baseline; exit 3)"
+elif [ "$bench_rc" -ne 0 ]; then
+  exit "$bench_rc"
+fi
+
+echo "==> ttsd smoke (serve fig7, byte-identical to repro, cold and cached, 1 and 4 threads)"
+# The serving layer must answer exactly the bytes repro files as
+# results/fig7.summary.json — whether computed or cached, at any thread
+# count — then drain gracefully and flush its final metrics snapshot.
+TTSD=target/release/ttsd
+REPRO_ABS="$(pwd)/$REPRO"
+(cd "$TMPDIR_CI" && "$REPRO_ABS" fig7 --write > /dev/null)
+for T in 1 4; do
+  PORT_FILE="$TMPDIR_CI/ttsd.t$T.port"
+  METRICS_FILE="$TMPDIR_CI/ttsd.t$T.metrics.json"
+  TTS_THREADS=$T "$TTSD" --addr 127.0.0.1:0 --no-stdin-watch \
+    --port-file "$PORT_FILE" --metrics-out "$METRICS_FILE" &
+  TTSD_PID=$!
+  for _ in $(seq 1 100); do [ -s "$PORT_FILE" ] && break; sleep 0.1; done
+  [ -s "$PORT_FILE" ] || { echo "ttsd never wrote its port file"; exit 1; }
+  ADDR="$(cat "$PORT_FILE")"
+  "$TTSD" req "$ADDR" GET /healthz > /dev/null
+  "$TTSD" req "$ADDR" POST /v1/experiments/fig7 --body '{}' > "$TMPDIR_CI/fig7.t$T.cold.body"
+  "$TTSD" req "$ADDR" POST /v1/experiments/fig7 --body '{}' > "$TMPDIR_CI/fig7.t$T.cached.body"
+  "$TTSD" req "$ADDR" POST /admin/shutdown > /dev/null
+  wait "$TTSD_PID"
+  [ -s "$METRICS_FILE" ] || { echo "ttsd did not flush metrics on shutdown"; exit 1; }
+  cmp "$TMPDIR_CI/results/fig7.summary.json" "$TMPDIR_CI/fig7.t$T.cold.body"
+  cmp "$TMPDIR_CI/results/fig7.summary.json" "$TMPDIR_CI/fig7.t$T.cached.body"
+done
 
 echo "ci.sh: all gates passed"

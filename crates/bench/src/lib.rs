@@ -7,6 +7,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod harness;
 
 pub use thermal_time_shifting::report::{comparison_row, format_quantity, text_table};

@@ -267,23 +267,6 @@ impl UtilRecorder {
 }
 
 impl<B: Balancer> DiscreteClusterSim<B> {
-    /// A cluster of `servers` machines with `cores_per_server` slots each,
-    /// grouped into racks of `rack_size`.
-    ///
-    /// # Panics
-    /// Panics if any size is zero.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use discrete::ClusterConfig::new(servers)\
-                .cores_per_server(..).rack_size(..).build(balancer)"
-    )]
-    pub fn new(servers: usize, cores_per_server: usize, rack_size: usize, balancer: B) -> Self {
-        ClusterConfig::new(servers)
-            .cores_per_server(cores_per_server)
-            .rack_size(rack_size)
-            .build(balancer)
-    }
-
     /// Installs a callback fired every `interval` of *simulated* time
     /// during [`Self::run`] — the flush hook the `repro --metrics` sidecar
     /// uses to snapshot the registry periodically. Before each firing the
@@ -680,23 +663,6 @@ mod tests {
             .cores_per_server(1)
             .rack_size(1)
             .build(RoundRobin::new());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructor_still_builds_an_equivalent_sim() {
-        // The positional constructor stays one PR as a thin wrapper over
-        // the builder; both must produce identical runs.
-        let jobs = flat_jobs(0.5, 8, 0.5, 1);
-        let mut old = DiscreteClusterSim::new(8, 4, 4, RoundRobin::new());
-        let mut new = ClusterConfig::new(8)
-            .cores_per_server(4)
-            .rack_size(4)
-            .build(RoundRobin::new());
-        assert_eq!(
-            old.run(&jobs, Seconds::new(3600.0)),
-            new.run(&jobs, Seconds::new(3600.0))
-        );
     }
 
     #[test]

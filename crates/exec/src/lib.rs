@@ -36,6 +36,10 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use tts_obs::{Determinism, MetricsSink};
 
+pub mod pool;
+
+pub use pool::WorkerPool;
+
 /// Process-wide thread-count override; 0 means "no override".
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
@@ -79,6 +83,17 @@ const TASKS_PER_WORKER_EDGES: [f64; 11] = [
 /// and tests; concurrent sweeps observe the new value on their next call.
 pub fn set_thread_override(threads: Option<usize>) {
     THREAD_OVERRIDE.store(threads.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// The current process-wide override set via [`set_thread_override`], if
+/// any. Callers that override temporarily (e.g. a per-request `threads`
+/// parameter in the serving layer) read this first so they can restore
+/// the previous value afterwards.
+pub fn thread_override() -> Option<usize> {
+    match THREAD_OVERRIDE.load(Ordering::Relaxed) {
+        0 => None,
+        n => Some(n),
+    }
 }
 
 /// The thread count used by [`par_map`] / [`par_for_each`]: the

@@ -1,0 +1,308 @@
+//! A long-lived bounded worker pool with explicit backpressure.
+//!
+//! [`par_map`](crate::par_map) covers the sweep-shaped work in the figure
+//! pipelines — short-lived scoped fan-outs over a known slice. A network
+//! server has the opposite shape: an unbounded stream of independent work
+//! items arriving over time, drained by a fixed set of resident threads.
+//! [`WorkerPool`] is that primitive: a `Mutex<VecDeque>` + `Condvar` queue
+//! with a hard capacity, resident named workers, and a drain-then-join
+//! shutdown.
+//!
+//! Design points:
+//!
+//! * **Backpressure is the caller's problem, visibly.** [`WorkerPool::
+//!   try_submit`] never blocks; when the queue is at capacity (or the pool
+//!   is shutting down) the item is handed straight back so the caller can
+//!   degrade explicitly — the HTTP acceptor answers `503 Retry-After`
+//!   instead of letting latency pile up in a hidden buffer.
+//! * **Handler panics are contained.** A panicking item is counted and the
+//!   worker moves on; one poisoned request must not take the pool down.
+//! * **Shutdown drains.** [`WorkerPool::shutdown`] closes the queue to new
+//!   submissions, lets the workers finish everything already accepted, and
+//!   joins them. Nothing accepted is ever dropped.
+//!
+//! Telemetry (submit/reject/handled/panic counters and a queue-depth
+//! gauge) records into a caller-supplied [`MetricsSink`], all tagged
+//! [`Determinism::BestEffort`]: queue occupancy and work interleaving are
+//! inherently scheduling-dependent, so pool metrics may never appear in a
+//! deterministic snapshot.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use tts_obs::{Counter, Determinism, Gauge, MetricsSink};
+
+/// A fixed set of resident worker threads draining a bounded FIFO queue.
+///
+/// `T` is the work item (e.g. an accepted `TcpStream`); the handler given
+/// at construction runs each item on whichever worker pops it.
+pub struct WorkerPool<T: Send + 'static> {
+    shared: Arc<Shared<T>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// State shared between the submitting side and the workers.
+struct Shared<T> {
+    queue: Mutex<QueueState<T>>,
+    not_empty: Condvar,
+    cap: usize,
+    obs: PoolObs,
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Best-effort pool telemetry handles (no-ops under a disabled sink).
+#[derive(Clone)]
+struct PoolObs {
+    submitted: Counter,
+    rejected: Counter,
+    handled: Counter,
+    panicked: Counter,
+    depth: Gauge,
+}
+
+impl PoolObs {
+    fn resolve(sink: &MetricsSink, name: &str) -> Self {
+        let be = |metric: &str| -> Counter {
+            sink.counter_tagged(&format!("pool.{name}.{metric}"), Determinism::BestEffort)
+        };
+        Self {
+            submitted: be("submitted"),
+            rejected: be("rejected"),
+            handled: be("handled"),
+            panicked: be("panicked"),
+            depth: sink.gauge_tagged(&format!("pool.{name}.queue_depth"), Determinism::BestEffort),
+        }
+    }
+}
+
+impl<T: Send + 'static> WorkerPool<T> {
+    /// Spawns `workers` resident threads (named `{name}-worker-{i}`) that
+    /// run `handler` on every accepted item. At most `queue_cap` items
+    /// wait in the queue; further submissions are rejected until a worker
+    /// frees a slot. Telemetry lands in `sink` under `pool.{name}.*`
+    /// (pass a disabled sink for none).
+    ///
+    /// # Panics
+    /// Panics if `workers` is zero (`queue_cap` is clamped up to 1).
+    pub fn new<F>(
+        name: &str,
+        workers: usize,
+        queue_cap: usize,
+        sink: &MetricsSink,
+        handler: F,
+    ) -> Self
+    where
+        F: Fn(T) + Send + Sync + 'static,
+    {
+        assert!(workers > 0, "worker pool needs at least one worker");
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            cap: queue_cap.max(1),
+            obs: PoolObs::resolve(sink, name),
+        });
+        let handler = Arc::new(handler);
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let shared = Arc::clone(&shared);
+            let handler = Arc::clone(&handler);
+            let handle = std::thread::Builder::new()
+                .name(format!("{name}-worker-{i}"))
+                .spawn(move || worker_loop(&shared, handler.as_ref()))
+                .expect("spawn pool worker");
+            handles.push(handle);
+        }
+        Self {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// Enqueues `item` without blocking. Returns the item back when the
+    /// queue is at capacity or the pool is shutting down — the caller
+    /// decides how to degrade (drop, retry, answer 503).
+    pub fn try_submit(&self, item: T) -> Result<(), T> {
+        let mut q = lock(&self.shared.queue);
+        if q.closed || q.items.len() >= self.shared.cap {
+            drop(q);
+            self.shared.obs.rejected.incr();
+            return Err(item);
+        }
+        q.items.push_back(item);
+        let depth = q.items.len();
+        drop(q);
+        self.shared.obs.submitted.incr();
+        self.shared.obs.depth.set(depth as f64);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Items currently waiting (not counting ones being handled).
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        lock(&self.shared.queue).items.len()
+    }
+
+    /// Closes the queue to new submissions, drains everything already
+    /// accepted, and joins the workers. Blocks until the last accepted
+    /// item has been handled.
+    pub fn shutdown(self) {
+        lock(&self.shared.queue).closed = true;
+        self.shared.not_empty.notify_all();
+        for handle in self.workers {
+            if let Err(payload) = handle.join() {
+                // Worker loops contain handler panics, so a join error
+                // means the loop itself failed — re-raise it.
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+/// Locks, riding through poisoning: queue state (a `VecDeque` and a bool)
+/// stays coherent even if a thread died mid-operation.
+fn lock<T>(m: &Mutex<QueueState<T>>) -> std::sync::MutexGuard<'_, QueueState<T>> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn worker_loop<T, F: Fn(T)>(shared: &Shared<T>, handler: &F) {
+    loop {
+        let item = {
+            let mut q = lock(&shared.queue);
+            loop {
+                if let Some(item) = q.items.pop_front() {
+                    shared.obs.depth.set(q.items.len() as f64);
+                    break item;
+                }
+                if q.closed {
+                    return;
+                }
+                q = shared
+                    .not_empty
+                    .wait(q)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        // Contain handler panics: count them and keep the worker alive.
+        match catch_unwind(AssertUnwindSafe(|| handler(item))) {
+            Ok(()) => shared.obs.handled.incr(),
+            Err(_) => shared.obs.panicked.incr(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn handles_every_submitted_item() {
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = Arc::clone(&done);
+        let pool = WorkerPool::new("t", 4, 64, &MetricsSink::disabled(), move |n: usize| {
+            d.fetch_add(n, Ordering::Relaxed);
+        });
+        for i in 1..=50 {
+            // Capacity 64 fits the whole batch even if no worker has
+            // started draining yet.
+            pool.try_submit(i).expect("under capacity");
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::Relaxed), (1..=50).sum::<usize>());
+    }
+
+    #[test]
+    fn rejects_when_the_queue_is_full_and_reports_metrics() {
+        let sink = MetricsSink::fresh();
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let g = Arc::clone(&gate);
+        let pool = WorkerPool::new("bp", 1, 2, &sink, move |_n: usize| {
+            let (lock, cv) = &*g;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+        });
+        // First item occupies the worker (wait for it to be picked up so
+        // the queue-slot accounting below is exact).
+        pool.try_submit(0).unwrap();
+        while pool.queue_depth() > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Two more fill the queue; the next must bounce back.
+        pool.try_submit(1).unwrap();
+        pool.try_submit(2).unwrap();
+        assert_eq!(pool.try_submit(3), Err(3));
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+        pool.shutdown();
+        let c = |m: &str| {
+            sink.counter_tagged(&format!("pool.bp.{m}"), Determinism::BestEffort)
+                .value()
+        };
+        assert_eq!(c("submitted"), 3);
+        assert_eq!(c("rejected"), 1);
+        assert_eq!(c("handled"), 3);
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_items() {
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = Arc::clone(&done);
+        let pool = WorkerPool::new("drain", 2, 16, &MetricsSink::disabled(), move |_: usize| {
+            std::thread::sleep(Duration::from_millis(5));
+            d.fetch_add(1, Ordering::Relaxed);
+        });
+        for i in 0..10 {
+            pool.try_submit(i).unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn submissions_after_shutdown_are_rejected() {
+        // `shutdown` consumes the pool, so post-shutdown submits can only
+        // race on another handle — model that by closing from a clone of
+        // the shared state path: close, then observe try_submit reject.
+        let pool = WorkerPool::new("closed", 1, 4, &MetricsSink::disabled(), |_: usize| {});
+        lock(&pool.shared.queue).closed = true;
+        pool.shared.not_empty.notify_all();
+        assert_eq!(pool.try_submit(7), Err(7));
+    }
+
+    #[test]
+    fn a_panicking_handler_does_not_kill_the_pool() {
+        let sink = MetricsSink::fresh();
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = Arc::clone(&done);
+        let pool = WorkerPool::new("boom", 1, 8, &sink, move |n: usize| {
+            if n == 2 {
+                panic!("poisoned item");
+            }
+            d.fetch_add(1, Ordering::Relaxed);
+        });
+        for i in 0..5 {
+            pool.try_submit(i).unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::Relaxed), 4);
+        assert_eq!(
+            sink.counter_tagged("pool.boom.panicked", Determinism::BestEffort)
+                .value(),
+            1
+        );
+    }
+}

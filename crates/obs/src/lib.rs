@@ -58,6 +58,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use tts_units::json::Json;
 
+/// Standard bucket edges for request-latency histograms, in milliseconds:
+/// powers of two from 0.5 ms to ~4 s (the final bucket is unbounded above,
+/// per the histogram contract). Shared by the serving layer so every
+/// latency histogram in a snapshot is comparable bucket-for-bucket.
+pub const LATENCY_MS_EDGES: [f64; 14] = [
+    0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0,
+];
+
 /// Whether a metric's rendered value is invariant under thread count and
 /// scheduling (see the crate docs for the exact rules).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

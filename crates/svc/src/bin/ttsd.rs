@@ -1,0 +1,180 @@
+//! `ttsd` — the thermal-time-shifting simulation daemon.
+//!
+//! ```text
+//! ttsd [--addr HOST:PORT] [--workers N] [--queue N] [--threads N]
+//!      [--port-file PATH] [--metrics-out PATH] [--debug] [--no-stdin-watch]
+//! ttsd req <HOST:PORT> <METHOD> <PATH> [--body JSON]
+//! ```
+//!
+//! The daemon binds (port `0` picks an ephemeral port, written to
+//! `--port-file` as `HOST:PORT` for scripts to poll), serves the
+//! Experiment API, and shuts down gracefully on `POST /admin/shutdown`
+//! or stdin EOF (disable the watcher with `--no-stdin-watch` when
+//! backgrounding with a closed stdin). `--threads N` pins the executor
+//! worker count, exactly like `repro --threads` — results are
+//! byte-identical at any thread count.
+//!
+//! `ttsd req` is a minimal one-shot HTTP client for environments without
+//! `curl`: prints the response body to stdout, the status line to
+//! stderr, and exits `0` on 2xx.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use tts_obs::MetricsSink;
+use tts_svc::server::{Server, ServerConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("req") {
+        std::process::exit(client(&args[1..]));
+    }
+    std::process::exit(daemon(&args));
+}
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("ttsd: {message}");
+    eprintln!(
+        "usage: ttsd [--addr HOST:PORT] [--workers N] [--queue N] [--threads N]\n\
+         \x20            [--port-file PATH] [--metrics-out PATH] [--debug] [--no-stdin-watch]\n\
+         \x20      ttsd req <HOST:PORT> <METHOD> <PATH> [--body JSON]"
+    );
+    std::process::exit(2);
+}
+
+fn daemon(args: &[String]) -> i32 {
+    let mut config = ServerConfig::default();
+    let mut threads: Option<usize> = None;
+    let mut port_file: Option<String> = None;
+    let mut stdin_watch = true;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next()
+                .cloned()
+                .unwrap_or_else(|| usage_error(&format!("{name} requires a value")))
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--workers" => config.workers = parse_count("--workers", &value("--workers")),
+            "--queue" => config.queue_cap = parse_count("--queue", &value("--queue")),
+            "--threads" => threads = Some(parse_count("--threads", &value("--threads"))),
+            "--port-file" => port_file = Some(value("--port-file")),
+            "--metrics-out" => config.metrics_out = Some(value("--metrics-out").into()),
+            "--debug" => config.debug = true,
+            "--no-stdin-watch" => stdin_watch = false,
+            other => usage_error(&format!("unknown flag {other:?}")),
+        }
+    }
+    if let Some(n) = threads {
+        tts_exec::set_thread_override(Some(n));
+    }
+
+    let sink = MetricsSink::fresh();
+    // Route the worker pools' (best-effort) telemetry to the same
+    // registry the service reports into.
+    tts_exec::set_metrics_sink(sink.clone());
+    let server = match Server::bind(config, sink) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ttsd: bind failed: {e}");
+            return 1;
+        }
+    };
+    let addr = server.local_addr().expect("bound listener has an address");
+    println!("ttsd listening on http://{addr}");
+    if let Some(path) = port_file {
+        if let Err(e) = std::fs::write(&path, addr.to_string()) {
+            eprintln!("ttsd: cannot write port file {path}: {e}");
+            return 1;
+        }
+    }
+    if stdin_watch {
+        let shutdown = server.shutdown_handle();
+        std::thread::Builder::new()
+            .name("ttsd-stdin-watch".to_string())
+            .spawn(move || {
+                let mut sink = Vec::new();
+                let _ = std::io::stdin().read_to_end(&mut sink);
+                shutdown.trigger();
+            })
+            .expect("spawn stdin watcher");
+    }
+    match server.run() {
+        Ok(()) => {
+            println!("ttsd: drained and stopped");
+            0
+        }
+        Err(e) => {
+            eprintln!("ttsd: server error: {e}");
+            1
+        }
+    }
+}
+
+fn parse_count(name: &str, raw: &str) -> usize {
+    raw.parse::<usize>()
+        .ok()
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| usage_error(&format!("{name} requires a positive integer")))
+}
+
+/// `ttsd req <HOST:PORT> <METHOD> <PATH> [--body JSON]`.
+fn client(args: &[String]) -> i32 {
+    let (addr, method, path) = match args {
+        [a, m, p, ..] if !a.starts_with("--") => (a, m, p),
+        _ => usage_error("req needs <HOST:PORT> <METHOD> <PATH>"),
+    };
+    let body = match args.get(3).map(String::as_str) {
+        None => String::new(),
+        Some("--body") => args
+            .get(4)
+            .cloned()
+            .unwrap_or_else(|| usage_error("--body requires a JSON argument")),
+        Some(other) => usage_error(&format!("unknown req argument {other:?}")),
+    };
+    let mut stream = match TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ttsd req: cannot connect to {addr}: {e}");
+            return 1;
+        }
+    };
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    if let Err(e) = stream.write_all(request.as_bytes()) {
+        eprintln!("ttsd req: write failed: {e}");
+        return 1;
+    }
+    let mut raw = Vec::new();
+    if let Err(e) = stream.read_to_end(&mut raw) {
+        eprintln!("ttsd req: read failed: {e}");
+        return 1;
+    }
+    let Some(head_end) = raw.windows(4).position(|w| w == b"\r\n\r\n") else {
+        eprintln!("ttsd req: malformed response (no head terminator)");
+        return 1;
+    };
+    let head = String::from_utf8_lossy(&raw[..head_end]);
+    let status_line = head.lines().next().unwrap_or("");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    eprintln!("{status_line}");
+    let body = &raw[head_end + 4..];
+    let mut stdout = std::io::stdout();
+    let _ = stdout.write_all(body);
+    let _ = stdout.flush();
+    if (200..300).contains(&status) {
+        0
+    } else {
+        1
+    }
+}

@@ -1,0 +1,128 @@
+//! The in-memory result cache: canonical scenario query → response bytes.
+//!
+//! Experiments are pure functions of their parameters (the repo's
+//! determinism contract), so the service can answer a repeated scenario
+//! query without re-simulating. The key is the experiment name plus the
+//! *canonicalized* request JSON ([`tts_units::json::Json::canonical`]):
+//! `{"seed":3,"servers":8}` and `{"servers":8,"seed":3}` are the same
+//! scenario and share an entry. The cached value is the exact rendered
+//! response body, so a hot answer is byte-identical to the cold one by
+//! construction.
+//!
+//! Hit/miss/entry telemetry is tagged [`Determinism::BestEffort`] — cache
+//! state depends on request arrival order across connections.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, PoisonError};
+
+use tts_obs::{Counter, Determinism, Gauge, MetricsSink};
+use tts_units::json::Json;
+
+/// A shared map from canonical query key to rendered response body.
+pub struct ResultCache {
+    map: Mutex<HashMap<String, Arc<Vec<u8>>>>,
+    hits: Counter,
+    misses: Counter,
+    entries: Gauge,
+}
+
+impl ResultCache {
+    /// An empty cache reporting telemetry into `sink`.
+    #[must_use]
+    pub fn new(sink: &MetricsSink) -> Self {
+        Self {
+            map: Mutex::new(HashMap::new()),
+            hits: sink.counter_tagged("svc.cache.hits", Determinism::BestEffort),
+            misses: sink.counter_tagged("svc.cache.misses", Determinism::BestEffort),
+            entries: sink.gauge_tagged("svc.cache.entries", Determinism::BestEffort),
+        }
+    }
+
+    /// The cache key for `experiment` queried with `params_doc` (the
+    /// parsed request body). Canonicalization makes the key insensitive
+    /// to member order and whitespace in the incoming JSON.
+    #[must_use]
+    pub fn key(experiment: &str, params_doc: &Json) -> String {
+        format!("{experiment}\u{1f}{}", params_doc.canonical())
+    }
+
+    /// The cached body for `key`, if present (counts a hit or miss).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<Arc<Vec<u8>>> {
+        let found = self
+            .map
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(key)
+            .cloned();
+        match &found {
+            Some(_) => self.hits.incr(),
+            None => self.misses.incr(),
+        }
+        found
+    }
+
+    /// Stores `body` under `key` and returns the shared handle. If
+    /// another worker raced the same computation in, the first stored
+    /// bytes win (both computations rendered identical bytes anyway —
+    /// that is the determinism contract this cache leans on).
+    pub fn insert(&self, key: String, body: Vec<u8>) -> Arc<Vec<u8>> {
+        let mut map = self.map.lock().unwrap_or_else(PoisonError::into_inner);
+        let entry = map.entry(key).or_insert_with(|| Arc::new(body)).clone();
+        self.entries.set(map.len() as f64);
+        entry
+    }
+
+    /// Number of cached scenarios.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tts_units::json::parse;
+
+    #[test]
+    fn keys_are_insensitive_to_member_order() {
+        let a = parse(r#"{"seed":3,"servers":8}"#).unwrap();
+        let b = parse(r#"{ "servers" : 8, "seed" : 3 }"#).unwrap();
+        assert_eq!(ResultCache::key("dcsim", &a), ResultCache::key("dcsim", &b));
+        assert_ne!(ResultCache::key("dcsim", &a), ResultCache::key("fig7", &a));
+    }
+
+    #[test]
+    fn hit_returns_the_exact_stored_bytes_and_counts() {
+        let sink = MetricsSink::fresh();
+        let cache = ResultCache::new(&sink);
+        let key = ResultCache::key("fig7", &parse("{}").unwrap());
+        assert!(cache.get(&key).is_none());
+        let stored = cache.insert(key.clone(), b"{\"x\":1}".to_vec());
+        let hot = cache.get(&key).expect("cached");
+        assert_eq!(hot, stored);
+        assert_eq!(cache.len(), 1);
+        let c = |name: &str| sink.counter_tagged(name, Determinism::BestEffort).value();
+        assert_eq!(c("svc.cache.hits"), 1);
+        assert_eq!(c("svc.cache.misses"), 1);
+    }
+
+    #[test]
+    fn racing_inserts_keep_the_first_entry() {
+        let cache = ResultCache::new(&MetricsSink::disabled());
+        let first = cache.insert("k".into(), b"one".to_vec());
+        let second = cache.insert("k".into(), b"one".to_vec());
+        assert_eq!(first, second);
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -1,0 +1,559 @@
+//! A strictly-bounded HTTP/1.1 request parser and response writer.
+//!
+//! Hand-rolled on `std` only, per the hermetic policy. The parser is
+//! deliberately narrow — exactly what a simulation-query service needs and
+//! nothing more:
+//!
+//! * `Content-Length` bodies only (`Transfer-Encoding` is rejected).
+//! * One request per connection; the server always answers
+//!   `Connection: close`.
+//! * Hard caps on every dimension of a request (request line, total head,
+//!   header count, body size), checked *incrementally* so a hostile peer
+//!   cannot make the server buffer unbounded input. The caps are
+//!   chunking-invariant: a request is accepted or rejected identically
+//!   whether it arrives in one `read` or one byte at a time — the
+//!   property tests in `tests/http_prop.rs` drive exactly that.
+//!
+//! Violations map to the three rejection statuses the service uses:
+//! `400` (malformed), `431` (request line/headers too large), `413`
+//! (declared body too large). The parser never panics on any input.
+
+use std::io::{self, Write};
+
+use tts_units::json::Json;
+
+/// Cap on the request line (method + target + version + CRLF), bytes.
+pub const MAX_REQUEST_LINE_BYTES: usize = 8 * 1024;
+/// Cap on the whole head: request line + headers + terminator, bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Cap on the number of header fields.
+pub const MAX_HEADERS: usize = 64;
+/// Cap on the declared (and therefore buffered) body size, bytes.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// Why a request was rejected, mapped to the response status the server
+/// answers with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// `400 Bad Request`: syntactically invalid request.
+    Malformed(&'static str),
+    /// `431 Request Header Fields Too Large`: request line or head over
+    /// the caps.
+    HeadTooLarge,
+    /// `413 Content Too Large`: declared `Content-Length` over the cap.
+    BodyTooLarge,
+}
+
+impl HttpError {
+    /// The response status code for this rejection.
+    #[must_use]
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::Malformed(_) => 400,
+            HttpError::HeadTooLarge => 431,
+            HttpError::BodyTooLarge => 413,
+        }
+    }
+
+    /// A human-readable reason, safe to echo in an error body.
+    #[must_use]
+    pub fn message(&self) -> String {
+        match self {
+            HttpError::Malformed(why) => format!("malformed request: {why}"),
+            HttpError::HeadTooLarge => format!(
+                "request head too large (limits: {MAX_REQUEST_LINE_BYTES} B request line, \
+                 {MAX_HEAD_BYTES} B head, {MAX_HEADERS} headers)"
+            ),
+            HttpError::BodyTooLarge => {
+                format!("request body too large (limit: {MAX_BODY_BYTES} B)")
+            }
+        }
+    }
+}
+
+/// A fully parsed request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// The method verbatim (e.g. `GET`, `POST`).
+    pub method: String,
+    /// The decoded path component of the target (no query string).
+    pub path: String,
+    /// Decoded query parameters, in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Header fields with lowercased names, in order of appearance.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty unless a `Content-Length` was declared).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first value of header `name` (give `name` lowercased).
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The first value of query parameter `key`.
+    #[must_use]
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parser progress: still reading the head, filling the body, or done.
+#[derive(Debug)]
+enum Phase {
+    Head,
+    Body { req: Request, need: usize },
+    Done,
+}
+
+/// An incremental request parser. Feed it reads as they arrive; it
+/// returns the request once complete, or an [`HttpError`] as soon as a
+/// violation is provable (possibly before the peer finishes sending).
+#[derive(Debug)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+    phase: Phase,
+    consumed: usize,
+}
+
+impl Default for RequestParser {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RequestParser {
+    /// A parser at the start of a request.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            buf: Vec::new(),
+            phase: Phase::Head,
+            consumed: 0,
+        }
+    }
+
+    /// Total bytes fed so far (used to distinguish an idle close from a
+    /// truncated request).
+    #[must_use]
+    pub fn bytes_fed(&self) -> usize {
+        self.consumed
+    }
+
+    /// Consumes the next chunk from the connection. Returns
+    /// `Ok(Some(request))` once the request is complete, `Ok(None)` while
+    /// more bytes are needed, or the rejection. After completion or an
+    /// error, further input is ignored (`Ok(None)`).
+    pub fn feed(&mut self, bytes: &[u8]) -> Result<Option<Request>, HttpError> {
+        if matches!(self.phase, Phase::Done) {
+            return Ok(None);
+        }
+        self.consumed = self.consumed.saturating_add(bytes.len());
+        self.buf.extend_from_slice(bytes);
+        if let Phase::Head = self.phase {
+            // The caps are applied to positions in the byte stream, never
+            // to chunk sizes, so acceptance is chunking-invariant.
+            match find_subslice(&self.buf, b"\r\n\r\n") {
+                Some(pos) if pos + 4 <= MAX_HEAD_BYTES => {
+                    let head: Vec<u8> = self.buf.drain(..pos + 4).collect();
+                    let (req, need) = parse_head(&head[..pos]).inspect_err(|_| {
+                        self.phase = Phase::Done;
+                    })?;
+                    self.phase = Phase::Body { req, need };
+                }
+                Some(_) => {
+                    self.phase = Phase::Done;
+                    return Err(HttpError::HeadTooLarge);
+                }
+                None => {
+                    let line_end = find_subslice(&self.buf, b"\r\n");
+                    let over_line = match line_end {
+                        Some(p) => p + 2 > MAX_REQUEST_LINE_BYTES,
+                        None => self.buf.len() > MAX_REQUEST_LINE_BYTES,
+                    };
+                    if over_line || self.buf.len() > MAX_HEAD_BYTES {
+                        self.phase = Phase::Done;
+                        return Err(HttpError::HeadTooLarge);
+                    }
+                    return Ok(None);
+                }
+            }
+        }
+        if let Phase::Body { req, need } = &mut self.phase {
+            let take = (*need - req.body.len()).min(self.buf.len());
+            req.body.extend(self.buf.drain(..take));
+            if req.body.len() == *need {
+                let done = std::mem::replace(&mut self.phase, Phase::Done);
+                let Phase::Body { req, .. } = done else {
+                    unreachable!("phase checked above");
+                };
+                // Any bytes past the declared body (pipelining attempts)
+                // are dropped; the connection is close-delimited anyway.
+                self.buf.clear();
+                return Ok(Some(req));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// First position of `needle` in `haystack`.
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+/// Parses the head (everything before the `\r\n\r\n` terminator) into a
+/// request plus the declared body length.
+fn parse_head(head: &[u8]) -> Result<(Request, usize), HttpError> {
+    let text =
+        std::str::from_utf8(head).map_err(|_| HttpError::Malformed("head is not valid UTF-8"))?;
+    let mut lines = text.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    if request_line.len() + 2 > MAX_REQUEST_LINE_BYTES {
+        return Err(HttpError::HeadTooLarge);
+    }
+    let (method, path, query) = parse_request_line(request_line)?;
+
+    let mut headers: Vec<(String, String)> = Vec::new();
+    for line in lines {
+        if headers.len() == MAX_HEADERS {
+            return Err(HttpError::HeadTooLarge);
+        }
+        // A lone `\n` inside the head lands the stray bytes in some line
+        // and fails the charset checks below.
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(HttpError::Malformed("header line without a colon"))?;
+        if name.is_empty() || !name.bytes().all(is_token_byte) {
+            return Err(HttpError::Malformed("invalid header name"));
+        }
+        let value = value.trim_matches([' ', '\t']);
+        if !value
+            .bytes()
+            .all(|b| b == b'\t' || (0x20..0x7f).contains(&b))
+        {
+            return Err(HttpError::Malformed("invalid header value byte"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.to_string()));
+    }
+
+    if headers.iter().any(|(k, _)| k == "transfer-encoding") {
+        return Err(HttpError::Malformed(
+            "transfer-encoding is not supported (Content-Length only)",
+        ));
+    }
+    let mut need = 0usize;
+    let mut seen_length: Option<&str> = None;
+    for (k, v) in &headers {
+        if k != "content-length" {
+            continue;
+        }
+        if seen_length.is_some_and(|prev| prev != v) {
+            return Err(HttpError::Malformed("conflicting content-length headers"));
+        }
+        seen_length = Some(v);
+        if v.is_empty() || !v.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(HttpError::Malformed("content-length is not a number"));
+        }
+        let n: u64 = v
+            .parse()
+            .map_err(|_| HttpError::Malformed("content-length out of range"))?;
+        if n > MAX_BODY_BYTES as u64 {
+            return Err(HttpError::BodyTooLarge);
+        }
+        need = n as usize;
+    }
+
+    Ok((
+        Request {
+            method,
+            path,
+            query,
+            headers,
+            body: Vec::with_capacity(need.min(64 * 1024)),
+        },
+        need,
+    ))
+}
+
+/// `(method, decoded path, decoded query pairs)` from a request line.
+type RequestLine = (String, String, Vec<(String, String)>);
+
+/// Splits and validates `METHOD SP target SP HTTP/1.x`.
+fn parse_request_line(line: &str) -> Result<RequestLine, HttpError> {
+    let mut parts = line.split(' ');
+    let (Some(method), Some(target), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::Malformed(
+            "request line is not `METHOD target HTTP/1.x`",
+        ));
+    };
+    if method.is_empty() || method.len() > 16 || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::Malformed("invalid method"));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::Malformed("unsupported HTTP version"));
+    }
+    if !target.starts_with('/') || !target.bytes().all(|b| (0x21..0x7f).contains(&b)) {
+        return Err(HttpError::Malformed("invalid request target"));
+    }
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let path = percent_decode(raw_path)?;
+    let mut query = Vec::new();
+    if let Some(q) = raw_query {
+        for piece in q.split('&').filter(|p| !p.is_empty()) {
+            let (k, v) = piece.split_once('=').unwrap_or((piece, ""));
+            query.push((percent_decode(k)?, percent_decode(v)?));
+        }
+    }
+    Ok((method.to_string(), path, query))
+}
+
+/// Token bytes per RFC 9110 field names.
+fn is_token_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b"!#$%&'*+-.^_`|~".contains(&b)
+}
+
+/// Decodes `%XX` escapes and `+`-as-space; the result must be UTF-8.
+fn percent_decode(s: &str) -> Result<String, HttpError> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hi = bytes.get(i + 1).and_then(|b| (*b as char).to_digit(16));
+                let lo = bytes.get(i + 2).and_then(|b| (*b as char).to_digit(16));
+                let (Some(hi), Some(lo)) = (hi, lo) else {
+                    return Err(HttpError::Malformed("invalid percent escape"));
+                };
+                out.push((hi * 16 + lo) as u8);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).map_err(|_| HttpError::Malformed("escape decodes to invalid UTF-8"))
+}
+
+/// The reason phrase for every status the service emits.
+#[must_use]
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Content Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// A response under construction. The server speaks close-delimited
+/// HTTP/1.1: every response carries `Content-Length` and
+/// `Connection: close`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// An empty response with the given status.
+    #[must_use]
+    pub fn new(status: u16) -> Self {
+        Self {
+            status,
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// A JSON response rendered pretty from `doc`.
+    #[must_use]
+    pub fn json(status: u16, doc: &Json) -> Self {
+        Self::json_bytes(status, doc.to_string_pretty().into_bytes())
+    }
+
+    /// A JSON response from pre-rendered bytes (the cache-hit path: the
+    /// stored bytes are served verbatim, guaranteeing hot/cold identity).
+    #[must_use]
+    pub fn json_bytes(status: u16, body: Vec<u8>) -> Self {
+        Self {
+            status,
+            headers: vec![("content-type".into(), "application/json".into())],
+            body,
+        }
+    }
+
+    /// A compact `{"error": …}` JSON body.
+    #[must_use]
+    pub fn error(status: u16, message: &str) -> Self {
+        let doc = Json::Obj(vec![("error".to_string(), Json::Str(message.to_string()))]);
+        Self {
+            status,
+            headers: vec![("content-type".into(), "application/json".into())],
+            body: doc.to_string().into_bytes(),
+        }
+    }
+
+    /// Adds a header field.
+    #[must_use]
+    pub fn header(mut self, name: &str, value: &str) -> Self {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Serializes status line, headers (plus `Content-Length` and
+    /// `Connection: close`), and body to the wire.
+    pub fn write_to(&self, w: &mut dyn Write) -> io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\n",
+            self.status,
+            reason_phrase(self.status)
+        );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str(&format!("content-length: {}\r\n", self.body.len()));
+        head.push_str("connection: close\r\n\r\n");
+        w.write_all(head.as_bytes())?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_all(bytes: &[u8]) -> Result<Option<Request>, HttpError> {
+        RequestParser::new().feed(bytes)
+    }
+
+    #[test]
+    fn parses_a_post_with_body_and_query() {
+        let req = parse_all(
+            b"POST /v1/experiments/fig7?full=1&x=a%20b HTTP/1.1\r\n\
+              Host: localhost\r\nContent-Length: 4\r\n\r\n{}ok",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/experiments/fig7");
+        assert_eq!(req.query_param("full"), Some("1"));
+        assert_eq!(req.query_param("x"), Some("a b"));
+        assert_eq!(req.header("host"), Some("localhost"));
+        assert_eq!(req.body, b"{}ok");
+    }
+
+    #[test]
+    fn incremental_feeding_matches_one_shot() {
+        let raw = b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n";
+        let whole = parse_all(raw).unwrap().unwrap();
+        let mut p = RequestParser::new();
+        let mut got = None;
+        for b in raw {
+            if let Some(req) = p.feed(std::slice::from_ref(b)).unwrap() {
+                got = Some(req);
+            }
+        }
+        assert_eq!(got.unwrap(), whole);
+    }
+
+    #[test]
+    fn rejections_map_to_the_three_statuses() {
+        assert_eq!(parse_all(b"garbage\r\n\r\n").unwrap_err().status(), 400);
+        assert_eq!(
+            parse_all(b"GET / HTTP/2.0\r\n\r\n").unwrap_err().status(),
+            400
+        );
+        assert_eq!(
+            parse_all(b"GET / HTTP/1.1\r\nbad line\r\n\r\n")
+                .unwrap_err()
+                .status(),
+            400
+        );
+        assert_eq!(
+            parse_all(b"POST / HTTP/1.1\r\nContent-Length: 9999999999\r\n\r\n").unwrap_err(),
+            HttpError::BodyTooLarge
+        );
+        let huge = format!(
+            "GET / HTTP/1.1\r\nx: {}\r\n\r\n",
+            "a".repeat(MAX_HEAD_BYTES)
+        );
+        assert_eq!(
+            parse_all(huge.as_bytes()).unwrap_err(),
+            HttpError::HeadTooLarge
+        );
+        let long_line = format!(
+            "GET /{} HTTP/1.1\r\n\r\n",
+            "a".repeat(MAX_REQUEST_LINE_BYTES)
+        );
+        assert_eq!(
+            parse_all(long_line.as_bytes()).unwrap_err(),
+            HttpError::HeadTooLarge
+        );
+    }
+
+    #[test]
+    fn transfer_encoding_and_conflicting_lengths_are_rejected() {
+        assert!(matches!(
+            parse_all(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_all(b"POST / HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 2\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        // Duplicate but agreeing lengths are fine.
+        assert!(
+            parse_all(b"POST / HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 1\r\n\r\nx")
+                .unwrap()
+                .is_some()
+        );
+    }
+
+    #[test]
+    fn response_wire_format_is_close_delimited() {
+        let mut out = Vec::new();
+        Response::error(503, "busy")
+            .header("retry-after", "1")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("retry-after: 1\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.ends_with("{\"error\":\"busy\"}"));
+    }
+}

@@ -1,0 +1,29 @@
+//! `tts-svc` — a zero-dependency HTTP/1.1 simulation service.
+//!
+//! Serves the Experiment registry (`thermal_time_shifting::experiment`)
+//! over a hand-rolled, strictly-bounded HTTP stack built on `std` only:
+//! no async runtime, no TLS, no framework — the hermetic-workspace policy
+//! applied to serving. The `ttsd` binary wraps [`server::Server`] with
+//! flags and a tiny wire client (`ttsd req …`) so CI can smoke-test the
+//! daemon without `curl`.
+//!
+//! Module map:
+//!
+//! * [`http`] — incremental request parser with hard caps, response
+//!   writer (close-delimited HTTP/1.1).
+//! * [`router`] — the JSON endpoints over the Experiment registry.
+//! * [`cache`] — canonical-scenario result cache (hot == cold, bytewise).
+//! * [`server`] — acceptor + bounded worker pool + graceful shutdown.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod http;
+pub mod router;
+pub mod server;
+
+pub use cache::ResultCache;
+pub use http::{Request, RequestParser, Response};
+pub use router::App;
+pub use server::{Server, ServerConfig, ShutdownHandle};

@@ -1,0 +1,389 @@
+//! Request routing: the JSON endpoints over the Experiment registry.
+//!
+//! | endpoint | method | answer |
+//! |---|---|---|
+//! | `/healthz` | GET | liveness + registry size |
+//! | `/metrics` | GET | deterministic snapshot (`?full=1` adds best-effort) |
+//! | `/v1/experiments` | GET | the registry: names + supported params |
+//! | `/v1/experiments/{name}` | POST | run (or replay) one experiment |
+//! | `/admin/shutdown` | POST | graceful drain (see `server`) |
+//!
+//! The experiment route is where the determinism contract pays off: the
+//! response body is exactly `emit_json(&figure).to_string_pretty()` — the
+//! same bytes `repro --write` files as `results/{name}.summary.json` — and
+//! repeated scenario queries are served from the [`ResultCache`] without
+//! re-simulating, byte-identical to the cold run by construction.
+//!
+//! Experiment execution is serialized behind `sim_lock`: the executor's
+//! thread-count override is process-global, so a per-request `threads`
+//! knob must not race another run. Results never depend on the thread
+//! count (only latency does), so the lock is about honouring the knob,
+//! not about correctness of the bytes.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+use thermal_time_shifting::experiment::{self, ExecCtx, Params};
+use tts_obs::{Counter, Determinism, Histogram, MetricsSink, LATENCY_MS_EDGES};
+use tts_units::json::{parse, Json};
+
+use crate::cache::ResultCache;
+use crate::http::{Request, Response};
+use crate::server::ShutdownHandle;
+
+/// Longest `/debug/sleep` the handler will honour.
+const MAX_DEBUG_SLEEP_MS: u64 = 10_000;
+
+/// Per-request service telemetry, all [`Determinism::BestEffort`] —
+/// request arrival order and wall-clock latency are not reproducible, so
+/// none of this can appear in a deterministic snapshot.
+struct SvcObs {
+    requests: Counter,
+    ok_2xx: Counter,
+    client_4xx: Counter,
+    server_5xx: Counter,
+    latency_ms: Histogram,
+}
+
+impl SvcObs {
+    fn resolve(sink: &MetricsSink) -> Self {
+        let c = |name| sink.counter_tagged(name, Determinism::BestEffort);
+        Self {
+            requests: c("svc.http.requests"),
+            ok_2xx: c("svc.http.responses.2xx"),
+            client_4xx: c("svc.http.responses.4xx"),
+            server_5xx: c("svc.http.responses.5xx"),
+            latency_ms: sink.histogram_tagged(
+                "svc.http.latency_ms",
+                &LATENCY_MS_EDGES,
+                Determinism::BestEffort,
+            ),
+        }
+    }
+}
+
+/// The shared application state behind every connection: the metrics
+/// sink, the result cache, the simulation lock, and the shutdown trigger.
+pub struct App {
+    sink: MetricsSink,
+    cache: ResultCache,
+    sim_lock: Mutex<()>,
+    shutdown: ShutdownHandle,
+    debug: bool,
+    obs: SvcObs,
+}
+
+impl App {
+    /// Application state reporting telemetry into `sink`. `debug` enables
+    /// the `/debug/sleep` endpoint (test instrumentation for backpressure
+    /// and drain scenarios — leave off in production).
+    #[must_use]
+    pub fn new(sink: MetricsSink, shutdown: ShutdownHandle, debug: bool) -> Self {
+        Self {
+            cache: ResultCache::new(&sink),
+            obs: SvcObs::resolve(&sink),
+            sink,
+            sim_lock: Mutex::new(()),
+            shutdown,
+            debug,
+        }
+    }
+
+    /// The sink this app reports into.
+    #[must_use]
+    pub fn sink(&self) -> &MetricsSink {
+        &self.sink
+    }
+
+    /// The result cache (exposed for tests and diagnostics).
+    #[must_use]
+    pub fn cache(&self) -> &ResultCache {
+        &self.cache
+    }
+
+    /// Records one completed request for the service instruments.
+    pub fn record_response(&self, status: u16, elapsed: Duration) {
+        self.obs.requests.incr();
+        match status {
+            200..=299 => self.obs.ok_2xx.incr(),
+            400..=499 => self.obs.client_4xx.incr(),
+            _ => self.obs.server_5xx.incr(),
+        }
+        self.obs.latency_ms.record(elapsed.as_secs_f64() * 1e3);
+    }
+
+    fn sim_lock(&self) -> MutexGuard<'_, ()> {
+        self.sim_lock.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Routes one parsed request to its handler.
+#[must_use]
+pub fn handle(app: &App, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => healthz(),
+        ("GET", "/metrics") => metrics(app, req),
+        ("GET", "/v1/experiments") => list_experiments(),
+        ("POST", "/admin/shutdown") => shutdown(app),
+        ("GET", "/debug/sleep") if app.debug => debug_sleep(req),
+        (_, "/healthz" | "/metrics" | "/v1/experiments") => method_not_allowed("GET"),
+        (_, "/admin/shutdown") => method_not_allowed("POST"),
+        (method, path) => match path.strip_prefix("/v1/experiments/") {
+            Some(name) if method == "POST" => run_experiment(app, name, &req.body),
+            Some(_) => method_not_allowed("POST"),
+            None => Response::error(404, "no such endpoint"),
+        },
+    }
+}
+
+fn healthz() -> Response {
+    Response::json(
+        200,
+        &Json::Obj(vec![
+            ("status".to_string(), Json::Str("ok".to_string())),
+            (
+                "experiments".to_string(),
+                Json::Num(experiment::registry().len() as f64),
+            ),
+        ]),
+    )
+}
+
+fn metrics(app: &App, req: &Request) -> Response {
+    let full = req.query_param("full") == Some("1");
+    let doc = if full {
+        app.sink.snapshot_full(None, None)
+    } else {
+        app.sink.snapshot(None, None)
+    };
+    Response::json(200, &doc.unwrap_or(Json::Null))
+}
+
+fn list_experiments() -> Response {
+    let list: Vec<Json> = experiment::registry()
+        .iter()
+        .map(|e| {
+            Json::Obj(vec![
+                ("name".to_string(), Json::Str(e.name().to_string())),
+                (
+                    "endpoint".to_string(),
+                    Json::Str(format!("/v1/experiments/{}", e.name())),
+                ),
+                (
+                    "params".to_string(),
+                    Json::Arr(
+                        e.supported_params()
+                            .iter()
+                            .map(|p| Json::Str((*p).to_string()))
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    Response::json(
+        200,
+        &Json::Obj(vec![("experiments".to_string(), Json::Arr(list))]),
+    )
+}
+
+fn shutdown(app: &App) -> Response {
+    app.shutdown.trigger();
+    Response::json(
+        200,
+        &Json::Obj(vec![(
+            "status".to_string(),
+            Json::Str("shutting down".to_string()),
+        )]),
+    )
+}
+
+fn debug_sleep(req: &Request) -> Response {
+    let ms = req
+        .query_param("ms")
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(100)
+        .min(MAX_DEBUG_SLEEP_MS);
+    std::thread::sleep(Duration::from_millis(ms));
+    Response::json(
+        200,
+        &Json::Obj(vec![("slept_ms".to_string(), Json::Num(ms as f64))]),
+    )
+}
+
+fn method_not_allowed(allow: &str) -> Response {
+    Response::error(405, &format!("method not allowed (allow: {allow})")).header("allow", allow)
+}
+
+/// `POST /v1/experiments/{name}`: parse the body as [`Params`], serve
+/// from cache if the canonical scenario was run before, otherwise run the
+/// experiment under the simulation lock and cache the rendered bytes.
+fn run_experiment(app: &App, name: &str, body: &[u8]) -> Response {
+    let Some(exp) = experiment::find(name) else {
+        let known: Vec<String> = experiment::registry()
+            .iter()
+            .map(|e| e.name().to_string())
+            .collect();
+        return Response::error(
+            404,
+            &format!("unknown experiment {name:?} (known: {})", known.join(", ")),
+        );
+    };
+    let text = if body.is_empty() {
+        "{}"
+    } else {
+        match std::str::from_utf8(body) {
+            Ok(t) => t,
+            Err(_) => return Response::error(400, "request body is not UTF-8"),
+        }
+    };
+    let doc = match parse(text) {
+        Ok(doc) => doc,
+        Err(e) => return Response::error(400, &format!("request body is not valid JSON: {e:?}")),
+    };
+    let params = match Params::from_json(&doc) {
+        Ok(p) => p,
+        Err(msg) => return Response::error(400, &msg),
+    };
+    if let Err(msg) = params.ensure_only(exp.supported_params()) {
+        return Response::error(400, &msg);
+    }
+
+    let key = ResultCache::key(name, &doc);
+    if let Some(hit) = app.cache.get(&key) {
+        return Response::json_bytes(200, hit.to_vec());
+    }
+
+    // The executor's thread override is process-global; hold the lock
+    // across save/set/run/restore so concurrent requests cannot interleave
+    // their overrides. Re-check the cache under the lock so a scenario
+    // that raced in while we waited is not simulated twice.
+    let _guard = app.sim_lock();
+    if let Some(hit) = app.cache.get(&key) {
+        return Response::json_bytes(200, hit.to_vec());
+    }
+    let saved = tts_exec::thread_override();
+    if params.threads.is_some() {
+        tts_exec::set_thread_override(params.threads);
+    }
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        exp.run_with(&ExecCtx::disabled(), &params)
+    }));
+    tts_exec::set_thread_override(saved);
+    match outcome {
+        Err(_) => Response::error(500, "experiment panicked; see server log"),
+        Ok(Err(msg)) => Response::error(400, &msg),
+        Ok(Ok(fig)) => {
+            let body = exp.emit_json(&fig).to_string_pretty().into_bytes();
+            let shared = app.cache.insert(key, body);
+            Response::json_bytes(200, shared.to_vec())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::RequestParser;
+
+    fn app() -> App {
+        App::new(MetricsSink::fresh(), ShutdownHandle::new(), false)
+    }
+
+    fn request(raw: &[u8]) -> Request {
+        RequestParser::new()
+            .feed(raw)
+            .expect("valid request")
+            .expect("complete request")
+    }
+
+    fn get(path: &str) -> Request {
+        request(format!("GET {path} HTTP/1.1\r\n\r\n").as_bytes())
+    }
+
+    fn post(path: &str, body: &str) -> Request {
+        request(
+            format!(
+                "POST {path} HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+    }
+
+    #[test]
+    fn healthz_and_listing_answer() {
+        let app = app();
+        let health = handle(&app, &get("/healthz"));
+        assert_eq!(health.status, 200);
+        assert!(String::from_utf8(health.body).unwrap().contains("\"ok\""));
+        let listing = handle(&app, &get("/v1/experiments"));
+        assert_eq!(listing.status, 200);
+        let text = String::from_utf8(listing.body).unwrap();
+        for name in ["fig7", "fig11", "fig12", "dcsim"] {
+            assert!(text.contains(name), "listing should mention {name}");
+        }
+    }
+
+    #[test]
+    fn unknown_paths_and_methods_are_rejected() {
+        let app = app();
+        assert_eq!(handle(&app, &get("/nope")).status, 404);
+        assert_eq!(handle(&app, &get("/v1/experiments/fig7")).status, 405);
+        assert_eq!(handle(&app, &post("/healthz", "")).status, 405);
+        // /debug/sleep is a 404 unless debug mode is on.
+        assert_eq!(handle(&app, &get("/debug/sleep?ms=1")).status, 404);
+        assert_eq!(
+            handle(&app, &post("/v1/experiments/bogus", "{}")).status,
+            404
+        );
+    }
+
+    #[test]
+    fn bad_experiment_bodies_are_400s() {
+        let app = app();
+        let cases = [
+            "{not json",
+            "[1,2,3]",
+            r#"{"unknown_knob": 1}"#,
+            r#"{"threads": 0}"#,
+            r#"{"seed": 3}"#, // fig7 does not take a seed
+        ];
+        for body in cases {
+            let resp = handle(&app, &post("/v1/experiments/fig7", body));
+            assert_eq!(resp.status, 400, "body {body:?} should be rejected");
+        }
+        assert!(app.cache().is_empty(), "rejected requests must not cache");
+    }
+
+    #[test]
+    fn experiment_runs_are_cached_and_byte_identical() {
+        let app = app();
+        let cold = handle(&app, &post("/v1/experiments/fig7", "{}"));
+        assert_eq!(cold.status, 200);
+        assert_eq!(app.cache().len(), 1);
+        // Same scenario, different spelling of the body → same entry,
+        // same bytes.
+        let hot = handle(&app, &post("/v1/experiments/fig7", "  {  }  "));
+        assert_eq!(hot.status, 200);
+        assert_eq!(app.cache().len(), 1);
+        assert_eq!(cold.body, hot.body);
+        // And the bytes are exactly the figure's pretty-printed summary.
+        let exp = experiment::find("fig7").unwrap();
+        let fig = exp.run(&ExecCtx::disabled());
+        assert_eq!(
+            String::from_utf8(cold.body).unwrap(),
+            exp.emit_json(&fig).to_string_pretty()
+        );
+    }
+
+    #[test]
+    fn threads_param_is_restored_after_the_run() {
+        let app = app();
+        let before = tts_exec::thread_override();
+        let resp = handle(&app, &post("/v1/experiments/fig7", r#"{"threads": 2}"#));
+        assert_eq!(resp.status, 200);
+        assert_eq!(tts_exec::thread_override(), before);
+    }
+}

@@ -1,0 +1,228 @@
+//! The listener/acceptor loop, worker pool, and graceful shutdown.
+//!
+//! Threading model: one acceptor thread (the caller of [`Server::run`])
+//! plus a fixed [`WorkerPool`] of connection handlers behind a bounded
+//! queue. The acceptor never parses bytes — it only hands accepted
+//! sockets to the pool. When the queue is full the acceptor answers
+//! `503 Service Unavailable` with `Retry-After` inline and closes the
+//! socket: explicit backpressure instead of an unbounded accept backlog.
+//!
+//! Graceful shutdown works without OS signal handling (the hermetic
+//! build has no `libc` binding): a [`ShutdownHandle`] sets a flag and
+//! pokes the listener with a loopback connect so the blocking `accept`
+//! wakes up. Triggers are `POST /admin/shutdown`, stdin EOF (the `ttsd`
+//! binary's watcher thread), or any embedder holding the handle. The
+//! acceptor then stops accepting, drains every queued and in-flight
+//! connection via [`WorkerPool::shutdown`], and flushes a final full
+//! metrics snapshot to the configured path.
+
+use std::io::Read;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use tts_exec::WorkerPool;
+use tts_obs::MetricsSink;
+
+use crate::http::{RequestParser, Response};
+use crate::router::{self, App};
+
+/// How the server is wired: address, pool shape, timeouts, debug knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port `0` asks the OS for an ephemeral port.
+    pub addr: String,
+    /// Connection-handler threads.
+    pub workers: usize,
+    /// Bounded request-queue capacity (beyond this: `503`).
+    pub queue_cap: usize,
+    /// Per-connection read timeout (waiting for request bytes → `408`).
+    pub read_timeout: Duration,
+    /// Per-connection write timeout.
+    pub write_timeout: Duration,
+    /// Enables `/debug/sleep` (test instrumentation).
+    pub debug: bool,
+    /// Where the final full metrics snapshot lands on shutdown.
+    pub metrics_out: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_cap: 64,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            debug: false,
+            metrics_out: None,
+        }
+    }
+}
+
+/// A cloneable trigger for graceful shutdown. Setting it flips a flag
+/// and pokes the listener (a loopback connect) so the blocked `accept`
+/// observes the flag; the poke connection itself is discarded.
+#[derive(Debug, Clone, Default)]
+pub struct ShutdownHandle {
+    flag: Arc<AtomicBool>,
+    addr: Arc<Mutex<Option<SocketAddr>>>,
+}
+
+impl ShutdownHandle {
+    /// A fresh, untriggered handle.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Points the handle at the listener it must wake on trigger.
+    pub fn attach(&self, addr: SocketAddr) {
+        *self.addr.lock().unwrap_or_else(PoisonError::into_inner) = Some(addr);
+    }
+
+    /// Whether shutdown has been requested.
+    #[must_use]
+    pub fn is_triggered(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown (idempotent).
+    pub fn trigger(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+        let addr = *self.addr.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(addr) = addr {
+            // Wake the acceptor; failure just means it is not blocked.
+            let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(250));
+        }
+    }
+}
+
+/// A bound (but not yet running) service.
+pub struct Server {
+    listener: TcpListener,
+    app: Arc<App>,
+    config: ServerConfig,
+    shutdown: ShutdownHandle,
+}
+
+impl Server {
+    /// Binds the listener and builds the shared [`App`] state. The
+    /// server is not serving until [`Self::run`] is called.
+    pub fn bind(config: ServerConfig, sink: MetricsSink) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let shutdown = ShutdownHandle::new();
+        shutdown.attach(listener.local_addr()?);
+        let app = Arc::new(App::new(sink, shutdown.clone(), config.debug));
+        Ok(Self {
+            listener,
+            app,
+            config,
+            shutdown,
+        })
+    }
+
+    /// The bound address (resolves the ephemeral port from `addr: …:0`).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A trigger for stopping this server from another thread.
+    #[must_use]
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        self.shutdown.clone()
+    }
+
+    /// The shared application state (exposed for in-process tests).
+    #[must_use]
+    pub fn app(&self) -> Arc<App> {
+        Arc::clone(&self.app)
+    }
+
+    /// Serves until the shutdown handle triggers, then drains: queued and
+    /// in-flight connections finish, and the final full metrics snapshot
+    /// is written to `metrics_out` (if configured).
+    pub fn run(self) -> std::io::Result<()> {
+        let app = Arc::clone(&self.app);
+        let (read_t, write_t) = (self.config.read_timeout, self.config.write_timeout);
+        let pool = WorkerPool::new(
+            "svc",
+            self.config.workers,
+            self.config.queue_cap,
+            self.app.sink(),
+            move |stream: TcpStream| handle_connection(&app, stream, read_t, write_t),
+        );
+        loop {
+            let (stream, _) = match self.listener.accept() {
+                Ok(conn) => conn,
+                Err(_) if self.shutdown.is_triggered() => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            if self.shutdown.is_triggered() {
+                // `stream` is usually the trigger's wake-up poke; either
+                // way, new work is no longer accepted.
+                break;
+            }
+            if let Err(mut rejected) = pool.try_submit(stream) {
+                let _ = rejected.set_write_timeout(Some(write_t));
+                let _ = Response::error(503, "request queue is full, try again")
+                    .header("retry-after", "1")
+                    .write_to(&mut rejected);
+                let _ = rejected.shutdown(Shutdown::Both);
+            }
+        }
+        // Drain: every accepted connection is answered before the pool
+        // threads join.
+        pool.shutdown();
+        if let Some(path) = &self.config.metrics_out {
+            if let Some(snap) = self.app.sink().snapshot_full(None, None) {
+                if let Some(dir) = path.parent() {
+                    let _ = std::fs::create_dir_all(dir);
+                }
+                std::fs::write(path, snap.to_string_pretty())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Reads one request off the socket (incrementally, under the read
+/// timeout), routes it, writes the response, and records telemetry.
+fn handle_connection(app: &App, mut stream: TcpStream, read_t: Duration, write_t: Duration) {
+    let started = Instant::now();
+    let _ = stream.set_read_timeout(Some(read_t));
+    let _ = stream.set_write_timeout(Some(write_t));
+    let mut parser = RequestParser::new();
+    let mut buf = [0u8; 8 * 1024];
+    let response = loop {
+        match stream.read(&mut buf) {
+            Ok(0) => {
+                if parser.bytes_fed() == 0 {
+                    // Silent close (port probe or the shutdown poke):
+                    // nothing to answer, nothing to count.
+                    return;
+                }
+                break Response::error(400, "truncated request");
+            }
+            Ok(n) => match parser.feed(&buf[..n]) {
+                Ok(Some(request)) => break router::handle(app, &request),
+                Ok(None) => continue,
+                Err(e) => break Response::error(e.status(), &e.message()),
+            },
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                break Response::error(408, "timed out waiting for the request")
+            }
+            Err(_) => return,
+        }
+    };
+    let status = response.status;
+    let _ = response.write_to(&mut stream);
+    let _ = stream.shutdown(Shutdown::Both);
+    app.record_response(status, started.elapsed());
+}

@@ -1,0 +1,153 @@
+//! Property tests for the bounded HTTP parser (on the in-repo `prop`
+//! harness — `TTS_PROP_CASES` / `TTS_PROP_SEED` apply).
+//!
+//! The properties the serving layer leans on:
+//!
+//! * **Chunking invariance** — a request is parsed identically whether it
+//!   arrives in one read or split at arbitrary byte positions.
+//! * **Total robustness** — no input makes the parser panic; every
+//!   rejection is one of the three advertised statuses (400/413/431).
+//! * **Cap enforcement** — oversized heads answer `431`, oversized
+//!   declared bodies `413`, before the peer finishes sending.
+
+use tts_rng::prop::prelude::*;
+use tts_svc::http::{
+    HttpError, Request, RequestParser, MAX_BODY_BYTES, MAX_HEAD_BYTES, MAX_REQUEST_LINE_BYTES,
+};
+
+/// Feeds `chunks` in order and returns the terminal outcome.
+fn outcome(chunks: &[&[u8]]) -> Result<Option<Request>, HttpError> {
+    let mut parser = RequestParser::new();
+    for chunk in chunks {
+        match parser.feed(chunk) {
+            Ok(Some(req)) => return Ok(Some(req)),
+            Ok(None) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(None)
+}
+
+/// Splits `raw` at the cut positions derived from `cuts` (each reduced
+/// modulo the length, then sorted), yielding contiguous chunks.
+fn split_at_cuts<'a>(raw: &'a [u8], cuts: &[u64]) -> Vec<&'a [u8]> {
+    let mut positions: Vec<usize> = cuts
+        .iter()
+        .map(|&c| (c as usize) % (raw.len() + 1))
+        .collect();
+    positions.sort_unstable();
+    let mut chunks = Vec::with_capacity(positions.len() + 1);
+    let mut prev = 0;
+    for &p in &positions {
+        chunks.push(&raw[prev..p]);
+        prev = p;
+    }
+    chunks.push(&raw[prev..]);
+    chunks
+}
+
+proptest! {
+    #[test]
+    fn random_splits_parse_identically_to_one_shot(
+        body_codes in collection::vec(0u32..256, 0..512),
+        cuts in collection::vec(0u64..1_000_000, 0..12),
+        method_idx in 0usize..3,
+        with_extra_header in 0u32..2,
+    ) {
+        let body: Vec<u8> = body_codes.iter().map(|&b| b as u8).collect();
+        let method = ["GET", "POST", "PUT"][method_idx];
+        let mut raw =
+            format!("{method} /v1/experiments/fig7?x=a%20b HTTP/1.1\r\nhost: localhost\r\n")
+                .into_bytes();
+        if with_extra_header == 1 {
+            raw.extend_from_slice(b"x-extra: yes\r\n");
+        }
+        raw.extend_from_slice(format!("content-length: {}\r\n\r\n", body.len()).as_bytes());
+        raw.extend_from_slice(&body);
+
+        let one_shot = outcome(&[&raw[..]]);
+        let req = one_shot.clone().expect("well-formed").expect("complete");
+        prop_assert_eq!(req.method.as_str(), method);
+        prop_assert_eq!(req.body.as_slice(), body.as_slice());
+        let chunks = split_at_cuts(&raw, &cuts);
+        prop_assert_eq!(outcome(&chunks), one_shot);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_and_reject_cleanly(
+        junk_codes in collection::vec(0u32..256, 0..1024),
+        cuts in collection::vec(0u64..1_000_000, 0..8),
+        prefix_idx in 0usize..4,
+    ) {
+        // Half-plausible prefixes steer some cases deep into the parser.
+        let prefix: &[u8] = [&b""[..], b"GET ", b"GET / HTTP/1.1\r\n", b"POST / HTTP/1.1\r\ncontent-length: 3\r\n"][prefix_idx];
+        let mut raw = prefix.to_vec();
+        raw.extend(junk_codes.iter().map(|&b| b as u8));
+        let chunks = split_at_cuts(&raw, &cuts);
+        // Feeding must never panic (a panic fails this property), and any
+        // rejection carries one of the three advertised statuses.
+        if let Err(e) = outcome(&chunks) {
+            prop_assert!(matches!(e.status(), 400 | 413 | 431));
+        }
+    }
+
+    #[test]
+    fn oversized_heads_are_431_even_mid_stream(
+        extra in 1usize..4096,
+        chunk_size in 1usize..4096,
+    ) {
+        let filler = "a".repeat(MAX_HEAD_BYTES + extra);
+        let raw = format!("GET / HTTP/1.1\r\nx-filler: {filler}\r\n\r\n").into_bytes();
+        let mut parser = RequestParser::new();
+        let mut rejected = None;
+        for chunk in raw.chunks(chunk_size) {
+            match parser.feed(chunk) {
+                Ok(Some(_)) => prop_assert!(false, "oversized head was accepted"),
+                Ok(None) => {}
+                Err(e) => {
+                    rejected = Some(e);
+                    break;
+                }
+            }
+        }
+        prop_assert_eq!(rejected, Some(HttpError::HeadTooLarge));
+    }
+
+    #[test]
+    fn oversized_request_lines_are_431(extra in 1usize..4096) {
+        let long_target = format!("/{}", "a".repeat(MAX_REQUEST_LINE_BYTES + extra));
+        let raw = format!("GET {long_target} HTTP/1.1\r\n\r\n");
+        // The parser rejects from the unterminated line alone — before
+        // the head terminator ever arrives.
+        let mut parser = RequestParser::new();
+        let first = parser.feed(&raw.as_bytes()[..MAX_REQUEST_LINE_BYTES + 1]);
+        prop_assert_eq!(first, Err(HttpError::HeadTooLarge));
+    }
+
+    #[test]
+    fn oversized_declared_bodies_are_413_before_the_body_arrives(over in 1u64..1_000_000) {
+        let n = MAX_BODY_BYTES as u64 + over;
+        let raw = format!("POST / HTTP/1.1\r\ncontent-length: {n}\r\n\r\n");
+        prop_assert_eq!(outcome(&[raw.as_bytes()]), Err(HttpError::BodyTooLarge));
+    }
+
+    #[test]
+    fn malformed_request_lines_are_400(line_idx in 0usize..6, cuts in collection::vec(0u64..1_000_000, 0..4)) {
+        let line = [
+            "garbage",
+            "GET",
+            "GET /path",
+            "get /lowercase HTTP/1.1",
+            "GET /ok HTTP/2.0",
+            "GET \u{7}/ctrl HTTP/1.1",
+        ][line_idx];
+        let raw = format!("{line}\r\nhost: x\r\n\r\n").into_bytes();
+        let got = outcome(&split_at_cuts(&raw, &cuts));
+        prop_assert!(
+            matches!(got, Err(HttpError::Malformed(_))),
+            "expected 400 for {:?}, got {:?}",
+            line,
+            got
+        );
+    }
+}

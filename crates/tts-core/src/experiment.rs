@@ -88,6 +88,122 @@ impl ExecCtx {
     }
 }
 
+/// Caller-supplied overrides for one experiment run, parsed from the JSON
+/// body of `POST /v1/experiments/{name}` (and usable by any embedder).
+///
+/// Every field is optional; `None` means "the experiment's default". An
+/// experiment declares which knobs it honours via
+/// [`Experiment::supported_params`], and [`Params::ensure_only`] rejects
+/// anything else up front, so a typo'd or unsupported parameter is a
+/// clear error rather than a silently ignored field.
+///
+/// `threads` is special: it is *advisory to the executor*, applied by the
+/// caller (the serving layer wraps the run in a thread-count override).
+/// The repo-wide determinism contract means it can never change result
+/// bytes — only how fast they are produced.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Params {
+    /// Worker-thread count for the run's parallel sweeps.
+    pub threads: Option<usize>,
+    /// Trace seed for the discrete simulation's job stream.
+    pub seed: Option<u64>,
+    /// Cluster size (number of servers).
+    pub servers: Option<usize>,
+    /// Fixed wax melting point in °C instead of the catalogue grid search.
+    pub melt_temp_c: Option<f64>,
+}
+
+/// Reads a JSON number as a bounded integer parameter.
+fn int_param(name: &str, v: &Json, min: u64, max: u64) -> Result<u64, String> {
+    let x = v
+        .as_f64()
+        .filter(|x| x.is_finite() && x.fract() == 0.0 && *x >= 0.0)
+        .ok_or_else(|| format!("parameter {name:?} must be a non-negative integer"))?;
+    let n = x as u64;
+    if !(min..=max).contains(&n) {
+        return Err(format!(
+            "parameter {name:?} must be in {min}..={max} (got {n})"
+        ));
+    }
+    Ok(n)
+}
+
+impl Params {
+    /// Every parameter name any experiment understands.
+    pub const KNOWN: &'static [&'static str] = &["threads", "seed", "servers", "melt_temp_c"];
+
+    /// Parses a request body. The body must be a JSON object; unknown
+    /// keys, wrong types, and out-of-range values are errors (the serving
+    /// layer maps them to `400`). An empty object is the all-defaults run.
+    pub fn from_json(doc: &Json) -> Result<Self, String> {
+        let Json::Obj(members) = doc else {
+            return Err(format!(
+                "params must be a JSON object, got {}",
+                doc.kind_name()
+            ));
+        };
+        let mut p = Params::default();
+        for (key, value) in members {
+            match key.as_str() {
+                "threads" => p.threads = Some(int_param(key, value, 1, 1024)? as usize),
+                "seed" => p.seed = Some(int_param(key, value, 0, (1u64 << 53) - 1)?),
+                "servers" => p.servers = Some(int_param(key, value, 1, 1_000_000)? as usize),
+                "melt_temp_c" => {
+                    let t = value
+                        .as_f64()
+                        .filter(|t| t.is_finite())
+                        .ok_or_else(|| "parameter \"melt_temp_c\" must be a number".to_string())?;
+                    if !(0.0..=150.0).contains(&t) {
+                        return Err(format!(
+                            "parameter \"melt_temp_c\" must be in 0..=150 °C (got {t})"
+                        ));
+                    }
+                    p.melt_temp_c = Some(t);
+                }
+                other => {
+                    return Err(format!(
+                        "unknown parameter {other:?} (known: {})",
+                        Self::KNOWN.join(", ")
+                    ))
+                }
+            }
+        }
+        Ok(p)
+    }
+
+    /// Names of the parameters that are actually set.
+    pub fn set_fields(&self) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        if self.threads.is_some() {
+            out.push("threads");
+        }
+        if self.seed.is_some() {
+            out.push("seed");
+        }
+        if self.servers.is_some() {
+            out.push("servers");
+        }
+        if self.melt_temp_c.is_some() {
+            out.push("melt_temp_c");
+        }
+        out
+    }
+
+    /// Errors unless every set parameter is in `supported` — the guard
+    /// behind the default [`Experiment::run_with`].
+    pub fn ensure_only(&self, supported: &[&str]) -> Result<(), String> {
+        for field in self.set_fields() {
+            if !supported.contains(&field) {
+                return Err(format!(
+                    "parameter {field:?} is not supported by this experiment (supported: {})",
+                    supported.join(", ")
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// What an experiment produced: everything the harness needs to print,
 /// record, and chain into downstream analyses.
 #[derive(Debug, Clone)]
@@ -140,6 +256,20 @@ pub trait Experiment {
 
     /// Runs the experiment, reporting telemetry into `ctx`.
     fn run(&self, ctx: &ExecCtx) -> Figure;
+
+    /// The [`Params`] fields this experiment honours. `threads` is in
+    /// every list because the executor override is experiment-agnostic.
+    fn supported_params(&self) -> &'static [&'static str] {
+        &["threads"]
+    }
+
+    /// Runs with caller-supplied overrides, erroring on any set parameter
+    /// the experiment does not support. `params.threads` is *not* applied
+    /// here — the caller owns the executor (see [`Params`]).
+    fn run_with(&self, ctx: &ExecCtx, params: &Params) -> Result<Figure, String> {
+        params.ensure_only(self.supported_params())?;
+        Ok(self.run(ctx))
+    }
 
     /// Serializes a figure's machine-readable face: name, title, headline
     /// scalars, and comparisons. Override to emit richer documents.
@@ -264,6 +394,24 @@ impl Experiment for Fig11CoolingLoad {
     }
 
     fn run(&self, ctx: &ExecCtx) -> Figure {
+        self.render(ctx, None, None)
+    }
+
+    fn supported_params(&self) -> &'static [&'static str] {
+        &["threads", "servers", "melt_temp_c"]
+    }
+
+    fn run_with(&self, ctx: &ExecCtx, params: &Params) -> Result<Figure, String> {
+        params.ensure_only(self.supported_params())?;
+        Ok(self.render(ctx, params.servers, params.melt_temp_c))
+    }
+}
+
+impl Fig11CoolingLoad {
+    /// The study at an optional cluster size and/or fixed melting point
+    /// (defaults: the paper's 1008 servers, catalogue grid search).
+    fn render(&self, ctx: &ExecCtx, servers: Option<usize>, melt_temp_c: Option<f64>) -> Figure {
+        let melt = melt_temp_c.map(tts_units::Celsius::new);
         let mut fig = Figure::new(
             "fig11",
             "Figure 11: cluster cooling load, fully subscribed cooling",
@@ -271,7 +419,7 @@ impl Experiment for Fig11CoolingLoad {
         fig.markdown
             .push_str("## Figure 11 — peak cooling-load reduction\n\n");
         for (panel, class) in ["a", "b", "c"].iter().zip(ServerClass::ALL) {
-            let r = experiments::fig11_with(class, ctx.sink());
+            let r = experiments::fig11_custom(class, ctx.sink(), servers, melt);
             let chart = ascii_chart(
                 &[
                     ("cooling load", &r.study.run.load_no_wax_kw),
@@ -298,7 +446,7 @@ impl Experiment for Fig11CoolingLoad {
                 r.study.material.name(),
                 tts_dcsim::cluster::melt_onset_load_fraction(&tts_dcsim::cluster::ClusterConfig {
                     spec: class.spec(),
-                    servers: 1008,
+                    servers: servers.unwrap_or(1008),
                     chars: r.study.chars.clone(),
                 }) * 100.0,
                 r.study.run.elevated_hours / 2.0
@@ -390,10 +538,26 @@ impl Experiment for DcsimQos {
     }
 
     fn run(&self, ctx: &ExecCtx) -> Figure {
+        self.render(ctx, 17, 32)
+    }
+
+    fn supported_params(&self) -> &'static [&'static str] {
+        &["threads", "seed", "servers"]
+    }
+
+    fn run_with(&self, ctx: &ExecCtx, params: &Params) -> Result<Figure, String> {
+        params.ensure_only(self.supported_params())?;
+        Ok(self.render(ctx, params.seed.unwrap_or(17), params.servers.unwrap_or(32)))
+    }
+}
+
+impl DcsimQos {
+    /// The simulation at an explicit job-stream seed and cluster size
+    /// (defaults: seed 17, 32 servers).
+    fn render(&self, ctx: &ExecCtx, seed: u64, servers: usize) -> Figure {
         let trace = GoogleTrace::default_two_day();
-        let servers = 32;
         let jobs =
-            JobStream::new(trace.total().clone(), JobType::MapReduce, servers, 17).collect_all();
+            JobStream::new(trace.total().clone(), JobType::MapReduce, servers, seed).collect_all();
         let mut sim = discrete::ClusterConfig::new(servers)
             .rack_size(8)
             .record_utilization(Seconds::from_minutes(5.0))
@@ -494,6 +658,72 @@ mod tests {
         let text = sidecar.to_string_pretty();
         let parsed = tts_units::json::parse(&text).expect("round-trips");
         assert_eq!(parsed, sidecar);
+    }
+
+    #[test]
+    fn params_parse_validate_and_reject_unknown_keys() {
+        use tts_units::json::parse;
+        let p = Params::from_json(&parse(r#"{"threads":4,"seed":99}"#).unwrap()).unwrap();
+        assert_eq!(p.threads, Some(4));
+        assert_eq!(p.seed, Some(99));
+        assert_eq!(p.set_fields(), vec!["threads", "seed"]);
+        let empty = Params::from_json(&parse("{}").unwrap()).unwrap();
+        assert_eq!(empty, Params::default());
+        for bad in [
+            r#"{"thread":4}"#,         // unknown key
+            r#"{"threads":0}"#,        // below range
+            r#"{"threads":1.5}"#,      // not an integer
+            r#"{"threads":"4"}"#,      // wrong type
+            r#"{"servers":0}"#,        // below range
+            r#"{"melt_temp_c":200}"#,  // out of physical range
+            r#"{"melt_temp_c":null}"#, // NaN-ish
+            "[1]",                     // not an object
+        ] {
+            assert!(
+                Params::from_json(&parse(bad).unwrap()).is_err(),
+                "{bad} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn run_with_rejects_unsupported_params() {
+        let ctx = ExecCtx::disabled();
+        let seeded = Params {
+            seed: Some(1),
+            ..Params::default()
+        };
+        // fig7 only honours `threads`; a seed must be refused, not ignored.
+        let err = Fig7Blockage.run_with(&ctx, &seeded).unwrap_err();
+        assert!(err.contains("seed"), "{err}");
+        // Defaulted run_with matches plain run byte-for-byte.
+        let via_params = Fig7Blockage.run_with(&ctx, &Params::default()).unwrap();
+        let direct = Fig7Blockage.run(&ctx);
+        assert_eq!(
+            Fig7Blockage.emit_json(&via_params).to_string_pretty(),
+            Fig7Blockage.emit_json(&direct).to_string_pretty()
+        );
+    }
+
+    #[test]
+    fn dcsim_honours_seed_and_servers_params() {
+        let ctx = ExecCtx::disabled();
+        let small = DcsimQos
+            .run_with(
+                &ctx,
+                &Params {
+                    servers: Some(8),
+                    seed: Some(3),
+                    ..Params::default()
+                },
+            )
+            .expect("supported params");
+        let default = DcsimQos.run_with(&ctx, &Params::default()).unwrap();
+        // A quarter of the cluster completes measurably less of the offered
+        // load than the full one (the text tables render the sizes too).
+        assert!(small.text.contains("8 servers"));
+        assert!(default.text.contains("32 servers"));
+        assert!(small.key_value("completed").unwrap() < default.key_value("completed").unwrap());
     }
 
     #[test]

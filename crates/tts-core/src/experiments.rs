@@ -17,7 +17,9 @@ use tts_tco::{
 };
 use tts_workload::GoogleTrace;
 
-use crate::scenario::{ConstrainedStudy, CoolingLoadStudy, Scenario};
+use tts_units::Celsius;
+
+use crate::scenario::{ConstrainedStudy, CoolingLoadStudy, MeltingPointChoice, Scenario};
 
 /// A paper-vs-measured record for one reported number.
 #[derive(Debug, Clone, PartialEq)]
@@ -165,7 +167,27 @@ pub fn fig11(class: ServerClass) -> Fig11Result {
 /// [`fig11`] with telemetry routed through the scenario (grid-search
 /// counters + the winning run's series; see `tts_dcsim::cluster`).
 pub fn fig11_with(class: ServerClass, sink: &MetricsSink) -> Fig11Result {
-    let study = Scenario::new(class).metrics(sink).cooling_load_study();
+    fig11_custom(class, sink, None, None)
+}
+
+/// [`fig11_with`] with scenario overrides: a cluster size other than the
+/// paper's 1008 and/or a fixed wax melting point instead of the catalogue
+/// grid search. The paper comparison stays attached — under overrides it
+/// reads as "how far this what-if lands from the published figure".
+pub fn fig11_custom(
+    class: ServerClass,
+    sink: &MetricsSink,
+    servers: Option<usize>,
+    melt_temp: Option<Celsius>,
+) -> Fig11Result {
+    let mut scenario = Scenario::new(class).metrics(sink);
+    if let Some(n) = servers {
+        scenario = scenario.servers(n);
+    }
+    if let Some(t) = melt_temp {
+        scenario = scenario.melting_point(MeltingPointChoice::Fixed(t));
+    }
+    let study = scenario.cooling_load_study();
     let peak_reduction = Comparison::new(
         "peak cooling-load reduction",
         paper_fig11_reduction(class),

@@ -95,6 +95,34 @@ impl Json {
         }
     }
 
+    /// The canonical form: object members sorted by key, recursively
+    /// (arrays keep their order — element order is meaningful). Two
+    /// documents that differ only in member order canonicalize to equal
+    /// values, so `doc.canonical().to_string()` is a stable cache key for
+    /// semantically identical requests. Duplicate keys are kept (stable
+    /// sort), preserving the parse-order semantics of lookups.
+    #[must_use]
+    pub fn canonical(&self) -> Json {
+        match self {
+            Json::Arr(items) => Json::Arr(items.iter().map(Json::canonical).collect()),
+            Json::Obj(members) => {
+                let mut sorted: Vec<(String, Json)> = members
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.canonical()))
+                    .collect();
+                sorted.sort_by(|a, b| a.0.cmp(&b.0));
+                Json::Obj(sorted)
+            }
+            other => other.clone(),
+        }
+    }
+
+    /// A short name for the variant, used in error messages
+    /// (`"null"`, `"bool"`, `"number"`, `"string"`, `"array"`, `"object"`).
+    pub fn kind_name(&self) -> &'static str {
+        self.kind()
+    }
+
     /// A short name for the variant, used in error messages.
     fn kind(&self) -> &'static str {
         match self {
@@ -870,6 +898,21 @@ mod tests {
         for bad in ["", "{", "[1,]", "{\"a\":}", "tru", "1 2", "\"unterminated"] {
             assert!(parse(bad).is_err(), "{bad:?} should not parse");
         }
+    }
+
+    #[test]
+    fn canonical_sorts_members_recursively_but_not_arrays() {
+        let a = parse(r#"{"b":{"y":1,"x":2},"a":[3,1,2]}"#).unwrap();
+        let b = parse(r#"{"a":[3,1,2],"b":{"x":2,"y":1}}"#).unwrap();
+        assert_ne!(a, b, "member order is significant pre-canonicalization");
+        assert_eq!(a.canonical(), b.canonical());
+        assert_eq!(
+            a.canonical().to_string(),
+            r#"{"a":[3,1,2],"b":{"x":2,"y":1}}"#
+        );
+        // Scalars and already-canonical documents are fixpoints.
+        assert_eq!(Json::Num(1.5).canonical(), Json::Num(1.5));
+        assert_eq!(a.canonical().canonical(), a.canonical());
     }
 
     #[test]
