@@ -80,4 +80,13 @@ for T in 1 4; do
   cmp "$TMPDIR_CI/results/fig7.summary.json" "$TMPDIR_CI/fig7.t$T.cached.body"
 done
 
+echo "==> chaos gate (8 seeded fault scenarios, zero violations, byte-identical at 1 and 4 threads)"
+# The fault-injection batch must come back green and its summary JSON
+# must not depend on the worker count: a fixed base seed, run serially
+# and with 4 workers, has to produce byte-identical bytes. The storm
+# section only carries plan-determined fields, so the cmp is sound.
+TTS_THREADS=1 "$REPRO" chaos --seeds 8 --summary "$TMPDIR_CI/chaos.t1.json"
+TTS_THREADS=4 "$REPRO" chaos --seeds 8 --summary "$TMPDIR_CI/chaos.t4.json"
+cmp "$TMPDIR_CI/chaos.t1.json" "$TMPDIR_CI/chaos.t4.json"
+
 echo "ci.sh: all gates passed"

@@ -15,7 +15,10 @@ pub mod freecooling;
 pub mod system;
 pub mod tariff;
 
-pub use emergency::{ride_through, RideThrough, RoomModel};
+pub use emergency::{
+    ride_through, ride_through_degraded, ConstantDerating, CoolingProfile, DegradedCooling,
+    RideThrough, RoomModel, TotalOutage,
+};
 pub use freecooling::{AmbientCycle, Economizer};
 pub use system::CoolingSystem;
 pub use tariff::Tariff;

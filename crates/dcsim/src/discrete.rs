@@ -100,21 +100,33 @@ impl ClusterConfig {
             util_recording,
             obs: SimObs::resolve(&self.metrics),
             flush_hook: None,
+            fault_hook: None,
+            orphans: VecDeque::new(),
+            fault_events: 0,
+            rescheduled: 0,
+            stale_completions: 0,
         }
     }
 }
 
 /// Resolved event-loop metric handles (no-ops when built without a sink).
 /// All writes happen on the serial event loop, so every entry is
-/// [`tts_obs::Determinism::Deterministic`].
+/// [`tts_obs::Determinism::Deterministic`] — including the fault
+/// counters, which is what keeps chaos-run snapshots byte-identical
+/// across thread counts.
 #[derive(Debug, Clone, Default)]
 struct SimObs {
     events: Counter,
     arrivals: Counter,
     completions: Counter,
     enqueued: Counter,
+    fault_kills: Counter,
+    fault_revives: Counter,
+    fault_rescheduled: Counter,
+    fault_stale: Counter,
     active_jobs: Gauge,
     queued_jobs: Gauge,
+    servers_down: Gauge,
 }
 
 impl SimObs {
@@ -124,10 +136,45 @@ impl SimObs {
             arrivals: sink.counter("dcsim.arrivals"),
             completions: sink.counter("dcsim.completions"),
             enqueued: sink.counter("dcsim.enqueued"),
+            fault_kills: sink.counter("dcsim.fault.kills"),
+            fault_revives: sink.counter("dcsim.fault.revives"),
+            fault_rescheduled: sink.counter("dcsim.fault.rescheduled"),
+            fault_stale: sink.counter("dcsim.fault.stale_completions"),
             active_jobs: sink.gauge("dcsim.active_jobs"),
             queued_jobs: sink.gauge("dcsim.queued_jobs"),
+            servers_down: sink.gauge("dcsim.servers_down"),
         }
     }
+}
+
+/// An event-level fault action requested by a [`FaultHook`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Take a server down. Its in-service and queued jobs are
+    /// re-dispatched through the balancer (service restarts from
+    /// scratch — no partial credit), so no job is lost or duplicated.
+    /// A kill of an already-down or unknown server is a no-op.
+    KillServer(usize),
+    /// Bring a downed server back. Jobs orphaned while the whole
+    /// cluster was down are re-dispatched immediately. A revive of an
+    /// up or unknown server is a no-op.
+    ReviveServer(usize),
+}
+
+/// An event-level fault hook polled by [`DiscreteClusterSim::run`] —
+/// the `chaos` crate's entry point into the simulator. The event loop
+/// treats hook firings as first-class events: it wakes at
+/// [`FaultHook::next_time`] even when no arrival or completion is due.
+///
+/// Contract: after [`FaultHook::pop_actions`]`(now)` returns, the next
+/// [`FaultHook::next_time`] must be strictly greater than `now` (the
+/// loop panics otherwise — a stuck hook would spin forever).
+pub trait FaultHook: Send + std::fmt::Debug {
+    /// The next simulated time this hook wants control, if any.
+    fn next_time(&self) -> Option<f64>;
+    /// The actions to apply at `now`; must advance the hook's cursor
+    /// past `now`.
+    fn pop_actions(&mut self, now: f64) -> Vec<FaultAction>;
 }
 
 /// A periodic callback on simulated time (see
@@ -147,10 +194,15 @@ impl std::fmt::Debug for FlushHook {
     }
 }
 
-/// A completion event.
+/// A completion event. `epoch` snapshots the target server's kill
+/// epoch at dispatch: the event queue has no cancellation, so killing a
+/// server instead bumps its epoch and completions from an older epoch
+/// are discarded as stale when popped.
 #[derive(Debug, Clone, Copy)]
 struct Completion {
     server: usize,
+    epoch: u64,
+    job_id: u64,
     arrival: f64,
     job_type: JobType,
 }
@@ -159,9 +211,17 @@ struct Completion {
 struct ServerState {
     active: usize,
     queue: VecDeque<Job>,
+    /// Jobs currently in service (mirrors `active`); kept so a kill can
+    /// re-dispatch them. Original arrival times ride along, so sojourn
+    /// accounting spans the interruption.
+    running: Vec<Job>,
     busy_time: f64,
     completed: u64,
     last_change: f64,
+    /// Down due to an injected fault.
+    down: bool,
+    /// Bumped on every kill; stale completions carry an older value.
+    epoch: u64,
 }
 
 impl ServerState {
@@ -206,6 +266,12 @@ pub struct DiscreteMetrics {
     /// Per-job-type response-time statistics (QoS view; interactive types
     /// suffer first when batch work monopolizes cores).
     pub per_type: Vec<TypeQos>,
+    /// Fault actions applied during the run (kills + revives).
+    pub fault_events: u64,
+    /// Jobs re-dispatched because their server was killed.
+    pub rescheduled: u64,
+    /// Completion events discarded because their server died first.
+    pub stale_completions: u64,
 }
 
 /// The discrete event-driven cluster simulator.
@@ -224,6 +290,14 @@ pub struct DiscreteClusterSim<B: Balancer> {
     obs: SimObs,
     /// Periodic simulated-time callback, fired during [`Self::run`].
     flush_hook: Option<FlushHook>,
+    /// Event-level fault hook (see [`Self::set_fault_hook`]).
+    fault_hook: Option<Box<dyn FaultHook>>,
+    /// Jobs with nowhere to go because every server was down; drained
+    /// on the next revive. Still in-flight for conservation purposes.
+    orphans: VecDeque<Job>,
+    fault_events: u64,
+    rescheduled: u64,
+    stale_completions: u64,
 }
 
 #[derive(Debug)]
@@ -308,6 +382,124 @@ impl<B: Balancer> DiscreteClusterSim<B> {
         self.flush_hook = Some(hook);
     }
 
+    /// Installs an event-level fault hook, polled by [`Self::run`] as a
+    /// third event source next to arrivals and completions. Call before
+    /// [`Self::run`].
+    pub fn set_fault_hook(&mut self, hook: Box<dyn FaultHook>) {
+        self.fault_hook = Some(hook);
+    }
+
+    /// Number of servers currently taken down by faults.
+    pub fn servers_down(&self) -> usize {
+        self.servers.iter().filter(|s| s.down).count()
+    }
+
+    /// Routes `job` to a live server through the balancer; used for both
+    /// fresh arrivals and fault re-dispatch. If the balancer picks a
+    /// downed server, falls back to the least-occupied live one (lowest
+    /// index on ties) — deterministic for every balancer. With the whole
+    /// cluster down the job is parked in the orphan buffer.
+    fn dispatch_job(&mut self, job: Job, now: f64, queue: &mut EventQueue<Completion>) {
+        if self.servers.iter().all(|s| s.down) {
+            self.orphans.push_back(job);
+            return;
+        }
+        let occupancy: Vec<usize> = self
+            .servers
+            .iter()
+            .map(|s| {
+                if s.down {
+                    usize::MAX
+                } else {
+                    s.active + s.queue.len()
+                }
+            })
+            .collect();
+        let mut target = self.balancer.pick(&occupancy);
+        if target >= self.servers.len() || self.servers[target].down {
+            target = occupancy
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !self.servers[*i].down)
+                .min_by_key(|(_, occ)| **occ)
+                .map(|(i, _)| i)
+                .expect("at least one live server");
+        }
+        if let Some(rec) = self.util_recording.as_mut() {
+            rec.account(target, now, self.cores_per_server);
+        }
+        let server = &mut self.servers[target];
+        server.account(now, self.cores_per_server);
+        if server.active < self.cores_per_server {
+            server.active += 1;
+            server.running.push(job);
+            queue.push(
+                now + job.service_time.value(),
+                Completion {
+                    server: target,
+                    epoch: server.epoch,
+                    job_id: job.id,
+                    arrival: job.arrival.value(),
+                    job_type: job.job_type,
+                },
+            );
+        } else {
+            server.queue.push_back(job);
+            self.obs.enqueued.incr();
+        }
+        let active_now = self.servers[target].active;
+        if let Some(rec) = self.util_recording.as_mut() {
+            rec.active[target] = active_now;
+        }
+    }
+
+    /// Applies one fault action at simulated time `now`.
+    fn apply_fault(&mut self, action: FaultAction, now: f64, queue: &mut EventQueue<Completion>) {
+        match action {
+            FaultAction::KillServer(s) => {
+                if s >= self.servers.len() || self.servers[s].down {
+                    return;
+                }
+                self.fault_events += 1;
+                self.obs.fault_kills.incr();
+                if let Some(rec) = self.util_recording.as_mut() {
+                    rec.account(s, now, self.cores_per_server);
+                    rec.active[s] = 0;
+                }
+                let server = &mut self.servers[s];
+                server.account(now, self.cores_per_server);
+                server.down = true;
+                server.epoch += 1;
+                server.active = 0;
+                let mut displaced: Vec<Job> = server.running.drain(..).collect();
+                displaced.extend(server.queue.drain(..));
+                for job in displaced {
+                    self.rescheduled += 1;
+                    self.obs.fault_rescheduled.incr();
+                    self.dispatch_job(job, now, queue);
+                }
+            }
+            FaultAction::ReviveServer(s) => {
+                if s >= self.servers.len() || !self.servers[s].down {
+                    return;
+                }
+                self.fault_events += 1;
+                self.obs.fault_revives.incr();
+                let server = &mut self.servers[s];
+                server.down = false;
+                server.last_change = now;
+                if let Some(rec) = self.util_recording.as_mut() {
+                    rec.last_change[s] = now;
+                }
+                let parked: Vec<Job> = self.orphans.drain(..).collect();
+                for job in parked {
+                    self.dispatch_job(job, now, queue);
+                }
+            }
+        }
+        self.obs.servers_down.set(self.servers_down() as f64);
+    }
+
     /// Enables recording of the cluster's utilization as a time series
     /// with the given bucket width. Call before [`Self::run`]; retrieve
     /// with [`Self::utilization_trace`].
@@ -349,23 +541,52 @@ impl<B: Balancer> DiscreteClusterSim<B> {
         let mut now = 0.0;
 
         loop {
-            // Next event: job arrival or completion, whichever is earlier.
+            // Next event: fault, job arrival, or completion — earliest
+            // wins; at ties, faults fire first (a kill at t affects the
+            // job arriving at t), then arrivals before completions (the
+            // pre-fault ordering, unchanged).
             let next_arrival = job_iter.peek().map(|j| j.arrival.value());
             let next_completion = queue.peek_time();
-            let (t, is_arrival) = match (next_arrival, next_completion) {
-                (Some(a), Some(c)) if a <= c => (a, true),
-                (Some(_), Some(c)) => (c, false),
-                (Some(a), None) => (a, true),
-                (None, Some(c)) => (c, false),
+            let next_fault = self.fault_hook.as_ref().and_then(|h| h.next_time());
+            let job_next = match (next_arrival, next_completion) {
+                (Some(a), Some(c)) if a <= c => Some((a, true)),
+                (Some(_), Some(c)) => Some((c, false)),
+                (Some(a), None) => Some((a, true)),
+                (None, Some(c)) => Some((c, false)),
+                (None, None) => None,
+            };
+            let fault_turn = match (next_fault, job_next) {
+                (Some(f), Some((t, _))) => f <= t,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
                 (None, None) => break,
+            };
+            let t = if fault_turn {
+                next_fault.expect("fault turn has a time")
+            } else {
+                job_next.expect("job turn has an event").0
             };
             if t > horizon {
                 break;
             }
             now = t;
             self.drain_flushes(now);
+
+            if fault_turn {
+                let mut hook = self.fault_hook.take().expect("fault turn has a hook");
+                for action in hook.pop_actions(now) {
+                    self.apply_fault(action, now, &mut queue);
+                }
+                assert!(
+                    hook.next_time().is_none_or(|next| next > now),
+                    "fault hook must advance past {now}"
+                );
+                self.fault_hook = Some(hook);
+                continue;
+            }
             self.obs.events.incr();
 
+            let (_, is_arrival) = job_next.expect("job turn has an event");
             if is_arrival {
                 let job = *job_iter.next().expect("peeked job exists");
                 assert!(
@@ -374,37 +595,16 @@ impl<B: Balancer> DiscreteClusterSim<B> {
                 );
                 last_arrival = job.arrival.value();
                 self.obs.arrivals.incr();
-                let occupancy: Vec<usize> = self
-                    .servers
-                    .iter()
-                    .map(|s| s.active + s.queue.len())
-                    .collect();
-                let target = self.balancer.pick(&occupancy);
-                if let Some(rec) = self.util_recording.as_mut() {
-                    rec.account(target, now, self.cores_per_server);
-                }
-                let server = &mut self.servers[target];
-                server.account(now, self.cores_per_server);
-                if server.active < self.cores_per_server {
-                    server.active += 1;
-                    queue.push(
-                        now + job.service_time.value(),
-                        Completion {
-                            server: target,
-                            arrival: now,
-                            job_type: job.job_type,
-                        },
-                    );
-                } else {
-                    server.queue.push_back(job);
-                    self.obs.enqueued.incr();
-                }
-                let active_now = self.servers[target].active;
-                if let Some(rec) = self.util_recording.as_mut() {
-                    rec.active[target] = active_now;
-                }
+                self.dispatch_job(job, now, &mut queue);
             } else {
                 let (_, c) = queue.pop().expect("completion peeked");
+                if self.servers[c.server].down || self.servers[c.server].epoch != c.epoch {
+                    // The server died after this completion was
+                    // scheduled; the job was already re-dispatched.
+                    self.stale_completions += 1;
+                    self.obs.fault_stale.incr();
+                    continue;
+                }
                 if let Some(rec) = self.util_recording.as_mut() {
                     rec.account(c.server, now, self.cores_per_server);
                 }
@@ -412,15 +612,26 @@ impl<B: Balancer> DiscreteClusterSim<B> {
                 server.account(now, self.cores_per_server);
                 server.active -= 1;
                 server.completed += 1;
+                if let Some(pos) = server
+                    .running
+                    .iter()
+                    .position(|j| j.id == c.job_id && j.arrival.value() == c.arrival)
+                {
+                    server.running.remove(pos);
+                }
                 self.obs.completions.incr();
                 self.response_times.push(now - c.arrival);
                 self.response_by_type.push((c.job_type, now - c.arrival));
                 if let Some(next) = server.queue.pop_front() {
                     server.active += 1;
+                    server.running.push(next);
+                    let epoch = server.epoch;
                     queue.push(
                         now + next.service_time.value(),
                         Completion {
                             server: c.server,
+                            epoch,
+                            job_id: next.id,
                             arrival: next.arrival.value(),
                             job_type: next.job_type,
                         },
@@ -445,11 +656,20 @@ impl<B: Balancer> DiscreteClusterSim<B> {
         // parallel sweep is deterministic by construction.
         let cores = self.cores_per_server;
         tts_exec::par_for_each_mut(&mut self.servers, |s| s.account(end, cores));
-        self.metrics(end, queue.len() as u64)
+        self.metrics(end)
     }
 
-    fn metrics(&self, end: f64, in_service: u64) -> DiscreteMetrics {
+    fn metrics(&self, end: f64) -> DiscreteMetrics {
         let completed: u64 = self.servers.iter().map(|s| s.completed).sum();
+        // In-service jobs are counted from server state, not the event
+        // queue — stale completions of killed servers still sit in the
+        // queue and must not inflate the in-flight count.
+        let in_service: u64 = self
+            .servers
+            .iter()
+            .map(|s| s.running.len() as u64)
+            .sum::<u64>()
+            + self.orphans.len() as u64;
         let queued: u64 = self.servers.iter().map(|s| s.queue.len() as u64).sum();
         let mut sorted = self.response_times.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("response times are finite"));
@@ -508,6 +728,9 @@ impl<B: Balancer> DiscreteClusterSim<B> {
             cluster_utilization,
             throughput_jobs_per_s: completed as f64 / end.max(1e-9),
             per_type,
+            fault_events: self.fault_events,
+            rescheduled: self.rescheduled,
+            stale_completions: self.stale_completions,
         }
     }
 }
@@ -760,6 +983,172 @@ mod tests {
             .build(RoundRobin::new());
         sim.run(&jobs, Seconds::new(1800.0));
         assert!(sim.utilization_trace().is_none());
+    }
+
+    /// Minimal scheduled fault hook for the in-module tests (the chaos
+    /// crate builds the real one from sampled plans).
+    #[derive(Debug)]
+    struct Scheduled {
+        faults: Vec<(f64, FaultAction)>,
+        cursor: usize,
+    }
+
+    impl Scheduled {
+        fn new(mut faults: Vec<(f64, FaultAction)>) -> Self {
+            faults.sort_by(|a, b| a.0.total_cmp(&b.0));
+            Self { faults, cursor: 0 }
+        }
+    }
+
+    impl FaultHook for Scheduled {
+        fn next_time(&self) -> Option<f64> {
+            self.faults.get(self.cursor).map(|f| f.0)
+        }
+
+        fn pop_actions(&mut self, now: f64) -> Vec<FaultAction> {
+            let mut actions = Vec::new();
+            while let Some(&(t, a)) = self.faults.get(self.cursor) {
+                if t > now {
+                    break;
+                }
+                actions.push(a);
+                self.cursor += 1;
+            }
+            actions
+        }
+    }
+
+    #[test]
+    fn server_kill_conserves_jobs() {
+        let jobs = flat_jobs(0.6, 8, 1.0, 7);
+        let total = jobs.len() as u64;
+        let mut sim = ClusterConfig::new(8)
+            .cores_per_server(2)
+            .rack_size(4)
+            .build(RoundRobin::new());
+        sim.set_fault_hook(Box::new(Scheduled::new(vec![
+            (600.0, FaultAction::KillServer(0)),
+            (900.0, FaultAction::KillServer(3)),
+            (1800.0, FaultAction::ReviveServer(0)),
+        ])));
+        let m = sim.run(&jobs, Seconds::new(3600.0));
+        assert_eq!(
+            m.completed + m.in_flight,
+            total,
+            "kill/revive must not lose or duplicate jobs"
+        );
+        assert_eq!(m.fault_events, 3);
+        assert!(m.rescheduled > 0, "busy servers had jobs to displace");
+        assert!(m.stale_completions > 0, "in-service work was interrupted");
+        assert_eq!(sim.servers_down(), 1, "server 3 stays down");
+    }
+
+    #[test]
+    fn whole_cluster_outage_parks_and_recovers_jobs() {
+        let jobs = flat_jobs(0.5, 2, 1.0, 11);
+        let total = jobs.len() as u64;
+        let mut sim = ClusterConfig::new(2)
+            .cores_per_server(2)
+            .rack_size(2)
+            .build(RoundRobin::new());
+        sim.set_fault_hook(Box::new(Scheduled::new(vec![
+            (300.0, FaultAction::KillServer(0)),
+            (300.0, FaultAction::KillServer(1)),
+            (1200.0, FaultAction::ReviveServer(1)),
+        ])));
+        let m = sim.run(&jobs, Seconds::new(3600.0));
+        assert_eq!(m.completed + m.in_flight, total);
+        // Work resumed after the revive: more completions than could
+        // have finished before the 300 s outage.
+        assert!(
+            m.completed > total / 2,
+            "completed {} of {total}",
+            m.completed
+        );
+    }
+
+    #[test]
+    fn flapping_server_converges_and_redundant_actions_are_noops() {
+        let jobs = flat_jobs(0.5, 4, 1.0, 13);
+        let total = jobs.len() as u64;
+        let mut faults = Vec::new();
+        for i in 0..10 {
+            let t = 200.0 + 300.0 * i as f64;
+            faults.push((t, FaultAction::KillServer(1)));
+            faults.push((t + 150.0, FaultAction::ReviveServer(1)));
+        }
+        // Redundant / out-of-range actions must be ignored.
+        faults.push((250.0, FaultAction::KillServer(1)));
+        faults.push((260.0, FaultAction::ReviveServer(2)));
+        faults.push((270.0, FaultAction::KillServer(99)));
+        let mut sim = ClusterConfig::new(4)
+            .cores_per_server(2)
+            .rack_size(2)
+            .build(LeastLoaded::new());
+        sim.set_fault_hook(Box::new(Scheduled::new(faults)));
+        let m = sim.run(&jobs, Seconds::new(3600.0));
+        assert_eq!(m.completed + m.in_flight, total);
+        assert_eq!(m.fault_events, 20, "only real transitions count");
+        assert_eq!(sim.servers_down(), 0);
+    }
+
+    #[test]
+    fn killed_server_accrues_no_utilization_while_down() {
+        let jobs = flat_jobs(0.7, 4, 2.0, 17);
+        let mut sim = ClusterConfig::new(4)
+            .cores_per_server(1)
+            .rack_size(2)
+            .build(RoundRobin::new());
+        // Server 2 is down for the second half of the run.
+        sim.set_fault_hook(Box::new(Scheduled::new(vec![(
+            3600.0,
+            FaultAction::KillServer(2),
+        )])));
+        let m = sim.run(&jobs, Seconds::new(7200.0));
+        let healthy_min = m
+            .server_utilization
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 2)
+            .map(|(_, u)| *u)
+            .fold(f64::MAX, f64::min);
+        assert!(
+            m.server_utilization[2] < 0.75 * healthy_min,
+            "down server must sit idle: {:?}",
+            m.server_utilization
+        );
+        assert!(m.server_utilization.iter().all(|u| (0.0..=1.0).contains(u)));
+    }
+
+    #[test]
+    fn fault_counters_reach_the_metrics_sink() {
+        let jobs = flat_jobs(0.6, 4, 1.0, 19);
+        let sink = MetricsSink::fresh();
+        let mut sim = ClusterConfig::new(4)
+            .cores_per_server(2)
+            .rack_size(2)
+            .metrics(&sink)
+            .build(RoundRobin::new());
+        sim.set_fault_hook(Box::new(Scheduled::new(vec![
+            (400.0, FaultAction::KillServer(0)),
+            (800.0, FaultAction::ReviveServer(0)),
+        ])));
+        let m = sim.run(&jobs, Seconds::new(3600.0));
+        assert_eq!(sink.counter("dcsim.fault.kills").value(), 1);
+        assert_eq!(sink.counter("dcsim.fault.revives").value(), 1);
+        assert_eq!(
+            sink.counter("dcsim.fault.rescheduled").value(),
+            m.rescheduled
+        );
+        assert_eq!(
+            sink.counter("dcsim.fault.stale_completions").value(),
+            m.stale_completions
+        );
+        // Conservation also holds through the sink's view.
+        assert_eq!(
+            sink.counter("dcsim.arrivals").value(),
+            m.completed + m.in_flight
+        );
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub mod throttle;
 pub use balancer::{Balancer, LeastLoaded, RandomBalancer, RoundRobin};
 pub use cluster::{select_melting_point, ClusterConfig, CoolingLoadRun};
 pub use datacenter::Datacenter;
-pub use discrete::{DiscreteClusterSim, DiscreteMetrics};
+pub use discrete::{DiscreteClusterSim, DiscreteMetrics, FaultAction, FaultHook};
 pub use heterogeneous::{deployment_sweep, run_partial_deployment, DeploymentPoint};
 pub use relocation::{run_relocation, wax_vs_relocation, RelocationRun};
 pub use throttle::{ConstrainedConfig, ConstrainedRun};

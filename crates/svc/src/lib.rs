@@ -22,8 +22,10 @@ pub mod cache;
 pub mod http;
 pub mod router;
 pub mod server;
+pub mod storm;
 
 pub use cache::ResultCache;
 pub use http::{Request, RequestParser, Response};
 pub use router::App;
 pub use server::{Server, ServerConfig, ShutdownHandle};
+pub use storm::{default_storm, run_storm, ClientOutcome, StormConfig, StormReport};

@@ -79,6 +79,8 @@ pub use adaptive::{step_adaptive, AdaptiveReport};
 pub use airflow::{FanCurve, FlowPath, OperatingPoint};
 pub use audit::{audit, AuditFinding};
 pub use integrator::Integrator;
-pub use network::{AdvectionId, EdgeId, NodeId, PcmId, ThermalNetwork};
+pub use network::{
+    AdvectionId, BoundaryControls, BoundaryFault, EdgeId, NodeId, PcmId, ThermalNetwork,
+};
 pub use steady::{solve_steady_state, SteadyState};
 pub use trace::{compare, TraceComparison, TraceRecorder};

@@ -385,6 +385,19 @@ impl ThermalNetwork {
         Seconds::new(self.time)
     }
 
+    /// Advances one step with a boundary-condition fault hook applied
+    /// first: the hook sees the current time and a [`BoundaryControls`]
+    /// view (boundary temperatures, advection flows, injected powers,
+    /// PCM couplings — not topology) and mutates whatever its fault
+    /// schedule dictates. Equivalent to calling the setters by hand
+    /// before [`Self::step`], but gives fault engines a typed seam that
+    /// cannot touch the network structure mid-run.
+    pub fn step_with(&mut self, dt: Seconds, fault: &mut dyn BoundaryFault) {
+        let now = self.time();
+        fault.apply(now, &mut BoundaryControls { net: self });
+        self.step(dt);
+    }
+
     fn rebuild_caches(&mut self) {
         if !self.adjacency_dirty {
             return;
@@ -781,6 +794,61 @@ impl ThermalNetwork {
     }
 }
 
+/// Restricted mutable view of a network's boundary conditions, handed
+/// to [`BoundaryFault`] hooks between steps. Exposes exactly the knobs
+/// a physical fault can turn — inlet temperatures, fan/airflow rates,
+/// injected powers, air-to-wax couplings — and none of the topology.
+pub struct BoundaryControls<'a> {
+    net: &'a mut ThermalNetwork,
+}
+
+impl BoundaryControls<'_> {
+    /// Overrides a boundary node's fixed temperature (inlet spikes,
+    /// hot-aisle recirculation).
+    ///
+    /// # Panics
+    /// Panics if the node is not a boundary.
+    pub fn set_boundary_temp(&mut self, node: NodeId, temperature: Celsius) {
+        self.net.set_boundary_temp(node, temperature);
+    }
+
+    /// Overrides the heat-capacity flow on an advection edge (fan
+    /// failure, airflow blockage).
+    pub fn set_advection_flow(&mut self, id: AdvectionId, mcp: WattsPerKelvin) {
+        self.net.set_advection_flow(id, mcp);
+    }
+
+    /// Overrides the heat dissipated into a node (load surge, throttle).
+    pub fn set_power(&mut self, node: NodeId, power: Watts) {
+        self.net.set_power(node, power);
+    }
+
+    /// Overrides a PCM element's air-to-wax coupling (convection drops
+    /// with airflow).
+    pub fn set_pcm_coupling(&mut self, id: PcmId, coupling: WattsPerKelvin) {
+        self.net.set_pcm_coupling(id, coupling);
+    }
+
+    /// Current temperature of a node (what a — possibly faulty — sensor
+    /// would sample).
+    pub fn temperature(&self, node: NodeId) -> Celsius {
+        self.net.temperature(node)
+    }
+}
+
+/// A boundary-condition fault hook applied before each
+/// [`ThermalNetwork::step_with`] step. Closures implement it directly.
+pub trait BoundaryFault: Send {
+    /// Mutates boundary conditions for the step starting at `now`.
+    fn apply(&mut self, now: Seconds, ctl: &mut BoundaryControls<'_>);
+}
+
+impl<F: FnMut(Seconds, &mut BoundaryControls<'_>) + Send> BoundaryFault for F {
+    fn apply(&mut self, now: Seconds, ctl: &mut BoundaryControls<'_>) {
+        self(now, ctl)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -813,6 +881,47 @@ mod tests {
         assert!((net.temperature(cpu).value() - (t_air_expected + 23.0)).abs() < 1e-3);
         // All injected heat leaves through the exhaust.
         assert!((net.exhaust_heat(inlet).value() - 46.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn boundary_fault_hook_equals_manual_setters() {
+        // Driving the inlet and power through step_with must be
+        // byte-identical to calling the setters by hand.
+        let spike = |t: f64| {
+            if (600.0..1200.0).contains(&t) {
+                45.0
+            } else {
+                25.0
+            }
+        };
+        let hooked = {
+            let (mut net, inlet, _, cpu) = heater_rig(46.0, 0.02);
+            let mut fault = |now: Seconds, ctl: &mut BoundaryControls<'_>| {
+                ctl.set_boundary_temp(inlet, Celsius::new(spike(now.value())));
+            };
+            for _ in 0..1800 {
+                net.step_with(Seconds::new(1.0), &mut fault);
+            }
+            net.temperature(cpu).value()
+        };
+        let manual = {
+            let (mut net, inlet, _, cpu) = heater_rig(46.0, 0.02);
+            for i in 0..1800 {
+                net.set_boundary_temp(inlet, Celsius::new(spike(i as f64)));
+                net.step(Seconds::new(1.0));
+            }
+            net.temperature(cpu).value()
+        };
+        assert_eq!(hooked, manual);
+        // And the spike actually propagated (CPU hotter than the calm rig).
+        let calm = {
+            let (mut net, _, _, cpu) = heater_rig(46.0, 0.02);
+            for _ in 0..1800 {
+                net.step(Seconds::new(1.0));
+            }
+            net.temperature(cpu).value()
+        };
+        assert!(hooked > calm + 1.0, "hooked {hooked} vs calm {calm}");
     }
 
     #[test]

@@ -111,6 +111,8 @@ pub struct Params {
     pub servers: Option<usize>,
     /// Fixed wax melting point in °C instead of the catalogue grid search.
     pub melt_temp_c: Option<f64>,
+    /// Scenario count for the chaos batch (the seed chain length).
+    pub seeds: Option<usize>,
 }
 
 /// Reads a JSON number as a bounded integer parameter.
@@ -130,7 +132,8 @@ fn int_param(name: &str, v: &Json, min: u64, max: u64) -> Result<u64, String> {
 
 impl Params {
     /// Every parameter name any experiment understands.
-    pub const KNOWN: &'static [&'static str] = &["threads", "seed", "servers", "melt_temp_c"];
+    pub const KNOWN: &'static [&'static str] =
+        &["threads", "seed", "servers", "melt_temp_c", "seeds"];
 
     /// Parses a request body. The body must be a JSON object; unknown
     /// keys, wrong types, and out-of-range values are errors (the serving
@@ -148,6 +151,7 @@ impl Params {
                 "threads" => p.threads = Some(int_param(key, value, 1, 1024)? as usize),
                 "seed" => p.seed = Some(int_param(key, value, 0, (1u64 << 53) - 1)?),
                 "servers" => p.servers = Some(int_param(key, value, 1, 1_000_000)? as usize),
+                "seeds" => p.seeds = Some(int_param(key, value, 1, 4096)? as usize),
                 "melt_temp_c" => {
                     let t = value
                         .as_f64()
@@ -185,6 +189,9 @@ impl Params {
         }
         if self.melt_temp_c.is_some() {
             out.push("melt_temp_c");
+        }
+        if self.seeds.is_some() {
+            out.push("seeds");
         }
         out
     }
@@ -311,6 +318,7 @@ pub fn registry() -> Vec<Box<dyn Experiment>> {
         Box::new(Fig11CoolingLoad),
         Box::new(Fig12Constrained),
         Box::new(DcsimQos),
+        Box::new(ChaosBatch),
     ]
 }
 
@@ -613,6 +621,96 @@ impl DcsimQos {
     }
 }
 
+/// The chaos batch: N seeded fault-injection scenarios, every invariant
+/// checked, failing seeds reported with their replay one-liners.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChaosBatch;
+
+impl Experiment for ChaosBatch {
+    fn name(&self) -> &'static str {
+        "chaos"
+    }
+
+    fn run(&self, ctx: &ExecCtx) -> Figure {
+        self.render(ctx, tts_chaos::BatchConfig::default())
+    }
+
+    fn supported_params(&self) -> &'static [&'static str] {
+        &["threads", "seed", "seeds", "servers"]
+    }
+
+    fn run_with(&self, ctx: &ExecCtx, params: &Params) -> Result<Figure, String> {
+        params.ensure_only(self.supported_params())?;
+        let mut cfg = tts_chaos::BatchConfig::default();
+        if let Some(seed) = params.seed {
+            cfg.base_seed = seed;
+        }
+        if let Some(seeds) = params.seeds {
+            cfg.seeds = seeds;
+        }
+        if let Some(servers) = params.servers {
+            cfg.scenario.servers = servers;
+        }
+        Ok(self.render(ctx, cfg))
+    }
+}
+
+impl ChaosBatch {
+    /// Runs the batch and renders the roll-up. The summary JSON is
+    /// byte-deterministic at any thread count, so it ships as an
+    /// artifact the CI gate can `cmp`.
+    fn render(&self, ctx: &ExecCtx, cfg: tts_chaos::BatchConfig) -> Figure {
+        let summary = tts_chaos::run_batch(&cfg);
+        ctx.sink()
+            .counter("chaos.scenarios")
+            .add(summary.scenarios as u64);
+        ctx.sink().counter("chaos.checks").add(summary.checks);
+        ctx.sink()
+            .counter("chaos.violations")
+            .add(summary.violations().len() as u64);
+
+        let mut fig = Figure::new("chaos", "Chaos batch: seeded fault-injection scenarios");
+        let mut rows = vec![
+            vec!["scenarios".into(), format!("{}", summary.scenarios)],
+            vec!["invariant checks".into(), format!("{}", summary.checks)],
+            vec![
+                "violations".into(),
+                format!("{}", summary.violations().len()),
+            ],
+        ];
+        for (kind, count) in &summary.fault_counts {
+            rows.push(vec![format!("faults: {kind}"), format!("{count}")]);
+        }
+        let table = text_table(&["metric", "value"], &rows);
+        fig.text.push_str(&format!(
+            "base seed {:#x}, {} scenarios across cluster/thermal/cooling/workload phases\n{table}",
+            summary.base_seed, summary.scenarios
+        ));
+        if !summary.all_green() {
+            fig.text.push_str("replay failing seeds with:\n");
+            for line in summary.replay_lines() {
+                fig.text.push_str(&format!("  {line}\n"));
+            }
+        }
+        fig.markdown.push_str(&format!(
+            "## Chaos batch — seeded fault injection\n\n{} scenarios sampled from base seed \
+             {:#x}; every scenario injects a typed fault plan into the cluster, thermal, \
+             cooling, and workload layers and checks invariants after every event.\n\n\
+             ```text\n{table}```\n\n",
+            summary.scenarios, summary.base_seed
+        ));
+        fig.key_values = vec![
+            ("scenarios".into(), summary.scenarios as f64),
+            ("checks".into(), summary.checks as f64),
+            ("violations".into(), summary.violations().len() as f64),
+            ("failing_seeds".into(), summary.failing_seeds.len() as f64),
+        ];
+        fig.artifacts
+            .push(("chaos.summary.json".into(), summary.to_json()));
+        fig
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -620,7 +718,7 @@ mod tests {
     #[test]
     fn registry_dispatches_by_name() {
         let names: Vec<&str> = registry().iter().map(|e| e.name()).collect();
-        assert_eq!(names, ["fig7", "fig11", "fig12", "dcsim"]);
+        assert_eq!(names, ["fig7", "fig11", "fig12", "dcsim", "chaos"]);
         assert!(find("fig11").is_some());
         assert!(find("fig99").is_none());
     }

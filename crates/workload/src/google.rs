@@ -127,6 +127,13 @@ impl GoogleTrace {
         let raw_series = TimeSeries::new(config.sample_period, raw_total);
         let total = normalize_mean_peak(&raw_series, config.target_mean, config.target_peak)
             .expect("composite diurnal trace is never constant");
+        // Utilization is physical: an aggressive mean/peak target can map a
+        // deep trough below zero through the affine renormalization, so
+        // clamp (the realized mean shifts imperceptibly).
+        let total = TimeSeries::new(
+            config.sample_period,
+            total.values().iter().map(|v| v.max(0.0)).collect(),
+        );
 
         // Scale the components consistently: the affine map applies to the
         // total; components get the multiplicative part plus their share of

@@ -69,6 +69,7 @@ fn main() {
             Joules::ZERO,
             Celsius::new(28.0),
         )
+        .time_to_critical
         .expect("bare room overheats");
         let waxed = ride_through(
             &room,
@@ -77,12 +78,13 @@ fn main() {
             Joules::new(1008.0 * 2.0e5),
             Celsius::new(28.0),
         )
+        .time_to_critical
         .expect("waxed room still overheats, later");
         println!("5. cooling-failure ride-through (full-power 1U cluster):");
         println!(
             "   {:.1} min bare -> {:.1} min with low-melting wax (rate-limited: the",
-            bare.time_to_critical.value() / 60.0,
-            waxed.time_to_critical.value() / 60.0
+            bare.value() / 60.0,
+            waxed.value() / 60.0
         );
         println!("   fleet's 200 MJ of latent storage can only drain a few kW passively)\n");
     }

@@ -34,16 +34,21 @@ fn ride_through_with_real_server_characteristics() {
         WattsPerKelvin::ZERO,
         Joules::ZERO,
         Celsius::new(30.0),
-    )
-    .expect("bare room overheats");
-    let waxed = ride_through(&room, it_power, coupling, budget, Celsius::new(30.0))
+    );
+    let waxed = ride_through(&room, it_power, coupling, budget, Celsius::new(30.0));
+    let bare_t = bare.time_to_critical.expect("bare room overheats");
+    let waxed_t = waxed
+        .time_to_critical
         .expect("waxed room overheats eventually");
     assert!(
-        waxed.time_to_critical.value() > bare.time_to_critical.value(),
+        waxed_t.value() > bare_t.value(),
         "real-chars wax must extend ride-through"
     );
     // And the extension is bounded (the rate limit is real physics).
-    assert!(waxed.time_to_critical.value() < 5.0 * bare.time_to_critical.value());
+    assert!(waxed_t.value() < 5.0 * bare_t.value());
+    // The report carries the peak the room actually saw.
+    assert!(waxed.peak_room_temp.value() >= room.critical.value());
+    assert!(waxed.wax_energy_absorbed.value() > 0.0);
 }
 
 #[test]
