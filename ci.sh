@@ -89,4 +89,34 @@ TTS_THREADS=1 "$REPRO" chaos --seeds 8 --summary "$TMPDIR_CI/chaos.t1.json"
 TTS_THREADS=4 "$REPRO" chaos --seeds 8 --summary "$TMPDIR_CI/chaos.t4.json"
 cmp "$TMPDIR_CI/chaos.t1.json" "$TMPDIR_CI/chaos.t4.json"
 
+echo "==> fleet gate (100k servers, 6 h horizon, byte-identical at 1 and 4 threads)"
+# The epoch-sharded fleet engine must not let the worker count leak into
+# results: the same 100k-server run at 1 and 4 threads has to produce
+# byte-identical summary AND raw-metrics JSON.
+for T in 1 4; do
+  (cd "$TMPDIR_CI" && TTS_THREADS=$T "$REPRO_ABS" fleet \
+    --servers 100000 --horizon-h 6 --write > /dev/null)
+  cp "$TMPDIR_CI/results/fleet.summary.json" "$TMPDIR_CI/fleet.t$T.summary.json"
+  cp "$TMPDIR_CI/results/fleet.json" "$TMPDIR_CI/fleet.t$T.raw.json"
+done
+cmp "$TMPDIR_CI/fleet.t1.summary.json" "$TMPDIR_CI/fleet.t4.summary.json"
+cmp "$TMPDIR_CI/fleet.t1.raw.json" "$TMPDIR_CI/fleet.t4.raw.json"
+
+echo "==> fleet bench gate (server-step throughput within 20% of BENCH_fleet.json)"
+# Same degradation contract as the thermal gate above: exit 3 (missing or
+# malformed baseline) warns instead of failing. The tolerance is wide
+# because the quantity being protected is architectural — the fleet
+# engine clears the legacy engine by ~3,000x, so a 20% drift is noise
+# while any real regression (say, falling back to per-job events)
+# overshoots it by orders of magnitude.
+TTS_BENCH_SAMPLES=3 TTS_BENCH_OUT="$TMPDIR_CI/fleet_engine.json" \
+  cargo bench --offline -q -p tts-bench --bench fleet_engine
+bench_rc=0
+"$REPRO" bench-check "$TMPDIR_CI/fleet_engine.json" BENCH_fleet.json 20 || bench_rc=$?
+if [ "$bench_rc" -eq 3 ]; then
+  echo "ci.sh: WARNING: fleet bench gate skipped (no usable baseline; exit 3)"
+elif [ "$bench_rc" -ne 0 ]; then
+  exit "$bench_rc"
+fi
+
 echo "ci.sh: all gates passed"

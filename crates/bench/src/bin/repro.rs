@@ -1,12 +1,19 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [table1|fig1|fig4|fig7|fig10|fig11|fig12|table2|tco|dcsim|extensions|all]
+//! repro [table1|fig1|fig4|fig7|fig10|fig11|fig12|table2|tco|dcsim|fleet|extensions|all]
 //!       [--write] [--threads N] [--metrics PATH] [--wall-unix SECS]
+//! repro fleet [--servers N] [--shards N] [--datacenters N] [--horizon-h H]
+//!             [--seed N] [--write] [--threads N]
 //! repro bench-check <report.json> <baseline.json> <max-regress-pct>
 //! repro chaos [--seeds N] [--seed 0xHEX] [--plan FILE] [--summary PATH]
 //!             [--no-storm] [--threads N]
 //! ```
+//!
+//! `fleet` runs the epoch-sharded fleet engine (default: 1,000,000
+//! servers across 4 datacenters for the two-day trace); the scale flags
+//! map onto the experiment's [`Params`] and the summary bytes are
+//! identical at any `--threads` or `--shards` value.
 //!
 //! With `--write`, the harness also rewrites `EXPERIMENTS.md` (the
 //! paper-vs-measured record) and dumps raw results as JSON under
@@ -37,7 +44,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 use thermal_time_shifting::chart::ascii_chart;
-use thermal_time_shifting::experiment::{self, ExecCtx, Figure};
+use thermal_time_shifting::experiment::{self, ExecCtx, Figure, Params};
 use thermal_time_shifting::experiments::{self, Comparison};
 use tts_bench::{comparison_row, format_quantity, text_table};
 use tts_server::ServerClass;
@@ -83,6 +90,38 @@ fn main() {
             std::process::exit(2);
         })
     });
+    // Fleet scale flags, routed through the experiment's Params surface.
+    let mut fleet_params = Params::default();
+    let mut scale_flag = |name: &'static str, f: &mut dyn FnMut(&mut Params, u64)| {
+        if let Some(raw) = flag_value(name) {
+            let n = raw
+                .parse::<u64>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .unwrap_or_else(|| {
+                    eprintln!("{name} requires a positive integer");
+                    std::process::exit(2);
+                });
+            f(&mut fleet_params, n);
+        }
+    };
+    scale_flag("--servers", &mut |p, n| p.servers = Some(n as usize));
+    scale_flag("--shards", &mut |p, n| p.shards = Some(n as usize));
+    scale_flag("--datacenters", &mut |p, n| {
+        p.datacenters = Some(n as usize)
+    });
+    scale_flag("--seed", &mut |p, n| p.seed = Some(n));
+    if let Some(raw) = flag_value("--horizon-h") {
+        let h = raw
+            .parse::<f64>()
+            .ok()
+            .filter(|h| h.is_finite() && *h > 0.0)
+            .unwrap_or_else(|| {
+                eprintln!("--horizon-h requires a positive number of hours");
+                std::process::exit(2);
+            });
+        fleet_params.horizon_h = Some(h);
+    }
     let which = args
         .iter()
         .enumerate()
@@ -161,6 +200,16 @@ fn main() {
     }
     if all || which == "dcsim" {
         run_experiment("dcsim", &ctx, &mut md, &mut comparisons, write);
+    }
+    if all || which == "fleet" {
+        run_experiment_with(
+            "fleet",
+            &fleet_params,
+            &ctx,
+            &mut md,
+            &mut comparisons,
+            write,
+        );
     }
     if all || which == "extensions" {
         run_extensions(&mut md);
@@ -259,8 +308,24 @@ fn run_experiment(
     comparisons: &mut Vec<(String, Comparison)>,
     write: bool,
 ) -> Figure {
+    run_experiment_with(name, &Params::default(), ctx, md, comparisons, write)
+}
+
+/// [`run_experiment`] with caller-supplied parameter overrides (the fleet
+/// scale flags); an unsupported override is a usage error.
+fn run_experiment_with(
+    name: &str,
+    params: &Params,
+    ctx: &ExecCtx,
+    md: &mut String,
+    comparisons: &mut Vec<(String, Comparison)>,
+    write: bool,
+) -> Figure {
     let exp = experiment::find(name).expect("experiment is registered");
-    let fig = exp.run(ctx);
+    let fig = exp.run_with(ctx, params).unwrap_or_else(|msg| {
+        eprintln!("{name}: {msg}");
+        std::process::exit(2);
+    });
     println!("=== {} ===", fig.title);
     println!("{}", fig.text);
     md.push_str(&fig.markdown);

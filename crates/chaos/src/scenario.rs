@@ -22,6 +22,7 @@ use crate::invariant::{Checker, Violation};
 use tts_cooling::emergency::{ride_through_degraded, DegradedCooling, RoomModel};
 use tts_dcsim::balancer::LeastLoaded;
 use tts_dcsim::discrete::{ClusterConfig, FaultAction, FaultHook};
+use tts_dcsim::fleet::{DatacenterSpec, FleetConfig};
 use tts_obs::MetricsSink;
 use tts_pcm::{PcmMaterial, PcmState};
 use tts_rng::{Normal, SeedableRng, Xoshiro256pp};
@@ -254,6 +255,7 @@ fn cluster_phase(
     checker: &mut Checker,
 ) -> (u64, u64, u64, u64) {
     let trace = faulted_trace(cfg, plan);
+    fleet_cross_check(seed, cfg, plan, &trace, checker);
     let jobs = JobStream::new(trace, JobType::SocialNetworking, cfg.servers, seed).collect_all();
     let offered = jobs.len() as u64;
     let sink = MetricsSink::fresh();
@@ -323,6 +325,62 @@ fn cluster_phase(
         m.stale_completions,
         m.fault_events,
     )
+}
+
+/// Phase 1b: the epoch-sharded fleet engine stepped over the same trace
+/// and fault plan, once un-sharded and once with ≥4 shards. The two runs
+/// must agree byte-for-byte (metrics, JSON rendering, and telemetry
+/// counters) and the work ledger must conserve — the chaos-level pin on
+/// the fleet engine's shard-invariance contract.
+fn fleet_cross_check(
+    seed: u64,
+    cfg: &ScenarioConfig,
+    plan: &FaultPlan,
+    trace: &TimeSeries,
+    checker: &mut Checker,
+) {
+    let run = |shards: usize| {
+        let sink = MetricsSink::fresh();
+        let mut sim = FleetConfig::new(trace.clone())
+            .datacenter(DatacenterSpec::new("chaos", cfg.servers))
+            .cores_per_server(cfg.cores)
+            // One rack per server so even a tiny chaos cluster really
+            // splits into ≥4 shards.
+            .rack_size(1)
+            .shards(shards)
+            .seed(seed)
+            .horizon(Seconds::new(cfg.window_s))
+            .metrics(&sink)
+            .build();
+        sim.set_fault_hook(Box::new(PlanFaultHook::from_plan(plan)));
+        let m = sim.run();
+        (m, sink)
+    };
+    let (unsharded, sink1) = run(1);
+    let (sharded, sink4) = run(4.min(cfg.servers));
+    checker.check(
+        "fleet.shard_invariance",
+        unsharded == sharded
+            && unsharded.to_json().to_string_pretty() == sharded.to_json().to_string_pretty(),
+        || format!("1-shard and sharded runs disagree: {unsharded:?} vs {sharded:?}"),
+    );
+    checker.check(
+        "fleet.counters_invariant",
+        ["fleet.epochs", "fleet.fault.kills", "fleet.fault.revives"]
+            .iter()
+            .all(|name| sink1.counter(name).value() == sink4.counter(name).value()),
+        || "sharding changed a telemetry counter".to_string(),
+    );
+    checker.check(
+        "fleet.conservation",
+        unsharded.conservation_error_core_s.abs() <= 1e-6 * unsharded.offered_core_s.max(1.0),
+        || {
+            format!(
+                "work ledger drift {} of {} offered core-s",
+                unsharded.conservation_error_core_s, unsharded.offered_core_s
+            )
+        },
+    );
 }
 
 /// Phase 2: a PCM-backed server rig under boundary-condition faults.

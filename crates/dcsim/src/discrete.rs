@@ -4,9 +4,23 @@
 //! balancing, and work completion ... at the server, rack, and cluster
 //! levels". Each server runs up to `cores` jobs concurrently; excess jobs
 //! wait in a per-server FIFO. A pluggable [`Balancer`] routes arrivals.
+//!
+//! # Engine layout (fleet-scale rebuild)
+//!
+//! Server state lives in struct-of-arrays form ([`ServerArrays`]): core
+//! occupancy, kill epoch, and the QoS accumulators (busy time, completion
+//! counts) are parallel flat arrays, so the hot dispatch/completion loop
+//! walks cache-linear memory, and the balancer's occupancy view is
+//! maintained incrementally instead of rebuilt O(n) per arrival. The
+//! event queue is the bucketed [`CalendarQueue`] (O(1) amortized) rather
+//! than a binary heap. Both changes preserve the exact event order and
+//! float-operation order of the original engine — the old heap engine is
+//! frozen in [`crate::legacy`] and `tests/engine_equivalence.rs` proves
+//! the two byte-identical. For epoch-sharded fleet scale (1M+ servers)
+//! see [`crate::fleet`].
 
 use crate::balancer::Balancer;
-use crate::event::EventQueue;
+use crate::calendar::CalendarQueue;
 use std::collections::VecDeque;
 use tts_obs::{Counter, Gauge, MetricsSink};
 use tts_units::Seconds;
@@ -91,7 +105,7 @@ impl ClusterConfig {
             UtilRecorder::new(self.servers, interval.value())
         });
         DiscreteClusterSim {
-            servers: (0..self.servers).map(|_| ServerState::default()).collect(),
+            soa: ServerArrays::new(self.servers),
             cores_per_server: self.cores_per_server,
             rack_size,
             balancer,
@@ -207,27 +221,66 @@ struct Completion {
     job_type: JobType,
 }
 
-#[derive(Debug, Default)]
-struct ServerState {
-    active: usize,
-    queue: VecDeque<Job>,
+/// Struct-of-arrays server state: one flat array per field instead of a
+/// `Vec<ServerState>` of structs. The dispatch/completion hot loop reads
+/// `occupancy` (and nothing else) for routing, so arrivals touch one
+/// contiguous array; the per-server QoS accumulators (`busy_time`,
+/// `completed`) are equally flat for the closing sweep.
+#[derive(Debug)]
+struct ServerArrays {
+    /// Jobs in service (≤ cores), per server.
+    active: Vec<usize>,
+    /// Waiting jobs, per server.
+    queue: Vec<VecDeque<Job>>,
     /// Jobs currently in service (mirrors `active`); kept so a kill can
     /// re-dispatch them. Original arrival times ride along, so sojourn
     /// accounting spans the interruption.
-    running: Vec<Job>,
-    busy_time: f64,
-    completed: u64,
-    last_change: f64,
+    running: Vec<Vec<Job>>,
+    /// Busy core-seconds accumulated, per server.
+    busy_time: Vec<f64>,
+    /// Completed jobs, per server.
+    completed: Vec<u64>,
+    /// Time of the last occupancy change, per server.
+    last_change: Vec<f64>,
     /// Down due to an injected fault.
-    down: bool,
+    down: Vec<bool>,
     /// Bumped on every kill; stale completions carry an older value.
-    epoch: u64,
+    epoch: Vec<u64>,
+    /// The balancer's routing view: `active + queue.len()` per server,
+    /// `usize::MAX` when down. Maintained incrementally at every
+    /// transition — exactly the vector the legacy engine rebuilt O(n)
+    /// per dispatch, so every balancer sees identical input.
+    occupancy: Vec<usize>,
+    /// Count of not-down servers (0 ⇒ arrivals park in the orphan
+    /// buffer).
+    live: usize,
 }
 
-impl ServerState {
-    fn account(&mut self, now: f64, cores: usize) {
-        self.busy_time += self.active.min(cores) as f64 * (now - self.last_change);
-        self.last_change = now;
+impl ServerArrays {
+    fn new(n: usize) -> Self {
+        Self {
+            active: vec![0; n],
+            queue: (0..n).map(|_| VecDeque::new()).collect(),
+            running: (0..n).map(|_| Vec::new()).collect(),
+            busy_time: vec![0.0; n],
+            completed: vec![0; n],
+            last_change: vec![0.0; n],
+            down: vec![false; n],
+            epoch: vec![0; n],
+            occupancy: vec![0; n],
+            live: n,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Accrues server `s` busy time from its last change to `now`
+    /// (same arithmetic, same order as the legacy `ServerState::account`).
+    fn account(&mut self, s: usize, now: f64, cores: usize) {
+        self.busy_time[s] += self.active[s].min(cores) as f64 * (now - self.last_change[s]);
+        self.last_change[s] = now;
     }
 }
 
@@ -277,7 +330,7 @@ pub struct DiscreteMetrics {
 /// The discrete event-driven cluster simulator.
 #[derive(Debug)]
 pub struct DiscreteClusterSim<B: Balancer> {
-    servers: Vec<ServerState>,
+    soa: ServerArrays,
     cores_per_server: usize,
     rack_size: usize,
     balancer: B,
@@ -372,8 +425,8 @@ impl<B: Balancer> DiscreteClusterSim<B> {
             return;
         };
         while hook.next <= t {
-            let active: usize = self.servers.iter().map(|s| s.active).sum();
-            let queued: usize = self.servers.iter().map(|s| s.queue.len()).sum();
+            let active: usize = self.soa.active.iter().sum();
+            let queued: usize = self.soa.queue.iter().map(|q| q.len()).sum();
             self.obs.active_jobs.set(active as f64);
             self.obs.queued_jobs.set(queued as f64);
             (hook.f)(Seconds::new(hook.next));
@@ -391,7 +444,7 @@ impl<B: Balancer> DiscreteClusterSim<B> {
 
     /// Number of servers currently taken down by faults.
     pub fn servers_down(&self) -> usize {
-        self.servers.iter().filter(|s| s.down).count()
+        self.soa.len() - self.soa.live
     }
 
     /// Routes `job` to a live server through the balancer; used for both
@@ -399,28 +452,19 @@ impl<B: Balancer> DiscreteClusterSim<B> {
     /// downed server, falls back to the least-occupied live one (lowest
     /// index on ties) — deterministic for every balancer. With the whole
     /// cluster down the job is parked in the orphan buffer.
-    fn dispatch_job(&mut self, job: Job, now: f64, queue: &mut EventQueue<Completion>) {
-        if self.servers.iter().all(|s| s.down) {
+    fn dispatch_job(&mut self, job: Job, now: f64, queue: &mut CalendarQueue<Completion>) {
+        if self.soa.live == 0 {
             self.orphans.push_back(job);
             return;
         }
-        let occupancy: Vec<usize> = self
-            .servers
-            .iter()
-            .map(|s| {
-                if s.down {
-                    usize::MAX
-                } else {
-                    s.active + s.queue.len()
-                }
-            })
-            .collect();
-        let mut target = self.balancer.pick(&occupancy);
-        if target >= self.servers.len() || self.servers[target].down {
-            target = occupancy
+        let mut target = self.balancer.pick(&self.soa.occupancy);
+        if target >= self.soa.len() || self.soa.down[target] {
+            target = self
+                .soa
+                .occupancy
                 .iter()
                 .enumerate()
-                .filter(|(i, _)| !self.servers[*i].down)
+                .filter(|(i, _)| !self.soa.down[*i])
                 .min_by_key(|(_, occ)| **occ)
                 .map(|(i, _)| i)
                 .expect("at least one live server");
@@ -428,36 +472,42 @@ impl<B: Balancer> DiscreteClusterSim<B> {
         if let Some(rec) = self.util_recording.as_mut() {
             rec.account(target, now, self.cores_per_server);
         }
-        let server = &mut self.servers[target];
-        server.account(now, self.cores_per_server);
-        if server.active < self.cores_per_server {
-            server.active += 1;
-            server.running.push(job);
+        self.soa.account(target, now, self.cores_per_server);
+        if self.soa.active[target] < self.cores_per_server {
+            self.soa.active[target] += 1;
+            self.soa.running[target].push(job);
             queue.push(
                 now + job.service_time.value(),
                 Completion {
                     server: target,
-                    epoch: server.epoch,
+                    epoch: self.soa.epoch[target],
                     job_id: job.id,
                     arrival: job.arrival.value(),
                     job_type: job.job_type,
                 },
             );
         } else {
-            server.queue.push_back(job);
+            self.soa.queue[target].push_back(job);
             self.obs.enqueued.incr();
         }
-        let active_now = self.servers[target].active;
+        // Both branches added one job to the server (in service or
+        // queued), so the routing view moves by exactly one.
+        self.soa.occupancy[target] += 1;
         if let Some(rec) = self.util_recording.as_mut() {
-            rec.active[target] = active_now;
+            rec.active[target] = self.soa.active[target];
         }
     }
 
     /// Applies one fault action at simulated time `now`.
-    fn apply_fault(&mut self, action: FaultAction, now: f64, queue: &mut EventQueue<Completion>) {
+    fn apply_fault(
+        &mut self,
+        action: FaultAction,
+        now: f64,
+        queue: &mut CalendarQueue<Completion>,
+    ) {
         match action {
             FaultAction::KillServer(s) => {
-                if s >= self.servers.len() || self.servers[s].down {
+                if s >= self.soa.len() || self.soa.down[s] {
                     return;
                 }
                 self.fault_events += 1;
@@ -466,13 +516,14 @@ impl<B: Balancer> DiscreteClusterSim<B> {
                     rec.account(s, now, self.cores_per_server);
                     rec.active[s] = 0;
                 }
-                let server = &mut self.servers[s];
-                server.account(now, self.cores_per_server);
-                server.down = true;
-                server.epoch += 1;
-                server.active = 0;
-                let mut displaced: Vec<Job> = server.running.drain(..).collect();
-                displaced.extend(server.queue.drain(..));
+                self.soa.account(s, now, self.cores_per_server);
+                self.soa.down[s] = true;
+                self.soa.epoch[s] += 1;
+                self.soa.active[s] = 0;
+                self.soa.occupancy[s] = usize::MAX;
+                self.soa.live -= 1;
+                let mut displaced: Vec<Job> = self.soa.running[s].drain(..).collect();
+                displaced.extend(self.soa.queue[s].drain(..));
                 for job in displaced {
                     self.rescheduled += 1;
                     self.obs.fault_rescheduled.incr();
@@ -480,14 +531,15 @@ impl<B: Balancer> DiscreteClusterSim<B> {
                 }
             }
             FaultAction::ReviveServer(s) => {
-                if s >= self.servers.len() || !self.servers[s].down {
+                if s >= self.soa.len() || !self.soa.down[s] {
                     return;
                 }
                 self.fault_events += 1;
                 self.obs.fault_revives.incr();
-                let server = &mut self.servers[s];
-                server.down = false;
-                server.last_change = now;
+                self.soa.down[s] = false;
+                self.soa.last_change[s] = now;
+                self.soa.live += 1;
+                self.soa.occupancy[s] = self.soa.active[s] + self.soa.queue[s].len();
                 if let Some(rec) = self.util_recording.as_mut() {
                     rec.last_change[s] = now;
                 }
@@ -505,7 +557,7 @@ impl<B: Balancer> DiscreteClusterSim<B> {
     /// with [`Self::utilization_trace`].
     pub fn record_utilization(&mut self, interval: Seconds) {
         assert!(interval.value() > 0.0, "interval must be positive");
-        self.util_recording = Some(UtilRecorder::new(self.servers.len(), interval.value()));
+        self.util_recording = Some(UtilRecorder::new(self.soa.len(), interval.value()));
     }
 
     /// The recorded cluster-utilization trace (fraction of total core
@@ -520,7 +572,7 @@ impl<B: Balancer> DiscreteClusterSim<B> {
         if rec.busy.is_empty() {
             return None;
         }
-        let capacity = (self.servers.len() * self.cores_per_server) as f64 * rec.interval;
+        let capacity = (self.soa.len() * self.cores_per_server) as f64 * rec.interval;
         let values: Vec<f64> = rec.busy.iter().map(|b| (b / capacity).min(1.0)).collect();
         Some(tts_workload::TimeSeries::new(
             Seconds::new(rec.interval),
@@ -534,7 +586,7 @@ impl<B: Balancer> DiscreteClusterSim<B> {
     /// # Panics
     /// Panics if jobs are not sorted by arrival time.
     pub fn run(&mut self, jobs: &[Job], horizon: Seconds) -> DiscreteMetrics {
-        let mut queue: EventQueue<Completion> = EventQueue::new();
+        let mut queue: CalendarQueue<Completion> = CalendarQueue::new();
         let horizon = horizon.value();
         let mut job_iter = jobs.iter().peekable();
         let mut last_arrival = f64::NEG_INFINITY;
@@ -598,7 +650,7 @@ impl<B: Balancer> DiscreteClusterSim<B> {
                 self.dispatch_job(job, now, &mut queue);
             } else {
                 let (_, c) = queue.pop().expect("completion peeked");
-                if self.servers[c.server].down || self.servers[c.server].epoch != c.epoch {
+                if self.soa.down[c.server] || self.soa.epoch[c.server] != c.epoch {
                     // The server died after this completion was
                     // scheduled; the job was already re-dispatched.
                     self.stale_completions += 1;
@@ -608,38 +660,37 @@ impl<B: Balancer> DiscreteClusterSim<B> {
                 if let Some(rec) = self.util_recording.as_mut() {
                     rec.account(c.server, now, self.cores_per_server);
                 }
-                let server = &mut self.servers[c.server];
-                server.account(now, self.cores_per_server);
-                server.active -= 1;
-                server.completed += 1;
-                if let Some(pos) = server
-                    .running
+                self.soa.account(c.server, now, self.cores_per_server);
+                self.soa.active[c.server] -= 1;
+                self.soa.completed[c.server] += 1;
+                if let Some(pos) = self.soa.running[c.server]
                     .iter()
                     .position(|j| j.id == c.job_id && j.arrival.value() == c.arrival)
                 {
-                    server.running.remove(pos);
+                    self.soa.running[c.server].remove(pos);
                 }
                 self.obs.completions.incr();
                 self.response_times.push(now - c.arrival);
                 self.response_by_type.push((c.job_type, now - c.arrival));
-                if let Some(next) = server.queue.pop_front() {
-                    server.active += 1;
-                    server.running.push(next);
-                    let epoch = server.epoch;
+                if let Some(next) = self.soa.queue[c.server].pop_front() {
+                    self.soa.active[c.server] += 1;
+                    self.soa.running[c.server].push(next);
                     queue.push(
                         now + next.service_time.value(),
                         Completion {
                             server: c.server,
-                            epoch,
+                            epoch: self.soa.epoch[c.server],
                             job_id: next.id,
                             arrival: next.arrival.value(),
                             job_type: next.job_type,
                         },
                     );
                 }
-                let active_now = self.servers[c.server].active;
+                // One job left the server (a queued one may have moved
+                // into service, which keeps the count): occupancy −1.
+                self.soa.occupancy[c.server] -= 1;
                 if let Some(rec) = self.util_recording.as_mut() {
-                    rec.active[c.server] = active_now;
+                    rec.active[c.server] = self.soa.active[c.server];
                 }
             }
         }
@@ -648,29 +699,27 @@ impl<B: Balancer> DiscreteClusterSim<B> {
         let end = now.max(horizon.min(now + 1.0));
         self.drain_flushes(end);
         if let Some(rec) = self.util_recording.as_mut() {
-            for s in 0..self.servers.len() {
+            for s in 0..self.soa.len() {
                 rec.account(s, end, self.cores_per_server);
             }
         }
-        // Independent per-server bookkeeping: disjoint &mut access, so the
-        // parallel sweep is deterministic by construction.
-        let cores = self.cores_per_server;
-        tts_exec::par_for_each_mut(&mut self.servers, |s| s.account(end, cores));
+        // Per-server close-out over the flat arrays. Each server's update
+        // is independent, so this sweep is byte-identical to the legacy
+        // engine's parallel one.
+        for s in 0..self.soa.len() {
+            self.soa.account(s, end, self.cores_per_server);
+        }
         self.metrics(end)
     }
 
     fn metrics(&self, end: f64) -> DiscreteMetrics {
-        let completed: u64 = self.servers.iter().map(|s| s.completed).sum();
+        let completed: u64 = self.soa.completed.iter().sum();
         // In-service jobs are counted from server state, not the event
         // queue — stale completions of killed servers still sit in the
         // queue and must not inflate the in-flight count.
-        let in_service: u64 = self
-            .servers
-            .iter()
-            .map(|s| s.running.len() as u64)
-            .sum::<u64>()
+        let in_service: u64 = self.soa.running.iter().map(|r| r.len() as u64).sum::<u64>()
             + self.orphans.len() as u64;
-        let queued: u64 = self.servers.iter().map(|s| s.queue.len() as u64).sum();
+        let queued: u64 = self.soa.queue.iter().map(|q| q.len() as u64).sum();
         let mut sorted = self.response_times.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("response times are finite"));
         let mean = if sorted.is_empty() {
@@ -684,7 +733,7 @@ impl<B: Balancer> DiscreteClusterSim<B> {
             sorted[((sorted.len() as f64 * 0.95) as usize).min(sorted.len() - 1)]
         };
         let cap = self.cores_per_server as f64 * end;
-        let server_utilization: Vec<f64> = self.servers.iter().map(|s| s.busy_time / cap).collect();
+        let server_utilization: Vec<f64> = self.soa.busy_time.iter().map(|b| b / cap).collect();
         let rack_utilization: Vec<f64> = server_utilization
             .chunks(self.rack_size)
             .map(|rack| rack.iter().sum::<f64>() / rack.len() as f64)
@@ -1170,6 +1219,35 @@ mod tests {
         assert!(
             second_hour > 2.5 * first_hour,
             "step not visible: {first_hour} vs {second_hour}"
+        );
+    }
+
+    #[test]
+    fn matches_legacy_engine_on_a_faulted_run() {
+        // Spot check (the full matrix lives in tests/engine_equivalence.rs):
+        // same jobs + same fault plan through both engines, byte-equal
+        // metrics.
+        let jobs = flat_jobs(0.6, 8, 1.0, 23);
+        let faults = vec![
+            (500.0, FaultAction::KillServer(2)),
+            (700.0, FaultAction::KillServer(5)),
+            (1500.0, FaultAction::ReviveServer(2)),
+        ];
+        let mut new_sim = ClusterConfig::new(8)
+            .cores_per_server(2)
+            .rack_size(4)
+            .build(LeastLoaded::new());
+        new_sim.set_fault_hook(Box::new(Scheduled::new(faults.clone())));
+        new_sim.record_utilization(Seconds::new(300.0));
+        let new_m = new_sim.run(&jobs, Seconds::new(3600.0));
+        let mut old_sim = crate::legacy::LegacySim::new(8, 2, 4, LeastLoaded::new());
+        old_sim.set_fault_hook(Box::new(Scheduled::new(faults)));
+        old_sim.record_utilization(Seconds::new(300.0));
+        let old_m = old_sim.run(&jobs, Seconds::new(3600.0));
+        assert_eq!(new_m, old_m);
+        assert_eq!(
+            format!("{:?}", new_sim.utilization_trace()),
+            format!("{:?}", old_sim.utilization_trace())
         );
     }
 }

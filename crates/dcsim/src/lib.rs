@@ -10,6 +10,11 @@
 //! description:
 //!
 //! * [`event`] — the deterministic event queue;
+//! * [`calendar`] — the bucketed calendar queue behind the discrete
+//!   engine's hot path (same total order, O(1) amortized);
+//! * [`fleet`] — the epoch-sharded fleet engine: struct-of-arrays fluid
+//!   state for 1M+ servers across multiple datacenters, byte-identical
+//!   across thread *and* shard counts;
 //! * [`balancer`] — round-robin (the paper's policy) plus least-loaded and
 //!   random, for the load-balancing ablation;
 //! * [`discrete`] — the discrete job-level cluster simulator (server, rack
@@ -28,18 +33,24 @@
 #![warn(missing_docs)]
 
 pub mod balancer;
+pub mod calendar;
 pub mod cluster;
 pub mod datacenter;
 pub mod discrete;
 pub mod event;
+pub mod fleet;
 pub mod heterogeneous;
+#[doc(hidden)]
+pub mod legacy;
 pub mod relocation;
 pub mod throttle;
 
 pub use balancer::{Balancer, LeastLoaded, RandomBalancer, RoundRobin};
+pub use calendar::CalendarQueue;
 pub use cluster::{select_melting_point, ClusterConfig, CoolingLoadRun};
 pub use datacenter::Datacenter;
 pub use discrete::{DiscreteClusterSim, DiscreteMetrics, FaultAction, FaultHook};
+pub use fleet::{DatacenterSpec, FleetConfig, FleetMetrics, FleetSim};
 pub use heterogeneous::{deployment_sweep, run_partial_deployment, DeploymentPoint};
 pub use relocation::{run_relocation, wax_vs_relocation, RelocationRun};
 pub use throttle::{ConstrainedConfig, ConstrainedRun};

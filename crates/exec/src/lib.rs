@@ -274,6 +274,55 @@ where
     });
 }
 
+/// Applies `f` to every element of a mutable slice in parallel and
+/// returns the per-element results **in input order**. The in-place
+/// sibling of [`par_map`]: each element is visited exactly once through a
+/// disjoint `&mut`, so for a pure-per-element `f` the mutations *and* the
+/// returned `Vec` are byte-identical to the serial loop at any thread
+/// count. Used by the fleet engine to step shards while collecting their
+/// per-rack partial sums for an ordered merge.
+pub fn par_map_mut<T, U, F>(items: &mut [T], f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(&mut T) -> U + Sync,
+{
+    par_map_mut_with(thread_count(), items, f)
+}
+
+/// [`par_map_mut`] with an explicit worker count (1 = guaranteed serial
+/// execution on the calling thread).
+pub fn par_map_mut_with<T, U, F>(threads: usize, items: &mut [T], f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(&mut T) -> U + Sync,
+{
+    let workers = threads.max(1).min(items.len());
+    if workers <= 1 {
+        return items.iter_mut().map(f).collect();
+    }
+    // Static chunking (as in `par_for_each_mut_with`): contiguous chunks
+    // keep the borrow checker happy with plain safe code, and chunk order
+    // equals input order, so concatenating per-chunk results reassembles
+    // the serial output exactly.
+    let chunk = items.len().div_ceil(workers);
+    let mut out = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks_mut(chunk)
+            .map(|part| scope.spawn(|| part.iter_mut().map(&f).collect::<Vec<U>>()))
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -377,6 +426,36 @@ mod tests {
                 .to_string_pretty();
             assert!(!rendered.contains("exec."), "{section}: {rendered}");
         }
+    }
+
+    #[test]
+    fn map_mut_mutates_and_returns_in_input_order() {
+        for threads in [1, 2, 5, 16] {
+            let mut data: Vec<u64> = (0..83).collect();
+            let out = par_map_mut_with(threads, &mut data, |v| {
+                *v += 1000;
+                *v * 2
+            });
+            let mutated: Vec<u64> = (0..83).map(|v| v + 1000).collect();
+            let expected: Vec<u64> = mutated.iter().map(|v| v * 2).collect();
+            assert_eq!(data, mutated, "threads={threads}");
+            assert_eq!(out, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_mut_matches_serial_bitwise_on_floats() {
+        let base: Vec<f64> = (0..250).map(|i| 0.3 * i as f64).collect();
+        let f = |x: &mut f64| {
+            *x = (x.cos() * 1e3).abs().sqrt();
+            *x / 7.0
+        };
+        let (mut a, mut b) = (base.clone(), base);
+        let serial = par_map_mut_with(1, &mut a, f);
+        let parallel = par_map_mut_with(7, &mut b, f);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a), bits(&b));
+        assert_eq!(bits(&serial), bits(&parallel));
     }
 
     #[test]

@@ -1,0 +1,208 @@
+//! The engine-equivalence lockdown: the rebuilt discrete engine
+//! (struct-of-arrays state + calendar queue) must produce *byte-identical*
+//! metrics and utilization traces to the frozen legacy heap engine
+//! (`tts_dcsim::legacy`) on every seeded (workload, cluster-size,
+//! fault-plan) combination, at every thread count.
+//!
+//! Everything lives in ONE `#[test]` because `tts_exec::set_thread_override`
+//! is process-global: parallel test threads in the same binary would race
+//! on it. This binary is its own process, so the override is safe here.
+
+use tts_chaos::{FaultPlan, PlanConfig, PlanFaultHook};
+use tts_dcsim::balancer::{Balancer, LeastLoaded, RandomBalancer, RoundRobin};
+use tts_dcsim::discrete::ClusterConfig;
+use tts_dcsim::legacy::LegacySim;
+use tts_units::Seconds;
+use tts_workload::series::TimeSeries;
+use tts_workload::{Job, JobStream, JobType};
+
+/// One seeded combination of the spaces the two engines must agree on.
+struct Combo {
+    label: &'static str,
+    servers: usize,
+    cores: usize,
+    rack_size: usize,
+    seed: u64,
+    util: f64,
+    job_type: JobType,
+    max_faults: usize,
+}
+
+fn jobs_for(c: &Combo) -> Vec<Job> {
+    let trace = TimeSeries::new(Seconds::new(60.0), vec![c.util; 60]);
+    JobStream::new(trace, c.job_type, c.servers, c.seed).collect_all()
+}
+
+fn plan_for(c: &Combo) -> FaultPlan {
+    FaultPlan::sample(
+        c.seed ^ 0xfa17,
+        &PlanConfig {
+            window_s: 3_600.0,
+            servers: c.servers,
+            max_faults: c.max_faults,
+        },
+    )
+}
+
+/// Runs the combo through both engines with identical inputs and asserts
+/// byte-level agreement of the metrics and the utilization traces.
+fn assert_engines_agree<B: Balancer + 'static>(c: &Combo, mk_balancer: impl Fn() -> B) {
+    let jobs = jobs_for(c);
+    let plan = plan_for(c);
+    let horizon = Seconds::new(3_600.0);
+    let cadence = Seconds::new(300.0);
+
+    let mut legacy = LegacySim::new(c.servers, c.cores, c.rack_size, mk_balancer());
+    legacy.set_fault_hook(Box::new(PlanFaultHook::from_plan(&plan)));
+    legacy.record_utilization(cadence);
+    let legacy_m = legacy.run(&jobs, horizon);
+
+    let mut sim = ClusterConfig::new(c.servers)
+        .cores_per_server(c.cores)
+        .rack_size(c.rack_size)
+        .record_utilization(cadence)
+        .build(mk_balancer());
+    sim.set_fault_hook(Box::new(PlanFaultHook::from_plan(&plan)));
+    let new_m = sim.run(&jobs, horizon);
+
+    // PartialEq first (clear diff on failure), then the Debug rendering,
+    // which pins every f64 bit pattern — `assert_eq!` on floats admits
+    // -0.0 == 0.0, the Debug string does not.
+    assert_eq!(new_m, legacy_m, "{}: metrics diverged", c.label);
+    assert_eq!(
+        format!("{new_m:?}"),
+        format!("{legacy_m:?}"),
+        "{}: metrics bit patterns diverged",
+        c.label
+    );
+    assert_eq!(
+        format!("{:?}", sim.utilization_trace()),
+        format!("{:?}", legacy.utilization_trace()),
+        "{}: utilization traces diverged",
+        c.label
+    );
+    assert_eq!(
+        sim.servers_down(),
+        legacy.servers_down(),
+        "{}: down-server counts diverged",
+        c.label
+    );
+}
+
+/// ONE test on purpose — see the module docs. Ten combos × two thread
+/// counts, all three balancer families, faulted and fault-free.
+#[test]
+fn rebuilt_engine_matches_legacy_heap_engine_bytewise() {
+    let combos = [
+        Combo {
+            label: "tiny-underloaded",
+            servers: 3,
+            cores: 1,
+            rack_size: 1,
+            seed: 1,
+            util: 0.3,
+            job_type: JobType::WebSearch,
+            max_faults: 0,
+        },
+        Combo {
+            label: "small-faulted",
+            servers: 4,
+            cores: 2,
+            rack_size: 2,
+            seed: 2,
+            util: 0.55,
+            job_type: JobType::SocialNetworking,
+            max_faults: 10,
+        },
+        Combo {
+            label: "rack-misaligned",
+            servers: 10,
+            cores: 2,
+            rack_size: 3,
+            seed: 3,
+            util: 0.6,
+            job_type: JobType::SocialNetworking,
+            max_faults: 6,
+        },
+        Combo {
+            label: "mapreduce-heavy",
+            servers: 8,
+            cores: 4,
+            rack_size: 4,
+            seed: 4,
+            util: 0.8,
+            job_type: JobType::MapReduce,
+            max_faults: 4,
+        },
+        Combo {
+            label: "overloaded",
+            servers: 6,
+            cores: 1,
+            rack_size: 2,
+            seed: 5,
+            util: 0.95,
+            job_type: JobType::WebSearch,
+            max_faults: 8,
+        },
+        Combo {
+            label: "mid-cluster",
+            servers: 16,
+            cores: 2,
+            rack_size: 8,
+            seed: 6,
+            util: 0.5,
+            job_type: JobType::SocialNetworking,
+            max_faults: 10,
+        },
+        Combo {
+            label: "wide-cluster",
+            servers: 32,
+            cores: 2,
+            rack_size: 8,
+            seed: 7,
+            util: 0.45,
+            job_type: JobType::WebSearch,
+            max_faults: 12,
+        },
+        Combo {
+            label: "single-server",
+            servers: 1,
+            cores: 2,
+            rack_size: 1,
+            seed: 8,
+            util: 0.7,
+            job_type: JobType::MapReduce,
+            max_faults: 3,
+        },
+        Combo {
+            label: "idle-trickle",
+            servers: 12,
+            cores: 2,
+            rack_size: 6,
+            seed: 9,
+            util: 0.05,
+            job_type: JobType::WebSearch,
+            max_faults: 10,
+        },
+        Combo {
+            label: "kill-happy",
+            servers: 5,
+            cores: 2,
+            rack_size: 5,
+            seed: 10,
+            util: 0.65,
+            job_type: JobType::SocialNetworking,
+            max_faults: 16,
+        },
+    ];
+
+    for threads in [1usize, 4] {
+        tts_exec::set_thread_override(Some(threads));
+        for c in &combos {
+            assert_engines_agree(c, LeastLoaded::new);
+            assert_engines_agree(c, RoundRobin::new);
+            assert_engines_agree(c, || RandomBalancer::new(c.seed ^ 0xb0b));
+        }
+    }
+    tts_exec::set_thread_override(None);
+}
