@@ -73,12 +73,40 @@ for T in 1 4; do
   "$TTSD" req "$ADDR" GET /healthz > /dev/null
   "$TTSD" req "$ADDR" POST /v1/experiments/fig7 --body '{}' > "$TMPDIR_CI/fig7.t$T.cold.body"
   "$TTSD" req "$ADDR" POST /v1/experiments/fig7 --body '{}' > "$TMPDIR_CI/fig7.t$T.cached.body"
+  # The async job lifecycle over ONE keep-alive connection: submit
+  # (fresh daemon, so the id is 1), then consume the chunked progress
+  # stream until the job is terminal. The stored result must be the
+  # same bytes as the synchronous answer (determinism: the thread pin
+  # cannot change them).
+  "$TTSD" req "$ADDR" \
+    POST /v1/jobs --body '{"experiment": "fig7", "params": {"threads": 3}}' \
+    GET /v1/jobs/1/events > /dev/null
+  "$TTSD" req "$ADDR" GET /v1/jobs/1/result > "$TMPDIR_CI/fig7.t$T.job.body"
   "$TTSD" req "$ADDR" POST /admin/shutdown > /dev/null
   wait "$TTSD_PID"
   [ -s "$METRICS_FILE" ] || { echo "ttsd did not flush metrics on shutdown"; exit 1; }
   cmp "$TMPDIR_CI/results/fig7.summary.json" "$TMPDIR_CI/fig7.t$T.cold.body"
   cmp "$TMPDIR_CI/results/fig7.summary.json" "$TMPDIR_CI/fig7.t$T.cached.body"
+  cmp "$TMPDIR_CI/results/fig7.summary.json" "$TMPDIR_CI/fig7.t$T.job.body"
 done
+
+echo "==> ttsd loadgen gate (keep-alive+pipelining vs serial close, zero errors, p99 bound)"
+# The mixed-traffic load generator embeds a server and drives cached,
+# cold, and async-job traffic. Its own exit code enforces the serving
+# acceptance bars: zero transport/status errors, keep-alive throughput
+# at least 5x the close-delimited serial baseline, cached p99 under
+# 50 ms. The recorded per-request means are then gated against
+# BENCH_ttsd.json (wide tolerance: loopback rps is noisy on a shared
+# CI box; a transport regression — say, losing pipelining or reverting
+# to per-request connections — overshoots 60% by multiples).
+"$TTSD" loadgen --duration-ms 1500 --out "$TMPDIR_CI/ttsd_bench.json"
+bench_rc=0
+"$REPRO" bench-check "$TMPDIR_CI/ttsd_bench.json" BENCH_ttsd.json 60 || bench_rc=$?
+if [ "$bench_rc" -eq 3 ]; then
+  echo "ci.sh: WARNING: ttsd bench gate skipped (no usable baseline; exit 3)"
+elif [ "$bench_rc" -ne 0 ]; then
+  exit "$bench_rc"
+fi
 
 echo "==> chaos gate (8 seeded fault scenarios, zero violations, byte-identical at 1 and 4 threads)"
 # The fault-injection batch must come back green and its summary JSON

@@ -279,6 +279,12 @@ fn serving_endpoints_md() -> String {
          | `/healthz` | GET | liveness probe |\n\
          | `/metrics` | GET | metrics snapshot (deterministic; `?full=1` adds best-effort) |\n\
          | `/v1/experiments` | GET | the registry: names and supported parameters |\n\
+         | `/v1/jobs` | GET | list known jobs (active and retained terminal) |\n\
+         | `/v1/jobs` | POST | submit `{\\\"experiment\\\", \\\"params\\\"}` async; `202` + job id |\n\
+         | `/v1/jobs/{id}` | GET | job status document |\n\
+         | `/v1/jobs/{id}/events` | GET | chunked NDJSON progress stream until terminal |\n\
+         | `/v1/jobs/{id}/result` | GET | result bytes (`409` until done) |\n\
+         | `/v1/jobs/{id}` | DELETE | cooperative cancellation |\n\
          | `/admin/shutdown` | POST | graceful drain and final metrics flush |\n",
     );
     for exp in experiment::registry() {

@@ -24,14 +24,23 @@
 //!
 //! # Thread-count resolution
 //!
-//! 1. a process-wide override set via [`set_thread_override`] (used by the
+//! 1. a *thread-local* budget installed by [`with_thread_budget`] (used by
+//!    the serving layer's partitioned scheduler to lease a slice of the
+//!    host budget to one experiment run without perturbing its neighbors),
+//! 2. a process-wide override set via [`set_thread_override`] (used by the
 //!    `repro --threads N` flag and the determinism tests),
-//! 2. the `TTS_THREADS` environment variable,
-//! 3. [`std::thread::available_parallelism`].
+//! 3. the `TTS_THREADS` environment variable,
+//! 4. [`std::thread::available_parallelism`].
+//!
+//! The thread-local budget is read on the thread that *calls* `par_map`;
+//! worker threads spawned by it fall back to the process-wide resolution,
+//! which is safe because the determinism contract makes worker counts
+//! unobservable in results.
 //!
 //! At one thread every entry point degrades to the plain serial loop on
 //! the calling thread — no pool, no atomics, no spawn.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use tts_obs::{Determinism, MetricsSink};
@@ -96,10 +105,47 @@ pub fn thread_override() -> Option<usize> {
     }
 }
 
-/// The thread count used by [`par_map`] / [`par_for_each`]: the
+thread_local! {
+    /// Per-thread worker budget; 0 means "no lease on this thread".
+    static THREAD_BUDGET: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Runs `f` with this thread's worker budget pinned to `threads`: every
+/// [`thread_count`]-resolving call made *on this thread* inside `f` uses
+/// the leased count, taking precedence over the process-wide override and
+/// the environment. Nested leases shadow outer ones; the previous budget
+/// is restored on exit (including unwinds). This is what lets concurrent
+/// experiment runs hold independent slices of one host budget without the
+/// save/set/restore race a process-global override would force.
+pub fn with_thread_budget<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_BUDGET.with(|b| b.set(self.0));
+        }
+    }
+    let _restore = Restore(THREAD_BUDGET.with(|b| b.replace(threads.max(1))));
+    f()
+}
+
+/// The budget leased to the current thread by [`with_thread_budget`], if
+/// inside one.
+pub fn thread_budget() -> Option<usize> {
+    match THREAD_BUDGET.with(Cell::get) {
+        0 => None,
+        n => Some(n),
+    }
+}
+
+/// The thread count used by [`par_map`] / [`par_for_each`]: the calling
+/// thread's [`with_thread_budget`] lease if inside one, else the
 /// [`set_thread_override`] value if set, else `TTS_THREADS`, else the
 /// machine's available parallelism. Always at least 1.
 pub fn thread_count() -> usize {
+    let leased = THREAD_BUDGET.with(Cell::get);
+    if leased > 0 {
+        return leased;
+    }
     let forced = THREAD_OVERRIDE.load(Ordering::Relaxed);
     if forced > 0 {
         return forced;
@@ -394,6 +440,49 @@ mod tests {
         assert_eq!(thread_count(), 3);
         set_thread_override(None);
         assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn thread_budget_shadows_global_override_and_restores() {
+        // Run on a dedicated thread so other tests' global-override calls
+        // cannot interleave with the assertion on the global fallback.
+        std::thread::spawn(|| {
+            assert_eq!(thread_budget(), None);
+            with_thread_budget(3, || {
+                assert_eq!(thread_budget(), Some(3));
+                assert_eq!(thread_count(), 3);
+                with_thread_budget(5, || assert_eq!(thread_count(), 5));
+                // Inner lease restored to the outer one, not cleared.
+                assert_eq!(thread_count(), 3);
+            });
+            assert_eq!(thread_budget(), None);
+        })
+        .join()
+        .expect("budget thread");
+    }
+
+    #[test]
+    fn thread_budget_restored_across_unwind() {
+        std::thread::spawn(|| {
+            let caught = std::panic::catch_unwind(|| {
+                with_thread_budget(7, || panic!("inside lease"));
+            });
+            assert!(caught.is_err());
+            assert_eq!(thread_budget(), None, "lease must not leak past unwind");
+        })
+        .join()
+        .expect("unwind thread");
+    }
+
+    #[test]
+    fn thread_budget_is_thread_local_not_inherited() {
+        with_thread_budget(4, || {
+            let other = std::thread::spawn(thread_budget)
+                .join()
+                .expect("spawned probe");
+            assert_eq!(other, None, "lease must not leak to other threads");
+            assert_eq!(thread_budget(), Some(4));
+        });
     }
 
     #[test]

@@ -14,6 +14,66 @@ pub fn bucket_index(edges: &[f64], v: f64) -> usize {
     edges.partition_point(|&e| e < v)
 }
 
+/// Estimates the `q`-quantile (`0.0 ≤ q ≤ 1.0`) of a fixed-bucket
+/// histogram from its `edges` and per-bucket `counts` (`edges.len() + 1`
+/// entries, overflow bucket last), optionally sharpened by the observed
+/// `min`/`max`.
+///
+/// The estimate finds the bucket holding the ⌈q·total⌉-th observation and
+/// interpolates linearly inside it, which carries a documented
+/// **bucket-edge bias**: observations are assumed uniform within a bucket,
+/// so a quantile landing in bucket `(lo, hi]` can be off by up to the
+/// bucket width (with power-of-two latency edges, up to 2× in value). For
+/// the unbounded end buckets the finite edge is reported unless `min` /
+/// `max` supply a real bound to interpolate against. Exact invariants:
+/// the estimate always lies within the chosen bucket's closure, `q = 1`
+/// reports the top nonempty bucket's upper bound (or observed `max`), and
+/// the estimator is monotone in `q`.
+///
+/// Returns `None` on an empty histogram, a NaN or out-of-range `q`, or a
+/// `counts`/`edges` length mismatch.
+#[must_use]
+pub fn quantile_from_counts(
+    edges: &[f64],
+    counts: &[u64],
+    min: Option<f64>,
+    max: Option<f64>,
+    q: f64,
+) -> Option<f64> {
+    if !(0.0..=1.0).contains(&q) || counts.len() != edges.len() + 1 {
+        return None;
+    }
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    // The rank of the observation we are after, in [1, total].
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut below = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        if c == 0 || below + c < rank {
+            below += c;
+            continue;
+        }
+        // Bucket i holds the ranked observation. Bounds: bucket 0 is
+        // (-inf, e0] and the overflow bucket (e_last, +inf); use the
+        // observed min/max when they genuinely tighten those ends.
+        let lo = if i == 0 {
+            min.filter(|&m| m <= edges[0]).unwrap_or(edges[0])
+        } else {
+            edges[i - 1]
+        };
+        let hi = if i == edges.len() {
+            max.filter(|&m| m >= edges[i - 1]).unwrap_or(edges[i - 1])
+        } else {
+            edges[i]
+        };
+        let frac = (rank - below) as f64 / c as f64;
+        return Some(lo + (hi - lo) * frac);
+    }
+    None
+}
+
 /// Shared histogram state: per-bucket counts plus order-free aggregates
 /// (total, min, max). All updates are relaxed atomics, so totals are
 /// invariant under thread interleaving.
@@ -60,17 +120,45 @@ impl HistCore {
         atomic_order_free(&self.max_bits, v, |cur, v| v > cur);
     }
 
-    /// Renders `{edges, counts, total, min, max}` (min/max `null` while
-    /// empty).
+    /// One consistent read of the counts, and the min/max when any
+    /// observation has landed.
+    fn load(&self) -> (Vec<u64>, Option<f64>, Option<f64>) {
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let nonempty = counts.iter().any(|&c| c > 0);
+        let bound =
+            |bits: &AtomicU64| nonempty.then(|| f64::from_bits(bits.load(Ordering::Relaxed)));
+        (counts, bound(&self.min_bits), bound(&self.max_bits))
+    }
+
+    /// See [`quantile_from_counts`]; `None` while empty or for an invalid
+    /// `q`.
+    pub(crate) fn quantile(&self, q: f64) -> Option<f64> {
+        let (counts, min, max) = self.load();
+        quantile_from_counts(&self.edges, &counts, min, max, q)
+    }
+
+    /// Renders `{edges, counts, total, min, max, quantiles}` (min/max and
+    /// the quantile entries `null` while empty). The `quantiles` member
+    /// carries the [`quantile_from_counts`] estimates at p50/p90/p99/p999
+    /// — derived purely from counts, so it is exactly as deterministic as
+    /// the counts themselves.
     pub(crate) fn to_json(&self) -> Json {
         let total = self.total.load(Ordering::Relaxed);
-        let bound = |bits: &AtomicU64| {
-            if total == 0 {
-                Json::Null
-            } else {
-                Json::Num(f64::from_bits(bits.load(Ordering::Relaxed)))
-            }
-        };
+        let (counts, min, max) = self.load();
+        let num_or_null = |v: Option<f64>| v.map(Json::Num).unwrap_or(Json::Null);
+        let quantiles = [("p50", 0.50), ("p90", 0.90), ("p99", 0.99), ("p999", 0.999)]
+            .iter()
+            .map(|&(name, q)| {
+                (
+                    name.to_string(),
+                    num_or_null(quantile_from_counts(&self.edges, &counts, min, max, q)),
+                )
+            })
+            .collect();
         Json::Obj(vec![
             (
                 "edges".to_string(),
@@ -78,16 +166,12 @@ impl HistCore {
             ),
             (
                 "counts".to_string(),
-                Json::Arr(
-                    self.counts
-                        .iter()
-                        .map(|c| Json::Num(c.load(Ordering::Relaxed) as f64))
-                        .collect(),
-                ),
+                Json::Arr(counts.iter().map(|&c| Json::Num(c as f64)).collect()),
             ),
             ("total".to_string(), Json::Num(total as f64)),
-            ("min".to_string(), bound(&self.min_bits)),
-            ("max".to_string(), bound(&self.max_bits)),
+            ("min".to_string(), num_or_null(min)),
+            ("max".to_string(), num_or_null(max)),
+            ("quantiles".to_string(), Json::Obj(quantiles)),
         ])
     }
 }
@@ -132,5 +216,84 @@ impl Histogram {
     #[must_use]
     pub fn is_enabled(&self) -> bool {
         self.0.is_some()
+    }
+
+    /// The estimated `q`-quantile of the recorded observations (`None`
+    /// while disabled or empty); see [`quantile_from_counts`] for the
+    /// estimator and its bucket-edge bias.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        self.0.as_ref().and_then(|core| core.quantile(q))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EDGES: [f64; 4] = [1.0, 2.0, 4.0, 8.0];
+
+    #[test]
+    fn quantile_empty_and_invalid_q() {
+        assert_eq!(quantile_from_counts(&EDGES, &[0; 5], None, None, 0.5), None);
+        assert_eq!(
+            quantile_from_counts(&EDGES, &[1; 5], None, None, f64::NAN),
+            None
+        );
+        assert_eq!(quantile_from_counts(&EDGES, &[1; 5], None, None, 1.5), None);
+        // counts/edges length mismatch is an error, not a guess.
+        assert_eq!(quantile_from_counts(&EDGES, &[1; 4], None, None, 0.5), None);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_bucket() {
+        // 10 observations all in (2, 4]: every quantile lands there.
+        let counts = [0, 0, 10, 0, 0];
+        let p50 = quantile_from_counts(&EDGES, &counts, None, None, 0.5).unwrap();
+        assert!((2.0..=4.0).contains(&p50), "{p50}");
+        // rank 5 of 10 → 2 + 2·(5/10) = 3.0 under uniform interpolation.
+        assert!((p50 - 3.0).abs() < 1e-12, "{p50}");
+        let p100 = quantile_from_counts(&EDGES, &counts, None, None, 1.0).unwrap();
+        assert!((p100 - 4.0).abs() < 1e-12, "{p100}");
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q() {
+        let counts = [3, 7, 11, 2, 1];
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=100 {
+            let q = i as f64 / 100.0;
+            let v = quantile_from_counts(&EDGES, &counts, None, None, q).unwrap();
+            assert!(v >= last, "q={q}: {v} < {last}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn quantile_end_buckets_use_min_max_when_supplied() {
+        // All mass in the overflow bucket: without a max the finite edge
+        // is reported; with one, the estimate interpolates up to it.
+        let counts = [0, 0, 0, 0, 10];
+        let blunt = quantile_from_counts(&EDGES, &counts, None, None, 0.999).unwrap();
+        assert!((blunt - 8.0).abs() < 1e-12, "{blunt}");
+        let sharp = quantile_from_counts(&EDGES, &counts, None, Some(16.0), 1.0).unwrap();
+        assert!((sharp - 16.0).abs() < 1e-12, "{sharp}");
+        // All mass below the first edge: min tightens the lower bound.
+        let counts = [10, 0, 0, 0, 0];
+        let lo = quantile_from_counts(&EDGES, &counts, Some(0.0), None, 0.1).unwrap();
+        assert!((0.0..=1.0).contains(&lo), "{lo}");
+    }
+
+    #[test]
+    fn histogram_handle_quantile_and_json_quantiles() {
+        let core = std::sync::Arc::new(HistCore::new(&EDGES));
+        let h = Histogram::live(core);
+        assert_eq!(h.quantile(0.5), None, "empty");
+        for v in [0.5, 1.5, 3.0, 3.5, 6.0] {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((2.0..=4.0).contains(&p50), "{p50}");
+        assert_eq!(Histogram::disabled().quantile(0.5), None);
     }
 }

@@ -50,7 +50,7 @@ mod hist;
 mod registry;
 mod span;
 
-pub use hist::{bucket_index, Histogram};
+pub use hist::{bucket_index, quantile_from_counts, Histogram};
 pub use registry::{ClockFn, Registry};
 pub use span::{span_depth, span_stack, SpanGuard};
 

@@ -4,19 +4,27 @@
 //! deliberately narrow — exactly what a simulation-query service needs and
 //! nothing more:
 //!
-//! * `Content-Length` bodies only (`Transfer-Encoding` is rejected).
-//! * One request per connection; the server always answers
-//!   `Connection: close`.
+//! * `Content-Length` bodies only on requests (`Transfer-Encoding` on a
+//!   *request* is rejected; *responses* may stream with
+//!   `Transfer-Encoding: chunked` via [`chunk_frame`]).
+//! * Persistent connections: after a complete request the parser returns
+//!   to the head phase with any pipelined bytes retained, so one parser
+//!   serves a whole keep-alive connection. [`Request::wants_keep_alive`]
+//!   reflects the peer's `Connection` preference per HTTP/1.1 / 1.0
+//!   defaults.
 //! * Hard caps on every dimension of a request (request line, total head,
 //!   header count, body size), checked *incrementally* so a hostile peer
 //!   cannot make the server buffer unbounded input. The caps are
 //!   chunking-invariant: a request is accepted or rejected identically
 //!   whether it arrives in one `read` or one byte at a time — the
-//!   property tests in `tests/http_prop.rs` drive exactly that.
+//!   property tests in `tests/http_prop.rs` drive exactly that. The caps
+//!   apply per request, not per connection.
 //!
 //! Violations map to the three rejection statuses the service uses:
 //! `400` (malformed), `431` (request line/headers too large), `413`
-//! (declared body too large). The parser never panics on any input.
+//! (declared body too large). The parser never panics on any input, and
+//! after a rejection it stays poisoned — the server answers the error and
+//! closes, so a desynchronized byte stream is never reinterpreted.
 
 use std::io::{self, Write};
 
@@ -84,6 +92,9 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// The body (empty unless a `Content-Length` was declared).
     pub body: Vec<u8>,
+    /// Whether the request line declared `HTTP/1.1` (vs `HTTP/1.0`),
+    /// which decides the keep-alive default.
+    pub http11: bool,
 }
 
 impl Request {
@@ -104,19 +115,50 @@ impl Request {
             .find(|(k, _)| k == key)
             .map(|(_, v)| v.as_str())
     }
+
+    /// Whether the peer asked to keep the connection open. An explicit
+    /// `Connection: close` token wins, an explicit `keep-alive` token
+    /// opts in, and with neither the HTTP version decides: 1.1 defaults
+    /// to keep-alive, 1.0 to close.
+    #[must_use]
+    pub fn wants_keep_alive(&self) -> bool {
+        let tokens: Vec<String> = self
+            .header("connection")
+            .map(|v| {
+                v.to_ascii_lowercase()
+                    .split(',')
+                    .map(|t| t.trim().to_string())
+                    .collect()
+            })
+            .unwrap_or_default();
+        if tokens.iter().any(|t| t == "close") {
+            false
+        } else if tokens.iter().any(|t| t == "keep-alive") {
+            true
+        } else {
+            self.http11
+        }
+    }
 }
 
-/// Parser progress: still reading the head, filling the body, or done.
+/// Parser progress: still reading the head, filling the body, or poisoned
+/// after a rejection.
 #[derive(Debug)]
 enum Phase {
     Head,
     Body { req: Request, need: usize },
-    Done,
+    Poisoned,
 }
 
 /// An incremental request parser. Feed it reads as they arrive; it
-/// returns the request once complete, or an [`HttpError`] as soon as a
+/// returns each request once complete, or an [`HttpError`] as soon as a
 /// violation is provable (possibly before the peer finishes sending).
+///
+/// One parser serves a whole keep-alive connection: after a complete
+/// request it returns to the head phase with any pipelined bytes
+/// retained, so the next call (even `feed(&[])`) can yield the next
+/// request without further reads. The per-request caps reset at each
+/// request boundary.
 #[derive(Debug)]
 pub struct RequestParser {
     buf: Vec<u8>,
@@ -148,29 +190,44 @@ impl RequestParser {
         self.consumed
     }
 
+    /// Whether the parser is holding a partially received request: a
+    /// non-empty head buffer or an unfinished body. A peer that closes
+    /// (or goes idle) while this is `true` abandoned a request mid-flight;
+    /// while `false` the connection is merely idle between requests.
+    #[must_use]
+    pub fn mid_request(&self) -> bool {
+        match self.phase {
+            Phase::Head => !self.buf.is_empty(),
+            Phase::Body { .. } => true,
+            Phase::Poisoned => false,
+        }
+    }
+
     /// Consumes the next chunk from the connection. Returns
-    /// `Ok(Some(request))` once the request is complete, `Ok(None)` while
-    /// more bytes are needed, or the rejection. After completion or an
-    /// error, further input is ignored (`Ok(None)`).
+    /// `Ok(Some(request))` once a request is complete, `Ok(None)` while
+    /// more bytes are needed, or the rejection. After an error, further
+    /// input is ignored (`Ok(None)`): the stream may be desynchronized,
+    /// so the server answers the error and closes.
     pub fn feed(&mut self, bytes: &[u8]) -> Result<Option<Request>, HttpError> {
-        if matches!(self.phase, Phase::Done) {
+        if matches!(self.phase, Phase::Poisoned) {
             return Ok(None);
         }
         self.consumed = self.consumed.saturating_add(bytes.len());
         self.buf.extend_from_slice(bytes);
         if let Phase::Head = self.phase {
-            // The caps are applied to positions in the byte stream, never
-            // to chunk sizes, so acceptance is chunking-invariant.
+            // The caps are applied to positions in the byte stream
+            // relative to the request's start, never to chunk sizes, so
+            // acceptance is chunking-invariant.
             match find_subslice(&self.buf, b"\r\n\r\n") {
                 Some(pos) if pos + 4 <= MAX_HEAD_BYTES => {
                     let head: Vec<u8> = self.buf.drain(..pos + 4).collect();
                     let (req, need) = parse_head(&head[..pos]).inspect_err(|_| {
-                        self.phase = Phase::Done;
+                        self.phase = Phase::Poisoned;
                     })?;
                     self.phase = Phase::Body { req, need };
                 }
                 Some(_) => {
-                    self.phase = Phase::Done;
+                    self.phase = Phase::Poisoned;
                     return Err(HttpError::HeadTooLarge);
                 }
                 None => {
@@ -180,7 +237,7 @@ impl RequestParser {
                         None => self.buf.len() > MAX_REQUEST_LINE_BYTES,
                     };
                     if over_line || self.buf.len() > MAX_HEAD_BYTES {
-                        self.phase = Phase::Done;
+                        self.phase = Phase::Poisoned;
                         return Err(HttpError::HeadTooLarge);
                     }
                     return Ok(None);
@@ -191,13 +248,12 @@ impl RequestParser {
             let take = (*need - req.body.len()).min(self.buf.len());
             req.body.extend(self.buf.drain(..take));
             if req.body.len() == *need {
-                let done = std::mem::replace(&mut self.phase, Phase::Done);
+                // Back to the head phase with any pipelined bytes
+                // retained — the connection is persistent now.
+                let done = std::mem::replace(&mut self.phase, Phase::Head);
                 let Phase::Body { req, .. } = done else {
                     unreachable!("phase checked above");
                 };
-                // Any bytes past the declared body (pipelining attempts)
-                // are dropped; the connection is close-delimited anyway.
-                self.buf.clear();
                 return Ok(Some(req));
             }
         }
@@ -220,7 +276,7 @@ fn parse_head(head: &[u8]) -> Result<(Request, usize), HttpError> {
     if request_line.len() + 2 > MAX_REQUEST_LINE_BYTES {
         return Err(HttpError::HeadTooLarge);
     }
-    let (method, path, query) = parse_request_line(request_line)?;
+    let (method, path, query, http11) = parse_request_line(request_line)?;
 
     let mut headers: Vec<(String, String)> = Vec::new();
     for line in lines {
@@ -279,13 +335,15 @@ fn parse_head(head: &[u8]) -> Result<(Request, usize), HttpError> {
             query,
             headers,
             body: Vec::with_capacity(need.min(64 * 1024)),
+            http11,
         },
         need,
     ))
 }
 
-/// `(method, decoded path, decoded query pairs)` from a request line.
-type RequestLine = (String, String, Vec<(String, String)>);
+/// `(method, decoded path, decoded query pairs, is-HTTP/1.1)` from a
+/// request line.
+type RequestLine = (String, String, Vec<(String, String)>, bool);
 
 /// Splits and validates `METHOD SP target SP HTTP/1.x`.
 fn parse_request_line(line: &str) -> Result<RequestLine, HttpError> {
@@ -303,6 +361,7 @@ fn parse_request_line(line: &str) -> Result<RequestLine, HttpError> {
     if version != "HTTP/1.1" && version != "HTTP/1.0" {
         return Err(HttpError::Malformed("unsupported HTTP version"));
     }
+    let http11 = version == "HTTP/1.1";
     if !target.starts_with('/') || !target.bytes().all(|b| (0x21..0x7f).contains(&b)) {
         return Err(HttpError::Malformed("invalid request target"));
     }
@@ -318,7 +377,7 @@ fn parse_request_line(line: &str) -> Result<RequestLine, HttpError> {
             query.push((percent_decode(k)?, percent_decode(v)?));
         }
     }
-    Ok((method.to_string(), path, query))
+    Ok((method.to_string(), path, query, http11))
 }
 
 /// Token bytes per RFC 9110 field names.
@@ -360,11 +419,14 @@ fn percent_decode(s: &str) -> Result<String, HttpError> {
 pub fn reason_phrase(status: u16) -> &'static str {
     match status {
         200 => "OK",
+        202 => "Accepted",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
+        409 => "Conflict",
         413 => "Content Too Large",
+        429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
@@ -372,9 +434,11 @@ pub fn reason_phrase(status: u16) -> &'static str {
     }
 }
 
-/// A response under construction. The server speaks close-delimited
-/// HTTP/1.1: every response carries `Content-Length` and
-/// `Connection: close`.
+/// A response under construction. Every response is length-delimited —
+/// either `Content-Length` ([`Response::write_to`]) or
+/// `Transfer-Encoding: chunked` ([`Response::write_chunked_head`] followed
+/// by [`chunk_frame`]s) — so persistent connections stay in sync; the
+/// `Connection` header answers the negotiated keep-alive decision.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Response {
     /// Status code.
@@ -430,9 +494,8 @@ impl Response {
         self
     }
 
-    /// Serializes status line, headers (plus `Content-Length` and
-    /// `Connection: close`), and body to the wire.
-    pub fn write_to(&self, w: &mut dyn Write) -> io::Result<()> {
+    /// The status line plus user headers, without the framing headers.
+    fn head_prefix(&self) -> String {
         let mut head = format!(
             "HTTP/1.1 {} {}\r\n",
             self.status,
@@ -444,11 +507,197 @@ impl Response {
             head.push_str(value);
             head.push_str("\r\n");
         }
+        head
+    }
+
+    /// Serializes status line, headers (plus `Content-Length` and the
+    /// negotiated `Connection` header), and body to the wire.
+    pub fn write_to(&self, w: &mut dyn Write, keep_alive: bool) -> io::Result<()> {
+        let mut head = self.head_prefix();
         head.push_str(&format!("content-length: {}\r\n", self.body.len()));
-        head.push_str("connection: close\r\n\r\n");
-        w.write_all(head.as_bytes())?;
-        w.write_all(&self.body)?;
+        head.push_str(if keep_alive {
+            "connection: keep-alive\r\n\r\n"
+        } else {
+            "connection: close\r\n\r\n"
+        });
+        // One coalesced write: a head segment followed by a small body
+        // segment would otherwise interact badly with Nagle + delayed
+        // ACK on persistent connections.
+        let mut wire = head.into_bytes();
+        wire.extend_from_slice(&self.body);
+        w.write_all(&wire)?;
         w.flush()
+    }
+
+    /// Serializes the head of a *streaming* response: status line, user
+    /// headers, `Transfer-Encoding: chunked`, and the negotiated
+    /// `Connection` header. `self.body` is ignored — the caller follows
+    /// up with [`chunk_frame`]s and closes the stream with
+    /// `chunk_frame(&[])`.
+    pub fn write_chunked_head(&self, w: &mut dyn Write, keep_alive: bool) -> io::Result<()> {
+        let mut head = self.head_prefix();
+        head.push_str("transfer-encoding: chunked\r\n");
+        head.push_str(if keep_alive {
+            "connection: keep-alive\r\n\r\n"
+        } else {
+            "connection: close\r\n\r\n"
+        });
+        w.write_all(head.as_bytes())?;
+        w.flush()
+    }
+}
+
+/// One frame of the chunked transfer coding: `{len:x}\r\n{data}\r\n`.
+/// `chunk_frame(&[])` yields the terminal frame `0\r\n\r\n` (no
+/// trailers), so a streamed body is exactly
+/// `frames(non-empty chunks) + chunk_frame(&[])`.
+#[must_use]
+pub fn chunk_frame(data: &[u8]) -> Vec<u8> {
+    let mut out = format!("{:x}\r\n", data.len()).into_bytes();
+    out.extend_from_slice(data);
+    out.extend_from_slice(b"\r\n");
+    out
+}
+
+/// Decoder progress for [`ChunkedDecoder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ChunkPhase {
+    /// Reading a `{len:x}\r\n` size line.
+    Size,
+    /// Reading chunk data plus its trailing CRLF.
+    Data { need: usize },
+    /// Reading the final CRLF after the zero-size chunk.
+    Trailer,
+    /// Complete.
+    Done,
+    /// Rejected; further input is ignored.
+    Poisoned,
+}
+
+/// An incremental decoder for the chunked transfer coding, as narrow as
+/// the encoder ([`chunk_frame`]): hex size lines without chunk
+/// extensions, no trailer fields. Feed it reads as they arrive; the
+/// decoded body accumulates until [`ChunkedDecoder::is_done`], subject to
+/// a total-size cap that maps to [`HttpError::BodyTooLarge`] (malformed
+/// framing maps to [`HttpError::Malformed`]) — the same statuses as the
+/// request caps, checked against stream positions so acceptance is
+/// split-invariant.
+#[derive(Debug)]
+pub struct ChunkedDecoder {
+    buf: Vec<u8>,
+    body: Vec<u8>,
+    phase: ChunkPhase,
+    max_body: usize,
+}
+
+impl ChunkedDecoder {
+    /// A decoder accepting a decoded body of at most `max_body` bytes.
+    #[must_use]
+    pub fn new(max_body: usize) -> Self {
+        Self {
+            buf: Vec::new(),
+            body: Vec::new(),
+            phase: ChunkPhase::Size,
+            max_body,
+        }
+    }
+
+    /// Whether the terminal chunk (and its trailer CRLF) has been read.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.phase == ChunkPhase::Done
+    }
+
+    /// The decoded body so far (complete once [`Self::is_done`]).
+    #[must_use]
+    pub fn body(&self) -> &[u8] {
+        &self.body
+    }
+
+    /// Consumes the decoded body.
+    #[must_use]
+    pub fn into_body(self) -> Vec<u8> {
+        self.body
+    }
+
+    /// Bytes fed but not yet consumed by the coding (non-empty only once
+    /// done, when the peer pipelined more data after the terminal chunk).
+    #[must_use]
+    pub fn leftover(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consumes the next chunk of the encoded stream. Returns the
+    /// rejection as soon as a violation is provable; after `is_done`,
+    /// extra input accumulates in [`Self::leftover`].
+    pub fn feed(&mut self, bytes: &[u8]) -> Result<(), HttpError> {
+        if self.phase == ChunkPhase::Poisoned {
+            return Ok(());
+        }
+        self.buf.extend_from_slice(bytes);
+        loop {
+            match self.phase {
+                ChunkPhase::Size => {
+                    let Some(pos) = find_subslice(&self.buf, b"\r\n") else {
+                        // A size line is at most 16 hex digits + CRLF.
+                        if self.buf.len() > 18 {
+                            self.phase = ChunkPhase::Poisoned;
+                            return Err(HttpError::Malformed("chunk size line too long"));
+                        }
+                        return Ok(());
+                    };
+                    let line: Vec<u8> = self.buf.drain(..pos + 2).collect();
+                    let digits = &line[..pos];
+                    if digits.is_empty()
+                        || digits.len() > 16
+                        || !digits.iter().all(u8::is_ascii_hexdigit)
+                    {
+                        self.phase = ChunkPhase::Poisoned;
+                        return Err(HttpError::Malformed("invalid chunk size line"));
+                    }
+                    let text = std::str::from_utf8(digits).expect("hex digits are UTF-8");
+                    let size = usize::from_str_radix(text, 16)
+                        .map_err(|_| HttpError::Malformed("chunk size out of range"))
+                        .inspect_err(|_| self.phase = ChunkPhase::Poisoned)?;
+                    if self.body.len().saturating_add(size) > self.max_body {
+                        self.phase = ChunkPhase::Poisoned;
+                        return Err(HttpError::BodyTooLarge);
+                    }
+                    self.phase = if size == 0 {
+                        ChunkPhase::Trailer
+                    } else {
+                        ChunkPhase::Data { need: size }
+                    };
+                }
+                ChunkPhase::Data { need } => {
+                    // The chunk plus its own trailing CRLF.
+                    if self.buf.len() < need + 2 {
+                        return Ok(());
+                    }
+                    self.body.extend(self.buf.drain(..need));
+                    let crlf: Vec<u8> = self.buf.drain(..2).collect();
+                    if crlf != b"\r\n" {
+                        self.phase = ChunkPhase::Poisoned;
+                        return Err(HttpError::Malformed("chunk data not CRLF-terminated"));
+                    }
+                    self.phase = ChunkPhase::Size;
+                }
+                ChunkPhase::Trailer => {
+                    if self.buf.len() < 2 {
+                        return Ok(());
+                    }
+                    let crlf: Vec<u8> = self.buf.drain(..2).collect();
+                    if crlf != b"\r\n" {
+                        self.phase = ChunkPhase::Poisoned;
+                        return Err(HttpError::Malformed(
+                            "trailer fields are not supported (bare CRLF only)",
+                        ));
+                    }
+                    self.phase = ChunkPhase::Done;
+                }
+                ChunkPhase::Done | ChunkPhase::Poisoned => return Ok(()),
+            }
+        }
     }
 }
 
@@ -544,16 +793,84 @@ mod tests {
     }
 
     #[test]
-    fn response_wire_format_is_close_delimited() {
+    fn response_wire_format_carries_negotiated_connection_header() {
         let mut out = Vec::new();
         Response::error(503, "busy")
             .header("retry-after", "1")
-            .write_to(&mut out)
+            .write_to(&mut out, false)
             .unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
         assert!(text.contains("retry-after: 1\r\n"));
         assert!(text.contains("connection: close\r\n"));
         assert!(text.ends_with("{\"error\":\"busy\"}"));
+
+        let mut out = Vec::new();
+        Response::json_bytes(200, b"{}".to_vec())
+            .write_to(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.contains("content-length: 2\r\n"));
+    }
+
+    #[test]
+    fn keep_alive_negotiation_follows_version_and_connection_header() {
+        let req = |raw: &[u8]| parse_all(raw).unwrap().unwrap();
+        assert!(req(b"GET / HTTP/1.1\r\n\r\n").wants_keep_alive());
+        assert!(!req(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").wants_keep_alive());
+        assert!(!req(b"GET / HTTP/1.0\r\n\r\n").wants_keep_alive());
+        assert!(req(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").wants_keep_alive());
+        // An explicit close wins over other tokens.
+        assert!(
+            !req(b"GET / HTTP/1.1\r\nConnection: keep-alive, close\r\n\r\n").wants_keep_alive()
+        );
+    }
+
+    #[test]
+    fn parser_yields_pipelined_requests_in_order() {
+        let mut p = RequestParser::new();
+        let wire = b"POST /a HTTP/1.1\r\nContent-Length: 2\r\n\r\nhiGET /b HTTP/1.1\r\n\r\n";
+        let first = p.feed(wire).unwrap().unwrap();
+        assert_eq!(first.path, "/a");
+        assert_eq!(first.body, b"hi");
+        assert!(p.mid_request(), "second head is buffered");
+        let second = p.feed(&[]).unwrap().unwrap();
+        assert_eq!(second.path, "/b");
+        assert!(!p.mid_request(), "between requests");
+    }
+
+    #[test]
+    fn chunk_frame_round_trips_through_the_decoder() {
+        let chunks: [&[u8]; 3] = [b"hello ", b"chunked", b" world"];
+        let mut wire = Vec::new();
+        for c in chunks {
+            wire.extend(chunk_frame(c));
+        }
+        wire.extend(chunk_frame(&[]));
+        let mut d = ChunkedDecoder::new(MAX_BODY_BYTES);
+        d.feed(&wire).unwrap();
+        assert!(d.is_done());
+        assert_eq!(d.body(), b"hello chunked world");
+        assert!(d.leftover().is_empty());
+    }
+
+    #[test]
+    fn chunked_decoder_rejections() {
+        let mut d = ChunkedDecoder::new(4);
+        assert_eq!(
+            d.feed(b"10\r\n0123456789abcdef\r\n").unwrap_err(),
+            HttpError::BodyTooLarge
+        );
+        let mut d = ChunkedDecoder::new(64);
+        assert!(matches!(d.feed(b"zz\r\n"), Err(HttpError::Malformed(_))));
+        let mut d = ChunkedDecoder::new(64);
+        assert!(matches!(d.feed(b"2\r\nokXX"), Err(HttpError::Malformed(_))));
+        // Trailer fields are out of scope for the narrow codec.
+        let mut d = ChunkedDecoder::new(64);
+        assert!(matches!(
+            d.feed(b"0\r\nx-trailer: 1\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
     }
 }

@@ -7,16 +7,25 @@
 //! `503 Service Unavailable` with `Retry-After` inline and closes the
 //! socket: explicit backpressure instead of an unbounded accept backlog.
 //!
+//! Connections are **persistent**: a worker serves requests off one
+//! socket until the peer asks to close (`Connection: close` or an
+//! HTTP/1.0 default), the per-connection request limit is reached, the
+//! idle timeout expires between requests, a parse error poisons the
+//! stream, or shutdown triggers. Pipelined requests are answered in
+//! order. Responses are length-delimited (`Content-Length`) or streamed
+//! chunked (the job events endpoint), so the connection stays in sync.
+//!
 //! Graceful shutdown works without OS signal handling (the hermetic
 //! build has no `libc` binding): a [`ShutdownHandle`] sets a flag and
 //! pokes the listener with a loopback connect so the blocking `accept`
 //! wakes up. Triggers are `POST /admin/shutdown`, stdin EOF (the `ttsd`
 //! binary's watcher thread), or any embedder holding the handle. The
 //! acceptor then stops accepting, drains every queued and in-flight
-//! connection via [`WorkerPool::shutdown`], and flushes a final full
+//! connection via [`WorkerPool::shutdown`], cancels and joins the async
+//! jobs ([`crate::jobs::JobStore::shutdown`]), and flushes a final full
 //! metrics snapshot to the configured path.
 
-use std::io::Read;
+use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -26,8 +35,8 @@ use std::time::{Duration, Instant};
 use tts_exec::WorkerPool;
 use tts_obs::MetricsSink;
 
-use crate::http::{RequestParser, Response};
-use crate::router::{self, App};
+use crate::http::{chunk_frame, RequestParser, Response};
+use crate::router::{self, App, AppConfig, Reply};
 
 /// How the server is wired: address, pool shape, timeouts, debug knobs.
 #[derive(Debug, Clone)]
@@ -38,10 +47,26 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Bounded request-queue capacity (beyond this: `503`).
     pub queue_cap: usize,
-    /// Per-connection read timeout (waiting for request bytes → `408`).
+    /// Per-connection read timeout while receiving a request (`408`).
     pub read_timeout: Duration,
     /// Per-connection write timeout.
     pub write_timeout: Duration,
+    /// How long a keep-alive connection may sit idle *between* requests
+    /// before the server closes it silently.
+    pub idle_timeout: Duration,
+    /// Requests served per connection before the server closes it (a
+    /// fairness bound: one chatty peer cannot pin a worker forever).
+    pub max_requests_per_conn: usize,
+    /// Worker-thread budget the run scheduler partitions (0 = auto).
+    pub budget: usize,
+    /// Bound on synchronous runs waiting for a lease (beyond: `429`).
+    pub sched_queue: usize,
+    /// Bound on queued-or-running async jobs (beyond: `429`).
+    pub max_jobs: usize,
+    /// Result-cache byte cap (0 = unbounded).
+    pub cache_cap_bytes: usize,
+    /// Result-cache persistence directory (`None` = memory only).
+    pub cache_dir: Option<PathBuf>,
     /// Enables `/debug/sleep` (test instrumentation).
     pub debug: bool,
     /// Where the final full metrics snapshot lands on shutdown.
@@ -50,14 +75,37 @@ pub struct ServerConfig {
 
 impl Default for ServerConfig {
     fn default() -> Self {
+        let app = AppConfig::default();
         Self {
             addr: "127.0.0.1:0".to_string(),
             workers: 4,
             queue_cap: 64,
             read_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(5),
+            max_requests_per_conn: 1024,
+            budget: app.budget,
+            sched_queue: app.sched_queue,
+            max_jobs: app.max_jobs,
+            cache_cap_bytes: app.cache_cap_bytes,
+            cache_dir: None,
             debug: false,
             metrics_out: None,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The application knobs carried by this server config.
+    #[must_use]
+    pub fn app_config(&self) -> AppConfig {
+        AppConfig {
+            debug: self.debug,
+            budget: self.budget,
+            sched_queue: self.sched_queue,
+            max_jobs: self.max_jobs,
+            cache_cap_bytes: self.cache_cap_bytes,
+            cache_dir: self.cache_dir.clone(),
         }
     }
 }
@@ -115,7 +163,7 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let shutdown = ShutdownHandle::new();
         shutdown.attach(listener.local_addr()?);
-        let app = Arc::new(App::new(sink, shutdown.clone(), config.debug));
+        let app = Arc::new(App::new(sink, shutdown.clone(), config.app_config()));
         Ok(Self {
             listener,
             app,
@@ -142,17 +190,23 @@ impl Server {
     }
 
     /// Serves until the shutdown handle triggers, then drains: queued and
-    /// in-flight connections finish, and the final full metrics snapshot
-    /// is written to `metrics_out` (if configured).
+    /// in-flight connections finish, async jobs are cancelled and joined,
+    /// and the final full metrics snapshot is written to `metrics_out`
+    /// (if configured).
     pub fn run(self) -> std::io::Result<()> {
         let app = Arc::clone(&self.app);
-        let (read_t, write_t) = (self.config.read_timeout, self.config.write_timeout);
+        let conn = ConnConfig {
+            read_timeout: self.config.read_timeout,
+            write_timeout: self.config.write_timeout,
+            idle_timeout: self.config.idle_timeout,
+            max_requests: self.config.max_requests_per_conn.max(1),
+        };
         let pool = WorkerPool::new(
             "svc",
             self.config.workers,
             self.config.queue_cap,
             self.app.sink(),
-            move |stream: TcpStream| handle_connection(&app, stream, read_t, write_t),
+            move |stream: TcpStream| handle_connection(&app, stream, &conn),
         );
         loop {
             let (stream, _) = match self.listener.accept() {
@@ -167,16 +221,17 @@ impl Server {
                 break;
             }
             if let Err(mut rejected) = pool.try_submit(stream) {
-                let _ = rejected.set_write_timeout(Some(write_t));
+                let _ = rejected.set_write_timeout(Some(self.config.write_timeout));
                 let _ = Response::error(503, "request queue is full, try again")
                     .header("retry-after", "1")
-                    .write_to(&mut rejected);
+                    .write_to(&mut rejected, false);
                 let _ = rejected.shutdown(Shutdown::Both);
             }
         }
         // Drain: every accepted connection is answered before the pool
-        // threads join.
+        // threads join, then in-flight jobs are cancelled and joined.
         pool.shutdown();
+        self.app.jobs().shutdown();
         if let Some(path) = &self.config.metrics_out {
             if let Some(snap) = self.app.sink().snapshot_full(None, None) {
                 if let Some(dir) = path.parent() {
@@ -189,40 +244,137 @@ impl Server {
     }
 }
 
-/// Reads one request off the socket (incrementally, under the read
-/// timeout), routes it, writes the response, and records telemetry.
-fn handle_connection(app: &App, mut stream: TcpStream, read_t: Duration, write_t: Duration) {
-    let started = Instant::now();
-    let _ = stream.set_read_timeout(Some(read_t));
-    let _ = stream.set_write_timeout(Some(write_t));
-    let mut parser = RequestParser::new();
-    let mut buf = [0u8; 8 * 1024];
-    let response = loop {
-        match stream.read(&mut buf) {
-            Ok(0) => {
-                if parser.bytes_fed() == 0 {
-                    // Silent close (port probe or the shutdown poke):
-                    // nothing to answer, nothing to count.
-                    return;
-                }
-                break Response::error(400, "truncated request");
-            }
+/// Per-connection limits threaded into the handler.
+#[derive(Debug, Clone, Copy)]
+struct ConnConfig {
+    read_timeout: Duration,
+    write_timeout: Duration,
+    idle_timeout: Duration,
+    max_requests: usize,
+}
+
+/// What one iteration of the connection loop produced.
+enum ReadOutcome {
+    /// A complete request is ready.
+    Request(Box<crate::http::Request>),
+    /// The parser rejected the stream.
+    Bad(crate::http::HttpError),
+    /// The peer closed.
+    Eof,
+    /// The read timed out.
+    TimedOut,
+}
+
+/// Reads until the parser yields a request, the peer closes, or the read
+/// times out. Pipelined bytes already buffered are consumed first.
+fn read_request(stream: &mut TcpStream, parser: &mut RequestParser, buf: &mut [u8]) -> ReadOutcome {
+    // A prior read may have buffered the next pipelined request whole.
+    match parser.feed(&[]) {
+        Ok(Some(req)) => return ReadOutcome::Request(Box::new(req)),
+        Ok(None) => {}
+        Err(e) => return ReadOutcome::Bad(e),
+    }
+    loop {
+        match stream.read(buf) {
+            Ok(0) => return ReadOutcome::Eof,
             Ok(n) => match parser.feed(&buf[..n]) {
-                Ok(Some(request)) => break router::handle(app, &request),
+                Ok(Some(req)) => return ReadOutcome::Request(Box::new(req)),
                 Ok(None) => continue,
-                Err(e) => break Response::error(e.status(), &e.message()),
+                Err(e) => return ReadOutcome::Bad(e),
             },
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
-                break Response::error(408, "timed out waiting for the request")
+                return ReadOutcome::TimedOut
             }
-            Err(_) => return,
+            Err(_) => return ReadOutcome::Eof,
         }
-    };
-    let status = response.status;
-    let _ = response.write_to(&mut stream);
+    }
+}
+
+/// Serves one persistent connection: requests are read incrementally
+/// (pipelining included), routed, and answered until the keep-alive
+/// negotiation, the request limit, the idle timeout, or an error ends
+/// the session.
+fn handle_connection(app: &Arc<App>, mut stream: TcpStream, conn: &ConnConfig) {
+    let _ = stream.set_read_timeout(Some(conn.read_timeout));
+    let _ = stream.set_write_timeout(Some(conn.write_timeout));
+    // Persistent connections exchange small segments; without nodelay
+    // each response can stall on Nagle + the peer's delayed ACK.
+    let _ = stream.set_nodelay(true);
+    let mut parser = RequestParser::new();
+    let mut buf = [0u8; 8 * 1024];
+    let mut served = 0usize;
+    loop {
+        let started = Instant::now();
+        let (reply, keep): (Reply, bool) = match read_request(&mut stream, &mut parser, &mut buf) {
+            ReadOutcome::Request(req) => {
+                let keep = req.wants_keep_alive()
+                    && served + 1 < conn.max_requests
+                    && !app.shutdown_requested();
+                (router::handle(app, &req), keep)
+            }
+            ReadOutcome::Bad(e) => (Response::error(e.status(), &e.message()).into(), false),
+            ReadOutcome::Eof => {
+                if parser.mid_request() {
+                    (Response::error(400, "truncated request").into(), false)
+                } else {
+                    // Clean close between requests (or a port probe /
+                    // shutdown poke on a virgin connection).
+                    break;
+                }
+            }
+            ReadOutcome::TimedOut => {
+                if parser.mid_request() || served == 0 {
+                    // Mid-request (or never sent anything): the peer is
+                    // stalling — answer 408.
+                    (
+                        Response::error(408, "timed out waiting for the request").into(),
+                        false,
+                    )
+                } else {
+                    // Idle between requests: close silently.
+                    break;
+                }
+            }
+        };
+        let status = reply.response.status;
+        let write_ok = write_reply(&mut stream, reply, keep);
+        app.record_response(status, started.elapsed());
+        served += 1;
+        if !keep || !write_ok {
+            break;
+        }
+        // Between requests the clock is the idle timeout.
+        let _ = stream.set_read_timeout(Some(conn.idle_timeout));
+    }
     let _ = stream.shutdown(Shutdown::Both);
-    app.record_response(status, started.elapsed());
+}
+
+/// Writes a reply — buffered with `Content-Length`, or chunked when the
+/// router attached a stream. Returns whether the connection is still
+/// usable.
+fn write_reply(stream: &mut TcpStream, reply: Reply, keep_alive: bool) -> bool {
+    match reply.stream {
+        None => reply.response.write_to(stream, keep_alive).is_ok(),
+        Some(mut pull) => {
+            if reply
+                .response
+                .write_chunked_head(stream, keep_alive)
+                .is_err()
+            {
+                return false;
+            }
+            while let Some(chunk) = pull() {
+                if chunk.is_empty() {
+                    continue; // an empty chunk would terminate the coding
+                }
+                if stream.write_all(&chunk_frame(&chunk)).is_err() || stream.flush().is_err() {
+                    return false;
+                }
+            }
+            stream.write_all(&chunk_frame(&[])).is_ok() && stream.flush().is_ok()
+        }
+    }
 }

@@ -151,3 +151,121 @@ proptest! {
         );
     }
 }
+
+// ---------------------------------------------------------------------
+// The chunked transfer coding (encoder `chunk_frame` / `ChunkedDecoder`)
+// ---------------------------------------------------------------------
+
+mod chunked {
+    use super::*;
+    use tts_svc::http::{chunk_frame, ChunkedDecoder};
+
+    /// Encodes `payloads` the way the server streams them: one frame per
+    /// non-empty chunk, then the terminal frame.
+    fn encode(payloads: &[Vec<u8>]) -> Vec<u8> {
+        let mut wire = Vec::new();
+        for p in payloads.iter().filter(|p| !p.is_empty()) {
+            wire.extend_from_slice(&chunk_frame(p));
+        }
+        wire.extend_from_slice(&chunk_frame(&[]));
+        wire
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip_is_split_invariant(
+            payload_codes in collection::vec(collection::vec(0u32..256, 0..200), 0..8),
+            cuts in collection::vec(0u64..1_000_000, 0..12),
+            trailing_codes in collection::vec(0u32..256, 0..32),
+        ) {
+            let payloads: Vec<Vec<u8>> = payload_codes
+                .iter()
+                .map(|p| p.iter().map(|&b| b as u8).collect())
+                .collect();
+            let expected: Vec<u8> = payloads.iter().flatten().copied().collect();
+            // Pipelined bytes after the terminal frame must survive as
+            // leftover, exactly as the keep-alive loop depends on.
+            let trailing: Vec<u8> = trailing_codes.iter().map(|&b| b as u8).collect();
+            let mut wire = encode(&payloads);
+            wire.extend_from_slice(&trailing);
+
+            let mut decoder = ChunkedDecoder::new(expected.len() + 1);
+            for chunk in super::split_at_cuts(&wire, &cuts) {
+                decoder.feed(chunk).expect("well-formed stream");
+            }
+            prop_assert!(decoder.is_done());
+            prop_assert_eq!(decoder.body(), expected.as_slice());
+            prop_assert_eq!(decoder.leftover(), trailing.as_slice());
+        }
+
+        #[test]
+        fn junk_never_panics_and_rejections_are_sticky(
+            junk_codes in collection::vec(0u32..256, 0..512),
+            cuts in collection::vec(0u64..1_000_000, 0..8),
+            prefix_idx in 0usize..4,
+        ) {
+            // Half-plausible prefixes steer some cases past the size line.
+            let prefix: &[u8] =
+                [&b""[..], b"5\r\n", b"5\r\nhello\r\n", b"0\r\n"][prefix_idx];
+            let mut wire = prefix.to_vec();
+            wire.extend(junk_codes.iter().map(|&b| b as u8));
+
+            let mut decoder = ChunkedDecoder::new(64 * 1024);
+            let mut rejection = None;
+            for chunk in super::split_at_cuts(&wire, &cuts) {
+                match decoder.feed(chunk) {
+                    Ok(()) => {}
+                    Err(e) => {
+                        // Only the advertised statuses, and only once:
+                        // a poisoned decoder swallows further input.
+                        prop_assert!(matches!(e.status(), 400 | 413));
+                        prop_assert!(rejection.is_none(), "second rejection: {e:?}");
+                        rejection = Some(e);
+                    }
+                }
+            }
+            if rejection.is_some() {
+                prop_assert!(!decoder.is_done());
+            }
+        }
+
+        #[test]
+        fn body_cap_rejects_as_413_at_any_split(
+            cap in 1usize..256,
+            over in 1usize..64,
+            chunk_size in 1usize..128,
+        ) {
+            // One oversized chunk: the decoder must reject from the size
+            // line alone — before the data arrives — at any read split.
+            let wire = chunk_frame(&vec![b'x'; cap + over]);
+            let mut decoder = ChunkedDecoder::new(cap);
+            let mut outcome = Ok(());
+            for chunk in wire.chunks(chunk_size) {
+                outcome = decoder.feed(chunk);
+                if outcome.is_err() {
+                    break;
+                }
+            }
+            prop_assert_eq!(outcome, Err(HttpError::BodyTooLarge));
+            prop_assert!(decoder.body().is_empty(), "data was accumulated past the cap");
+        }
+
+        #[test]
+        fn absurd_size_lines_are_400(extra_digits in 1usize..8, chunk_size in 1usize..32) {
+            // More than 16 hex digits can never be a sane length.
+            let line = format!("{}\r\n", "f".repeat(16 + extra_digits));
+            let mut decoder = ChunkedDecoder::new(usize::MAX);
+            let mut outcome = Ok(());
+            for chunk in line.as_bytes().chunks(chunk_size) {
+                outcome = decoder.feed(chunk);
+                if outcome.is_err() {
+                    break;
+                }
+            }
+            prop_assert!(
+                matches!(outcome, Err(HttpError::Malformed(_))),
+                "got {outcome:?}"
+            );
+        }
+    }
+}

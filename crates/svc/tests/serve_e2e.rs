@@ -17,6 +17,7 @@ use std::time::{Duration, Instant};
 
 use thermal_time_shifting::experiment::{self, ExecCtx};
 use tts_obs::MetricsSink;
+use tts_svc::loadgen::WireClient;
 use tts_svc::router::App;
 use tts_svc::server::{Server, ServerConfig, ShutdownHandle};
 
@@ -88,7 +89,7 @@ fn exchange(addr: SocketAddr, raw: &[u8]) -> WireResponse {
 fn get(addr: SocketAddr, path: &str) -> WireResponse {
     exchange(
         addr,
-        format!("GET {path} HTTP/1.1\r\nhost: t\r\n\r\n").as_bytes(),
+        format!("GET {path} HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n").as_bytes(),
     )
 }
 
@@ -96,7 +97,7 @@ fn post(addr: SocketAddr, path: &str, body: &str) -> WireResponse {
     exchange(
         addr,
         format!(
-            "POST {path} HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n{body}",
+            "POST {path} HTTP/1.1\r\nhost: t\r\nconnection: close\r\ncontent-length: {}\r\n\r\n{body}",
             body.len()
         )
         .as_bytes(),
@@ -266,7 +267,7 @@ fn full_queue_backpressure_answers_503_with_retry_after() {
     // pending.
     let mut filler = loop {
         let mut s = TcpStream::connect(addr).unwrap();
-        s.write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n")
+        s.write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n")
             .unwrap();
         s.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
         let mut probe = [0u8; 1];
@@ -338,4 +339,304 @@ fn graceful_shutdown_drains_in_flight_work_and_flushes_metrics() {
     let rendered = doc.to_string();
     assert!(rendered.contains("svc.http.requests"), "{rendered}");
     let _ = std::fs::remove_file(&metrics_path);
+}
+
+// ---------------------------------------------------------------------
+// Persistent connections
+// ---------------------------------------------------------------------
+
+#[test]
+fn keep_alive_serves_many_requests_on_one_connection() {
+    let server = Running::start(ServerConfig::default());
+    let mut client = WireClient::connect(server.addr, Duration::from_secs(30)).expect("connect");
+
+    // Several exchanges over the same TCP stream: health, listing, a
+    // cold experiment, then its cached replay.
+    let health = client.request("GET", "/healthz", b"", false).unwrap();
+    assert_eq!(health.status, 200);
+    let listing = client
+        .request("GET", "/v1/experiments", b"", false)
+        .unwrap();
+    assert_eq!(listing.status, 200);
+    let cold = client
+        .request("POST", "/v1/experiments/fig7", b"{}", false)
+        .unwrap();
+    assert_eq!(cold.status, 200);
+    let cached = client
+        .request("POST", "/v1/experiments/fig7", b"{}", false)
+        .unwrap();
+    assert_eq!(cached.status, 200);
+    assert_eq!(cold.body, cached.body);
+    // One connection accepted for four answers.
+    assert_eq!(server.app.cache().len(), 1);
+
+    // The last request asks for close and the server honors it.
+    let last = client.request("GET", "/healthz", b"", true).unwrap();
+    assert_eq!(last.status, 200);
+    assert_eq!(last.header("connection"), Some("close"));
+    server.stop();
+}
+
+#[test]
+fn pipelined_requests_are_answered_in_order() {
+    let server = Running::start(ServerConfig::default());
+    let mut client = WireClient::connect(server.addr, Duration::from_secs(30)).expect("connect");
+    // Two requests written back-to-back before reading either answer.
+    let wire = b"GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n\
+                 GET /v1/experiments HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n";
+    client.stream_mut().write_all(wire).unwrap();
+    let first = client.read_response().unwrap();
+    let second = client.read_response().unwrap();
+    assert_eq!(first.status, 200);
+    assert!(String::from_utf8_lossy(&first.body).contains("\"ok\""));
+    assert_eq!(second.status, 200);
+    assert!(String::from_utf8_lossy(&second.body).contains("/v1/experiments/fig7"));
+    server.stop();
+}
+
+// ---------------------------------------------------------------------
+// The async job API
+// ---------------------------------------------------------------------
+
+/// Pulls the numeric id out of a job JSON document (`"id": 7`).
+fn job_id(body: &[u8]) -> u64 {
+    let text = String::from_utf8_lossy(body);
+    text.split("\"id\":")
+        .nth(1)
+        .and_then(|rest| {
+            let digits: String = rest
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect();
+            digits.parse().ok()
+        })
+        .unwrap_or_else(|| panic!("no id in {text}"))
+}
+
+#[test]
+fn job_lifecycle_streams_progress_and_matches_sync_bytes() {
+    let server = Running::start(ServerConfig {
+        budget: 2,
+        ..ServerConfig::default()
+    });
+    // The reference: what the synchronous endpoint (and `repro`) would
+    // file for the same scenario.
+    let exp = experiment::find("dcsim").expect("dcsim registered");
+    let params = experiment::Params {
+        servers: Some(128),
+        ..Default::default()
+    };
+    let reference = exp
+        .emit_json(&exp.run_with(&ExecCtx::disabled(), &params).unwrap())
+        .to_string_pretty()
+        .into_bytes();
+
+    let submitted = post(
+        server.addr,
+        "/v1/jobs",
+        "{\"experiment\": \"dcsim\", \"params\": {\"servers\": 128}}",
+    );
+    assert_eq!(submitted.status, 202, "head: {}", submitted.head);
+    let id = job_id(&submitted.body);
+
+    // The event stream replays from the beginning and ends only when
+    // the job is terminal: queued → running → progress… → done.
+    let mut client = WireClient::connect(server.addr, Duration::from_secs(60)).unwrap();
+    let mut events: Vec<String> = Vec::new();
+    let streamed = client
+        .stream_chunks(&format!("/v1/jobs/{id}/events"), |chunk| {
+            for line in String::from_utf8_lossy(chunk).lines() {
+                if !line.trim().is_empty() {
+                    events.push(line.to_string());
+                }
+            }
+        })
+        .expect("event stream");
+    assert_eq!(streamed.status, 200);
+    assert!(
+        events.first().is_some_and(|e| e.contains("\"queued\"")),
+        "{events:?}"
+    );
+    assert!(
+        events.iter().any(|e| e.contains("\"running\"")),
+        "{events:?}"
+    );
+    assert!(
+        events.iter().filter(|e| e.contains("\"progress\"")).count() >= 2,
+        "dcsim flushes every 6 simulated hours over two days: {events:?}"
+    );
+    assert!(
+        events.last().is_some_and(|e| e.contains("\"done\"")),
+        "{events:?}"
+    );
+
+    // The stored result is byte-identical to the synchronous answer.
+    let result = get(server.addr, &format!("/v1/jobs/{id}/result"));
+    assert_eq!(result.status, 200);
+    assert_eq!(result.body, reference, "job result must match repro bytes");
+
+    // Terminal status document.
+    let status = get(server.addr, &format!("/v1/jobs/{id}"));
+    assert_eq!(status.status, 200);
+    assert!(String::from_utf8_lossy(&status.body).contains("\"done\""));
+    server.stop();
+}
+
+#[test]
+fn job_cancellation_mid_run_is_prompt() {
+    let server = Running::start(ServerConfig {
+        budget: 2,
+        ..ServerConfig::default()
+    });
+    let submitted = post(
+        server.addr,
+        "/v1/jobs",
+        "{\"experiment\": \"dcsim\", \"params\": {\"servers\": 128, \"seed\": 99}}",
+    );
+    assert_eq!(submitted.status, 202);
+    let id = job_id(&submitted.body);
+
+    // Wait for the run to actually start making progress…
+    let addr = server.addr;
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let status = get(addr, &format!("/v1/jobs/{id}"));
+        let text = String::from_utf8_lossy(&status.body).to_string();
+        if text.contains("\"running\"") {
+            break;
+        }
+        assert!(
+            !text.contains("\"done\"") && Instant::now() < deadline,
+            "job finished before it could be cancelled: {text}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // …then cancel it mid-flight and watch it stop well before the
+    // ~1s the full simulation would take.
+    let cancel_at = Instant::now();
+    let ack = exchange(
+        addr,
+        format!("DELETE /v1/jobs/{id} HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n").as_bytes(),
+    );
+    assert_eq!(ack.status, 200, "head: {}", ack.head);
+    loop {
+        let status = get(addr, &format!("/v1/jobs/{id}"));
+        let text = String::from_utf8_lossy(&status.body).to_string();
+        if text.contains("\"cancelled\"") {
+            break;
+        }
+        assert!(
+            !text.contains("\"done\""),
+            "cancellation lost the race to completion: {text}"
+        );
+        assert!(
+            Instant::now() < cancel_at + Duration::from_secs(10),
+            "cancellation never landed: {text}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // A cancelled job has no result.
+    let result = get(addr, &format!("/v1/jobs/{id}/result"));
+    assert_eq!(result.status, 409);
+    server.stop();
+}
+
+#[test]
+fn two_experiments_progress_simultaneously_under_a_split_budget() {
+    let server = Running::start(ServerConfig {
+        budget: 2,
+        ..ServerConfig::default()
+    });
+    let addr = server.addr;
+    // Distinct seeds → distinct scenarios: neither can ride the other's
+    // cache entry, so both must actually run. Each pins one thread, so
+    // the two leases split the budget instead of queueing behind it.
+    let a = job_id(
+        &post(
+            addr,
+            "/v1/jobs",
+            "{\"experiment\": \"dcsim\", \"params\": {\"servers\": 128, \"seed\": 1, \"threads\": 1}}",
+        )
+        .body,
+    );
+    let b = job_id(
+        &post(
+            addr,
+            "/v1/jobs",
+            "{\"experiment\": \"dcsim\", \"params\": {\"servers\": 128, \"seed\": 2, \"threads\": 1}}",
+        )
+        .body,
+    );
+
+    // Both jobs must be observed Running at the same instant: the
+    // partitioned scheduler grants each a slice of the budget instead
+    // of serialising them behind a global lock.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let sa = String::from_utf8_lossy(&get(addr, &format!("/v1/jobs/{a}")).body).to_string();
+        let sb = String::from_utf8_lossy(&get(addr, &format!("/v1/jobs/{b}")).body).to_string();
+        if sa.contains("\"running\"") && sb.contains("\"running\"") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "never concurrent: a={sa} b={sb}");
+        assert!(
+            !(sa.contains("\"done\"") && !sb.contains("\"running\"") && !sb.contains("\"done\"")),
+            "job a finished before job b ever ran (serialised): a={sa} b={sb}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Both complete with results.
+    for id in [a, b] {
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            let text =
+                String::from_utf8_lossy(&get(addr, &format!("/v1/jobs/{id}")).body).to_string();
+            if text.contains("\"done\"") {
+                break;
+            }
+            assert!(Instant::now() < deadline, "job {id} never finished: {text}");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert_eq!(get(addr, &format!("/v1/jobs/{id}/result")).status, 200);
+    }
+    server.stop();
+}
+
+// ---------------------------------------------------------------------
+// Determinism across budget splits
+// ---------------------------------------------------------------------
+
+#[test]
+fn responses_are_byte_identical_across_budget_splits_and_thread_pins() {
+    // The reference bytes, computed once outside any server.
+    let exp = experiment::find("fig7").expect("fig7 registered");
+    let reference = exp
+        .emit_json(&exp.run(&ExecCtx::disabled()))
+        .to_string_pretty()
+        .into_bytes();
+
+    // Two different budget splits of the worker pool; within each, the
+    // request pins TTS-level thread counts 1/4/8. Every combination
+    // must produce the same bytes — only latency may differ.
+    for budget in [1usize, 3] {
+        let server = Running::start(ServerConfig {
+            budget,
+            ..ServerConfig::default()
+        });
+        for threads in [1usize, 4, 8] {
+            let resp = post(
+                server.addr,
+                "/v1/experiments/fig7",
+                &format!("{{\"threads\": {threads}}}"),
+            );
+            assert_eq!(resp.status, 200, "budget={budget} threads={threads}");
+            assert_eq!(
+                resp.body, reference,
+                "budget={budget} threads={threads} changed the bytes"
+            );
+        }
+        server.stop();
+    }
 }

@@ -8,6 +8,7 @@
 //! consume. The harness dispatches by name via [`find`] and no longer owns
 //! per-figure rendering code.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
 use tts_dcsim::balancer::RoundRobin;
@@ -22,16 +23,74 @@ use crate::chart::ascii_chart;
 use crate::experiments::{self, Comparison};
 use crate::report::text_table;
 
+/// A cooperative cancellation token: cheap to clone, safe to poll from
+/// any thread. The holder of one half (e.g. a job store answering
+/// `DELETE /v1/jobs/{id}`) calls [`CancelToken::cancel`]; the running
+/// experiment observes it at its next checkpoint — by construction the
+/// periodic flush boundary, via [`ExecCtx::record_flush`] — and unwinds
+/// with the [`CANCELLED`] sentinel payload.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation; idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// The panic payload [`ExecCtx::check_cancel`] unwinds with. Runners that
+/// `catch_unwind` an experiment downcast the payload to `&str` and compare
+/// against this sentinel to tell a cancelled run from a crashed one.
+pub const CANCELLED: &str = "tts-core: experiment run cancelled";
+
+/// Whether a caught panic payload is the [`CANCELLED`] sentinel.
+pub fn is_cancel_payload(payload: &(dyn std::any::Any + Send)) -> bool {
+    payload
+        .downcast_ref::<&str>()
+        .is_some_and(|s| *s == CANCELLED)
+        || payload
+            .downcast_ref::<String>()
+            .is_some_and(|s| s == CANCELLED)
+}
+
+/// A progress callback fired at every flush boundary with the simulated
+/// time reached; see [`ExecCtx::on_progress`].
+type ProgressFn = Box<dyn FnMut(Seconds) + Send>;
+
 /// The execution context handed to every experiment: the metrics sink the
-/// run reports into, plus the buffer periodic flushes land in.
+/// run reports into, the buffer periodic flushes land in, a cooperative
+/// [`CancelToken`], and an optional progress callback.
 ///
-/// Cloning is cheap and shares both the registry and the flush buffer, so
-/// a clone can be moved into a long-lived callback (e.g. the discrete
-/// simulator's flush hook) while the caller keeps reading.
-#[derive(Debug, Clone)]
+/// Cloning is cheap and shares the registry, flush buffer, token, and
+/// progress hook, so a clone can be moved into a long-lived callback
+/// (e.g. the discrete simulator's flush hook) while the caller keeps
+/// reading.
+#[derive(Clone)]
 pub struct ExecCtx {
     sink: MetricsSink,
     flushes: Arc<Mutex<Vec<Json>>>,
+    cancel: CancelToken,
+    progress: Arc<Mutex<Option<ProgressFn>>>,
+}
+
+impl std::fmt::Debug for ExecCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecCtx")
+            .field("sink", &self.sink)
+            .field("cancelled", &self.cancel.is_cancelled())
+            .finish_non_exhaustive()
+    }
 }
 
 impl ExecCtx {
@@ -41,6 +100,8 @@ impl ExecCtx {
         Self {
             sink: MetricsSink::disabled(),
             flushes: Arc::new(Mutex::new(Vec::new())),
+            cancel: CancelToken::new(),
+            progress: Arc::new(Mutex::new(None)),
         }
     }
 
@@ -48,7 +109,38 @@ impl ExecCtx {
     pub fn with_metrics() -> Self {
         Self {
             sink: MetricsSink::fresh(),
-            flushes: Arc::new(Mutex::new(Vec::new())),
+            ..Self::disabled()
+        }
+    }
+
+    /// Attaches a cancellation token (builder-style). Clones made after
+    /// this call share the token.
+    #[must_use]
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// The context's cancellation token (clone it to cancel from afar).
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// Installs a progress callback fired at every flush boundary with
+    /// the simulated time reached — independent of whether telemetry is
+    /// enabled, so a disabled-sink job run still streams progress.
+    pub fn on_progress(&self, f: impl FnMut(Seconds) + Send + 'static) {
+        *self.progress.lock().expect("progress hook lock") = Some(Box::new(f));
+    }
+
+    /// Cancellation checkpoint: unwinds with the [`CANCELLED`] sentinel
+    /// payload if the token has been tripped. Called from
+    /// [`Self::record_flush`], i.e. at every periodic flush boundary of a
+    /// simulation run; experiments with natural checkpoints of their own
+    /// may call it directly.
+    pub fn check_cancel(&self) {
+        if self.cancel.is_cancelled() {
+            std::panic::panic_any(CANCELLED);
         }
     }
 
@@ -62,10 +154,16 @@ impl ExecCtx {
         self.sink.is_enabled()
     }
 
-    /// Snapshots the registry at simulated time `sim_time` and appends it
-    /// to the flush buffer (no-op when telemetry is off). Wired into the
-    /// discrete simulator's periodic flush hook.
+    /// The periodic checkpoint wired into the discrete simulator's flush
+    /// hook. In order: polls the cancel token (unwinding with the
+    /// [`CANCELLED`] sentinel if tripped), fires the progress callback
+    /// with `sim_time`, then — when telemetry is on — snapshots the
+    /// registry and appends it to the flush buffer.
     pub fn record_flush(&self, sim_time: Seconds) {
+        self.check_cancel();
+        if let Some(f) = self.progress.lock().expect("progress hook lock").as_mut() {
+            f(sim_time);
+        }
         if let Some(snap) = self.sink.snapshot(Some(sim_time.value()), None) {
             self.flushes.lock().expect("flush buffer lock").push(snap);
         }

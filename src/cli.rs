@@ -36,6 +36,18 @@ pub enum Command {
     Help,
 }
 
+/// A fully parsed invocation: the command plus run-wide options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Invocation {
+    /// What to run.
+    pub command: Command,
+    /// `--threads N`: pin the executor worker budget for this run, the
+    /// CLI face of the same lease (`tts_exec::with_thread_budget`) the
+    /// service scheduler grants per request. Results are byte-identical
+    /// at any value; only wall-clock changes.
+    pub threads: Option<usize>,
+}
+
 /// A parse failure with a user-facing message.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseError(pub String);
@@ -67,15 +79,31 @@ fn take_value<'a>(
         .ok_or_else(|| ParseError(format!("flag {flag} needs a value")))
 }
 
-/// Parses an argument list (without the program name).
+/// Parses an argument list (without the program name), discarding the
+/// run-wide options. Prefer [`parse_invocation`].
 pub fn parse_args<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, ParseError> {
+    parse_invocation(args).map(|inv| inv.command)
+}
+
+/// Parses an argument list (without the program name).
+pub fn parse_invocation<'a>(
+    args: impl IntoIterator<Item = &'a str>,
+) -> Result<Invocation, ParseError> {
     let mut it = args.into_iter();
     let sub = match it.next() {
-        None => return Ok(Command::Help),
+        None => {
+            return Ok(Invocation {
+                command: Command::Help,
+                threads: None,
+            })
+        }
         Some(s) => s,
     };
     if sub == "help" || sub == "--help" || sub == "-h" {
-        return Ok(Command::Help);
+        return Ok(Invocation {
+            command: Command::Help,
+            threads: None,
+        });
     }
 
     let mut class = ServerClass::LowPower1U;
@@ -83,10 +111,21 @@ pub fn parse_args<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command
     let mut servers: usize = 1008;
     let mut sustainable: f64 = 0.71;
     let mut week = false;
+    let mut threads: Option<usize> = None;
 
     while let Some(flag) = it.next() {
         match flag {
             "--class" => class = parse_class(take_value(flag, &mut it)?)?,
+            "--threads" => {
+                let v = take_value(flag, &mut it)?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| ParseError(format!("--threads: '{v}' is not a count")))?;
+                if n == 0 {
+                    return Err(ParseError("--threads must be positive".into()));
+                }
+                threads = Some(n);
+            }
             "--melting" => {
                 let v = take_value(flag, &mut it)?;
                 let c: f64 = v
@@ -124,21 +163,24 @@ pub fn parse_args<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command
         }
     }
 
-    match sub {
-        "cooling-load" => Ok(Command::CoolingLoad {
+    let command = match sub {
+        "cooling-load" => Command::CoolingLoad {
             class,
             melting_c,
             servers,
             week,
-        }),
-        "constrained" => Ok(Command::Constrained { class, sustainable }),
-        "validate" => Ok(Command::Validate),
-        "blockage" => Ok(Command::Blockage { class }),
-        "materials" => Ok(Command::Materials),
-        other => Err(ParseError(format!(
-            "unknown command '{other}' (try 'tts help')"
-        ))),
-    }
+        },
+        "constrained" => Command::Constrained { class, sustainable },
+        "validate" => Command::Validate,
+        "blockage" => Command::Blockage { class },
+        "materials" => Command::Materials,
+        other => {
+            return Err(ParseError(format!(
+                "unknown command '{other}' (try 'tts help')"
+            )))
+        }
+    };
+    Ok(Invocation { command, threads })
 }
 
 /// The help text.
@@ -162,6 +204,8 @@ FLAGS:
     --servers <n>           cluster size               [default: 1008]
     --sustainable <0..1>    constrained-cooling level  [default: 0.71]
     --week                  use the 7-day weekday/weekend trace
+    --threads <n>           pin the worker budget      [default: auto]
+                            (results are byte-identical at any value)
 ";
 
 #[cfg(test)]
@@ -273,5 +317,28 @@ mod tests {
     fn simple_commands() {
         assert_eq!(parse("validate").unwrap(), Command::Validate);
         assert_eq!(parse("materials").unwrap(), Command::Materials);
+    }
+
+    #[test]
+    fn threads_pin_rides_any_command() {
+        let inv = parse_invocation("blockage --class ocp --threads 4".split_whitespace()).unwrap();
+        assert_eq!(inv.threads, Some(4));
+        assert_eq!(
+            inv.command,
+            Command::Blockage {
+                class: ServerClass::OpenComputeBlade
+            }
+        );
+        // Unpinned invocations leave the budget to the executor.
+        let bare = parse_invocation("validate".split_whitespace()).unwrap();
+        assert_eq!(bare.threads, None);
+        assert!(parse("validate --threads 0")
+            .unwrap_err()
+            .0
+            .contains("positive"));
+        assert!(parse("validate --threads many")
+            .unwrap_err()
+            .0
+            .contains("not a count"));
     }
 }

@@ -3,7 +3,7 @@
 use thermal_time_shifting::chart::ascii_chart;
 use thermal_time_shifting::scenario::MeltingPointChoice;
 use thermal_time_shifting::Scenario;
-use tts_repro::cli::{parse_args, Command, HELP};
+use tts_repro::cli::{parse_invocation, Command, Invocation, HELP};
 use tts_server::blockage::default_sweep;
 use tts_server::validation::{run as run_validation, ValidationConfig};
 use tts_units::{Celsius, Fraction};
@@ -11,14 +11,23 @@ use tts_workload::{weekly_trace, WeeklyTraceConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let command = match parse_args(args.iter().map(String::as_str)) {
-        Ok(c) => c,
+    let Invocation { command, threads } = match parse_invocation(args.iter().map(String::as_str)) {
+        Ok(inv) => inv,
         Err(e) => {
             eprintln!("error: {e}\n\n{HELP}");
             std::process::exit(2);
         }
     };
+    // `--threads N` runs the whole command under a leased worker budget —
+    // the same primitive the service scheduler grants per request.
+    let run = || run_command(command);
+    match threads {
+        Some(n) => tts_exec::with_thread_budget(n, run),
+        None => run(),
+    }
+}
 
+fn run_command(command: Command) {
     match command {
         Command::Help => println!("{HELP}"),
         Command::CoolingLoad {
