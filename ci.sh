@@ -147,4 +147,36 @@ elif [ "$bench_rc" -ne 0 ]; then
   exit "$bench_rc"
 fi
 
+echo "==> schedule gate (co-optimizer beats passive baseline, byte-identical at 1 and 4 threads)"
+# The receding-horizon PCM/job co-optimizer must strictly beat the
+# passive run-on-arrival baseline on the default two-day diurnal trace,
+# and — like every other result surface — its summary bytes must not
+# depend on the worker count.
+for T in 1 4; do
+  (cd "$TMPDIR_CI" && TTS_THREADS=$T "$REPRO_ABS" schedule --write > /dev/null)
+  cp "$TMPDIR_CI/results/schedule.summary.json" "$TMPDIR_CI/schedule.t$T.summary.json"
+done
+cmp "$TMPDIR_CI/schedule.t1.summary.json" "$TMPDIR_CI/schedule.t4.summary.json"
+opt_cost=$(grep -o '"cost_optimized_usd": *[0-9.eE+-]*' "$TMPDIR_CI/schedule.t1.summary.json" | awk '{print $2}')
+pas_cost=$(grep -o '"cost_passive_usd": *[0-9.eE+-]*' "$TMPDIR_CI/schedule.t1.summary.json" | awk '{print $2}')
+[ -n "$opt_cost" ] && [ -n "$pas_cost" ] || { echo "schedule summary lacks cost fields"; exit 1; }
+awk -v o="$opt_cost" -v p="$pas_cost" 'BEGIN { exit !(o < p) }' || {
+  echo "schedule gate: optimizer did not beat passive ($opt_cost vs $pas_cost)"; exit 1; }
+echo "schedule gate: optimized \$$opt_cost < passive \$$pas_cost"
+
+echo "==> schedule bench gate (plan latency within 25% of BENCH_schedule.json)"
+# Plan latency is the controller's cost of doing business: one dense
+# 108-slot LP solve per re-plan. The 25% tolerance rides out shared-box
+# noise; a real regression (pivot-rule breakage, tableau blow-up) is
+# multiples, not percent.
+TTS_BENCH_SAMPLES=3 TTS_BENCH_OUT="$TMPDIR_CI/schedule_plan.json" \
+  cargo bench --offline -q -p tts-bench --bench schedule_plan
+bench_rc=0
+"$REPRO" bench-check "$TMPDIR_CI/schedule_plan.json" BENCH_schedule.json 25 || bench_rc=$?
+if [ "$bench_rc" -eq 3 ]; then
+  echo "ci.sh: WARNING: schedule bench gate skipped (no usable baseline; exit 3)"
+elif [ "$bench_rc" -ne 0 ]; then
+  exit "$bench_rc"
+fi
+
 echo "ci.sh: all gates passed"

@@ -1,10 +1,12 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [table1|fig1|fig4|fig7|fig10|fig11|fig12|table2|tco|dcsim|fleet|extensions|all]
+//! repro [table1|fig1|fig4|fig7|fig10|fig11|fig12|table2|tco|dcsim|fleet|schedule|extensions|all]
 //!       [--write] [--threads N] [--metrics PATH] [--wall-unix SECS]
 //! repro fleet [--servers N] [--shards N] [--datacenters N] [--horizon-h H]
 //!             [--seed N] [--write] [--threads N]
+//! repro schedule [--seed N] [--servers N] [--horizon-h H] [--slot-min M]
+//!                [--tranches T] [--write] [--threads N]
 //! repro bench-check <report.json> <baseline.json> <max-regress-pct>
 //! repro chaos [--seeds N] [--seed 0xHEX] [--plan FILE] [--summary PATH]
 //!             [--no-storm] [--threads N]
@@ -14,6 +16,12 @@
 //! servers across 4 datacenters for the two-day trace); the scale flags
 //! map onto the experiment's [`Params`] and the summary bytes are
 //! identical at any `--threads` or `--shards` value.
+//!
+//! `schedule` runs the receding-horizon PCM/job co-optimizer (`tts-opt`):
+//! an LP re-planned every slot decides what deferrable work to run, how
+//! hard to charge or discharge the wax, and what to draw from the grid
+//! under the time-of-use tariff, then reports cost against the passive
+//! run-on-arrival baseline over the same diurnal trace.
 //!
 //! With `--write`, the harness also rewrites `EXPERIMENTS.md` (the
 //! paper-vs-measured record) and dumps raw results as JSON under
@@ -46,6 +54,7 @@ use std::time::Instant;
 use thermal_time_shifting::chart::ascii_chart;
 use thermal_time_shifting::experiment::{self, ExecCtx, Figure, Params};
 use thermal_time_shifting::experiments::{self, Comparison};
+use thermal_time_shifting::params;
 use tts_bench::{comparison_row, format_quantity, text_table};
 use tts_server::ServerClass;
 use tts_units::Fraction;
@@ -90,8 +99,10 @@ fn main() {
             std::process::exit(2);
         })
     });
-    // Fleet scale flags, routed through the experiment's Params surface.
-    let mut fleet_params = Params::default();
+    // Scale/tuning flags shared by `fleet` and `schedule`, routed through
+    // the experiments' Params surface (each experiment's schema rejects
+    // flags it does not understand).
+    let mut cli_params = Params::default();
     let mut scale_flag = |name: &'static str, f: &mut dyn FnMut(&mut Params, u64)| {
         if let Some(raw) = flag_value(name) {
             let n = raw
@@ -102,7 +113,7 @@ fn main() {
                     eprintln!("{name} requires a positive integer");
                     std::process::exit(2);
                 });
-            f(&mut fleet_params, n);
+            f(&mut cli_params, n);
         }
     };
     scale_flag("--servers", &mut |p, n| p.servers = Some(n as usize));
@@ -111,6 +122,8 @@ fn main() {
         p.datacenters = Some(n as usize)
     });
     scale_flag("--seed", &mut |p, n| p.seed = Some(n));
+    scale_flag("--slot-min", &mut |p, n| p.slot_min = Some(n as usize));
+    scale_flag("--tranches", &mut |p, n| p.tranches = Some(n as usize));
     if let Some(raw) = flag_value("--horizon-h") {
         let h = raw
             .parse::<f64>()
@@ -120,7 +133,7 @@ fn main() {
                 eprintln!("--horizon-h requires a positive number of hours");
                 std::process::exit(2);
             });
-        fleet_params.horizon_h = Some(h);
+        cli_params.horizon_h = Some(h);
     }
     let which = args
         .iter()
@@ -202,14 +215,23 @@ fn main() {
         run_experiment("dcsim", &ctx, &mut md, &mut comparisons, write);
     }
     if all || which == "fleet" {
-        run_experiment_with(
-            "fleet",
-            &fleet_params,
-            &ctx,
-            &mut md,
-            &mut comparisons,
-            write,
-        );
+        // In `all` mode the shared CLI params are scoped to what each
+        // experiment understands; with an explicit selector, a foreign
+        // flag is a usage error (the experiment's schema rejects it).
+        let mut p = cli_params;
+        if all {
+            p.slot_min = None;
+            p.tranches = None;
+        }
+        run_experiment_with("fleet", &p, &ctx, &mut md, &mut comparisons, write);
+    }
+    if all || which == "schedule" {
+        let mut p = cli_params;
+        if all {
+            p.shards = None;
+            p.datacenters = None;
+        }
+        run_experiment_with("schedule", &p, &ctx, &mut md, &mut comparisons, write);
     }
     if all || which == "extensions" {
         run_extensions(&mut md);
@@ -293,14 +315,27 @@ fn serving_endpoints_md() -> String {
             "| `/v1/experiments/{}` | POST | run `{}` (params: {}) |",
             exp.name(),
             exp.name(),
-            exp.supported_params()
+            exp.schema()
                 .iter()
-                .map(|p| format!("`{p}`"))
+                .map(|p| format!("`{}`", p.name))
                 .collect::<Vec<_>>()
                 .join(", ")
         );
     }
     md.push('\n');
+    // The declarative parameter schemas, rendered from the same
+    // `ParamSpec` tables `GET /v1/experiments` serves — EXPERIMENTS.md
+    // can never drift from the wire contract.
+    md.push_str(
+        "### Experiment parameters\n\n\
+         Each experiment accepts only the parameters below (anything else is a\n\
+         `400 unknown parameter`); ranges are inclusive and validated server-side.\n\n",
+    );
+    for exp in experiment::registry() {
+        let _ = writeln!(md, "#### `{}`\n", exp.name());
+        md.push_str(&params::schema_markdown(exp.schema()));
+        md.push('\n');
+    }
     md
 }
 

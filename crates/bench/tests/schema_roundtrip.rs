@@ -1,0 +1,75 @@
+//! Schema ↔ EXPERIMENTS.md round-trip: the checked-in parameter tables
+//! must be byte-for-byte what the live `ParamSpec` schemas render, for
+//! every experiment in the registry. Regenerating the file
+//! (`repro all --write`) and editing a schema are therefore forced to
+//! travel together — the doc can never drift from the wire contract.
+
+use thermal_time_shifting::experiment;
+use thermal_time_shifting::params;
+
+fn experiments_md() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../EXPERIMENTS.md");
+    std::fs::read_to_string(path).expect("EXPERIMENTS.md exists at the repo root")
+}
+
+#[test]
+fn every_registered_schema_is_in_experiments_md() {
+    let md = experiments_md();
+    for exp in experiment::registry() {
+        let header = format!("#### `{}`\n", exp.name());
+        assert!(
+            md.contains(&header),
+            "EXPERIMENTS.md lacks a parameter section for {:?}; regenerate with \
+             `cargo run --release -p tts-bench --bin repro -- all --write`",
+            exp.name()
+        );
+        let table = params::schema_markdown(exp.schema());
+        assert!(
+            md.contains(&table),
+            "EXPERIMENTS.md parameter table for {:?} is stale; regenerate with \
+             `cargo run --release -p tts-bench --bin repro -- all --write`",
+            exp.name()
+        );
+    }
+}
+
+#[test]
+fn experiments_md_has_no_orphan_schema_sections() {
+    let md = experiments_md();
+    let known: Vec<String> = experiment::registry()
+        .iter()
+        .map(|e| format!("#### `{}`", e.name()))
+        .collect();
+    for line in md.lines().filter(|l| l.starts_with("#### `")) {
+        assert!(
+            known.iter().any(|k| line.trim() == *k),
+            "EXPERIMENTS.md documents {line:?} but the registry has no such experiment"
+        );
+    }
+}
+
+#[test]
+fn wire_schema_and_markdown_agree_on_every_field() {
+    // The markdown table and the JSON schema are two renderings of the
+    // same ParamSpec; check the names, defaults and ranges line up.
+    for exp in experiment::registry() {
+        let tts_units::json::Json::Arr(entries) = params::schema_json(exp.schema()) else {
+            panic!("schema_json must be an array");
+        };
+        let md = params::schema_markdown(exp.schema());
+        assert_eq!(
+            entries.len(),
+            exp.schema().len(),
+            "wire schema drops a parameter for {:?}",
+            exp.name()
+        );
+        for spec in exp.schema() {
+            assert!(
+                md.contains(&format!("`{}`", spec.name)),
+                "markdown for {:?} lacks parameter {:?}",
+                exp.name(),
+                spec.name
+            );
+        }
+    }
+}

@@ -49,6 +49,16 @@ impl Tariff {
         self.rate_at(t) * energy.kilowatt_hours()
     }
 
+    /// Samples the tariff over `n` consecutive slots of length `dt`
+    /// starting at `start`, evaluating each slot at its midpoint so a
+    /// slot straddling the window boundary takes its majority rate.
+    /// This is the forecast vector a slot-indexed planner consumes.
+    pub fn rates_over(&self, start: Seconds, dt: Seconds, n: usize) -> Vec<DollarsPerKwh> {
+        (0..n)
+            .map(|k| self.rate_at(Seconds::new(start.value() + (k as f64 + 0.5) * dt.value())))
+            .collect()
+    }
+
     /// Flat-average rate assuming the paper's 12 h/12 h split.
     pub fn mean_rate(&self) -> DollarsPerKwh {
         let peak_frac = (self.peak_end_hour - self.peak_start_hour) / 24.0;
@@ -85,6 +95,23 @@ mod tests {
         let one_kwh = Joules::new(3.6e6);
         assert!((t.cost(one_kwh, Seconds::new(12.0 * 3600.0)).value() - 0.13).abs() < 1e-12);
         assert!((t.cost(one_kwh, Seconds::new(2.0 * 3600.0)).value() - 0.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rates_over_samples_slot_midpoints() {
+        let t = Tariff::paper_default();
+        // Four 15-minute slots bracketing the 7:00 peak edge: midpoints
+        // at 6:37.5, 6:52.5, 7:07.5, 7:22.5.
+        let rates = t.rates_over(Seconds::new(6.5 * 3600.0), Seconds::new(900.0), 4);
+        let vals: Vec<f64> = rates.iter().map(|r| r.value()).collect();
+        assert_eq!(vals, vec![0.08, 0.08, 0.13, 0.13]);
+        // And it wraps across days like `rate_at`.
+        let rates = t.rates_over(
+            Seconds::new(86_400.0 * 3.0 + 12.0 * 3600.0),
+            Seconds::new(900.0),
+            1,
+        );
+        assert_eq!(rates[0].value(), 0.13);
     }
 
     #[test]

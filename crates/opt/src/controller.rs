@@ -1,0 +1,648 @@
+//! The receding-horizon control loop and its passive baseline.
+//!
+//! Every `replan_every` slots the controller builds a [`HorizonModel`]
+//! from the *nominal* workload forecast, the tariff, the sensed cooling
+//! capacity, and the live PCM state, solves it, and executes the first
+//! slots of the plan against the *actual* plant — which faults may have
+//! perturbed since the forecast was taken. Three mechanisms keep the
+//! loop honest when plan and plant diverge:
+//!
+//! 1. **Physical clamping** — PCM commands pass through
+//!    [`PcmState::command_rate`], which can only throttle the passive
+//!    exchange, and deferred work can only run if it actually sits in
+//!    the backlog.
+//! 2. **Deadline forcing** — work whose deadline arrives runs
+//!    unconditionally, whatever the plan said, so job conservation is
+//!    an invariant of the executor rather than a hope about the LP.
+//! 3. **Fallback** — if a perturbed LP comes back infeasible (or hits
+//!    the iteration limit), the controller degrades to run-on-arrival
+//!    for that planning interval and counts it, rather than panicking.
+//!
+//! The baseline run ([`ScheduleOutcome::cost_passive_usd`]) executes
+//! every job on arrival with the wax left to melt and freeze passively
+//! — exactly the paper's configuration — over the identical trace and
+//! fault schedule, so the reported saving isolates the value of
+//! *control*.
+
+use crate::model::{BacklogItem, HorizonModel, SlotForecast, DELAY_CLASSES_MIN};
+use tts_cooling::{CoolingSystem, Tariff};
+use tts_obs::{Determinism, MetricsSink, LATENCY_MS_EDGES};
+use tts_pcm::{PcmMaterial, PcmState};
+use tts_units::{derive_json, Celsius, Grams, Joules, Seconds, Watts, WattsPerKelvin};
+use tts_workload::google::{GoogleTrace, GoogleTraceConfig};
+use tts_workload::TimeSeries;
+
+/// Nameplate server power at full utilization (W), matching the 160 W
+/// SPECpower-style envelope used across the repo.
+const SERVER_PEAK_W: f64 = 160.0;
+/// Wax provisioned per server (g), the paper's 960 g lid deployment.
+const WAX_G_PER_SERVER: f64 = 960.0;
+/// Air-to-wax conductance per server (W/K).
+const COUPLING_W_PER_K_PER_SERVER: f64 = 5.0;
+/// Melting point chosen for the actively-managed paraffin (°C).
+const WAX_MELT_C: f64 = 36.0;
+/// Aisle air temperature at zero IT load (°C).
+const AIR_BASE_C: f64 = 22.0;
+/// Aisle air temperature rise from zero to full fleet load (K).
+const AIR_SPAN_K: f64 = 26.0;
+
+/// Configuration for one `schedule` run.
+#[derive(Debug, Clone)]
+pub struct ScheduleConfig {
+    /// Seed for the diurnal trace generator.
+    pub seed: u64,
+    /// Fleet size (paper cluster: 1008).
+    pub servers: usize,
+    /// Planning horizon (h) ahead of each re-plan.
+    pub horizon_h: f64,
+    /// Deadline extension (h) appended to the horizon so work arriving
+    /// near its end still sees its full deferral window.
+    pub extension_h: f64,
+    /// Planning slot length (min).
+    pub slot_min: f64,
+    /// Number of deferrable delay classes (prefix of
+    /// [`DELAY_CLASSES_MIN`]).
+    pub tranches: usize,
+    /// Fraction of offered load that is deferrable, split evenly over
+    /// the classes.
+    pub deferrable_frac: f64,
+    /// Re-plan cadence in slots (4 × 15 min = hourly).
+    pub replan_every: usize,
+}
+
+impl Default for ScheduleConfig {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            servers: 1008,
+            horizon_h: 24.0,
+            extension_h: 3.0,
+            slot_min: 15.0,
+            tranches: DELAY_CLASSES_MIN.len(),
+            deferrable_frac: 0.25,
+            replan_every: 4,
+        }
+    }
+}
+
+/// Exogenous perturbations applied to the *actual* plant (never to the
+/// forecast): the bridge from `chaos` fault plans into the controller.
+#[derive(Debug, Clone, Default)]
+pub struct Disturbances {
+    /// `(from_s, to_s, capacity_frac)` cooling deratings; overlapping
+    /// windows take the most severe fraction.
+    pub capacity: Vec<(f64, f64, f64)>,
+    /// `(from_s, to_s, multiplier)` workload multipliers (bursts > 1,
+    /// dropouts < 1); overlapping windows multiply.
+    pub load: Vec<(f64, f64, f64)>,
+}
+
+impl Disturbances {
+    /// Effective cooling-capacity fraction at time `t`.
+    pub fn capacity_frac(&self, t: f64) -> f64 {
+        self.capacity
+            .iter()
+            .filter(|(from, to, _)| t >= *from && t < *to)
+            .fold(1.0, |acc, (_, _, f)| acc.min(f.clamp(0.0, 1.0)))
+    }
+
+    /// Effective workload multiplier at time `t`.
+    pub fn load_mult(&self, t: f64) -> f64 {
+        self.load
+            .iter()
+            .filter(|(from, to, _)| t >= *from && t < *to)
+            .fold(1.0, |acc, (_, _, m)| acc * m.max(0.0))
+            .clamp(0.0, 4.0)
+    }
+}
+
+/// Result of a schedule run: the optimized controller and the passive
+/// baseline over the identical trace and faults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleOutcome {
+    /// Simulated slots.
+    pub slots: u64,
+    /// LP plans solved (excluding fallbacks).
+    pub plans: u64,
+    /// Planning intervals that degraded to run-on-arrival.
+    pub fallback_plans: u64,
+    /// Total simplex iterations across all plans.
+    pub simplex_iterations: u64,
+    /// Energy bill of the passive paper configuration ($).
+    pub cost_passive_usd: f64,
+    /// Energy bill of the optimized controller ($).
+    pub cost_optimized_usd: f64,
+    /// `cost_passive − cost_optimized` ($).
+    pub savings_usd: f64,
+    /// Savings as a fraction of the passive bill.
+    pub savings_frac: f64,
+    /// Total IT energy executed by the controller (kWh) — equal to the
+    /// baseline's by job conservation.
+    pub it_energy_kwh: f64,
+    /// Energy executed in a later slot than it arrived (kWh).
+    pub deferred_energy_kwh: f64,
+    /// Work items that outlived their deadline (must stay 0).
+    pub deadline_misses: u64,
+    /// Slots where the optimized run exceeded (derated) cooling capacity.
+    pub overload_slots: u64,
+    /// Slots where the passive baseline exceeded capacity.
+    pub overload_slots_passive: u64,
+    /// Melt fraction of the wax at the end of the optimized run.
+    pub final_soc: f64,
+    /// |arrived − executed| (kWh) — conservation audit, ~0.
+    pub conservation_error_kwh: f64,
+    /// Per-slot chiller load (kW), optimized run (for charts).
+    pub load_optimized_kw: Vec<f64>,
+    /// Per-slot chiller load (kW), passive baseline.
+    pub load_passive_kw: Vec<f64>,
+}
+
+derive_json! {
+    struct ScheduleOutcome {
+        slots,
+        plans,
+        fallback_plans,
+        simplex_iterations,
+        cost_passive_usd,
+        cost_optimized_usd,
+        savings_usd,
+        savings_frac,
+        it_energy_kwh,
+        deferred_energy_kwh,
+        deadline_misses,
+        overload_slots,
+        overload_slots_passive,
+        final_soc,
+        conservation_error_kwh,
+        load_optimized_kw,
+        load_passive_kw,
+    }
+}
+
+/// Plant shared by the optimized and passive runs.
+struct Plant {
+    fleet_peak_w: f64,
+    coupling: WattsPerKelvin,
+    cooling: CoolingSystem,
+    tariff: Tariff,
+    wax_melt: Celsius,
+}
+
+impl Plant {
+    fn for_config(cfg: &ScheduleConfig, trace: &TimeSeries) -> Self {
+        let fleet_peak_w = cfg.servers as f64 * SERVER_PEAK_W;
+        Self {
+            fleet_peak_w,
+            coupling: WattsPerKelvin::new(cfg.servers as f64 * COUPLING_W_PER_K_PER_SERVER),
+            cooling: CoolingSystem::sized_for(Watts::new(fleet_peak_w * trace.peak())),
+            tariff: Tariff::paper_default(),
+            wax_melt: Celsius::new(WAX_MELT_C),
+        }
+    }
+
+    fn fresh_pcm(&self, cfg: &ScheduleConfig) -> PcmState {
+        PcmState::new(
+            &PcmMaterial::commercial_paraffin(self.wax_melt),
+            Grams::new(cfg.servers as f64 * WAX_G_PER_SERVER),
+            Celsius::new(AIR_BASE_C),
+        )
+    }
+
+    /// Aisle air temperature as a function of executed IT power.
+    fn air_temp(&self, p_it_w: f64) -> Celsius {
+        Celsius::new(AIR_BASE_C + AIR_SPAN_K * (p_it_w / self.fleet_peak_w).clamp(0.0, 1.2))
+    }
+}
+
+/// A unit of deferred work sitting in the executor's backlog.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    kw_slots: f64,
+    arrival_slot: usize,
+    deadline_slot: usize,
+}
+
+/// Runs the `schedule` experiment on the default two-day diurnal trace
+/// (regenerated under `cfg.seed`).
+pub fn run_schedule(cfg: &ScheduleConfig, sink: &MetricsSink) -> ScheduleOutcome {
+    let trace = GoogleTrace::generate(GoogleTraceConfig {
+        seed: cfg.seed,
+        ..GoogleTraceConfig::default()
+    });
+    run_schedule_on(cfg, trace.total(), &Disturbances::default(), sink)
+}
+
+/// Runs optimizer and baseline over an explicit utilization trace and
+/// fault schedule. The trace is consumed once (no wrap) for actuals;
+/// forecasts wrap modulo its duration so the horizon can look past the
+/// end of the simulation.
+pub fn run_schedule_on(
+    cfg: &ScheduleConfig,
+    trace: &TimeSeries,
+    faults: &Disturbances,
+    sink: &MetricsSink,
+) -> ScheduleOutcome {
+    let dt_s = cfg.slot_min * 60.0;
+    let dt_h = dt_s / 3600.0;
+    let sim_slots = ((trace.duration().value() / dt_s).floor() as usize).max(1);
+    let tranches = cfg.tranches.clamp(1, DELAY_CLASSES_MIN.len());
+    let windows: Vec<usize> = DELAY_CLASSES_MIN[..tranches]
+        .iter()
+        .map(|d| HorizonModel::window_slots(*d, cfg.slot_min))
+        .collect();
+    let plan_slots = (((cfg.horizon_h + cfg.extension_h) * 60.0 / cfg.slot_min).ceil() as usize)
+        .clamp(1, 4 * sim_slots.max(96));
+    let replan_every = cfg.replan_every.max(1);
+
+    let plant = Plant::for_config(cfg, trace);
+    let fleet_peak_kw = plant.fleet_peak_w / 1000.0;
+    let cop = plant.cooling.cop();
+
+    let plans_ctr = sink.counter("opt.plans");
+    let fallback_ctr = sink.counter("opt.plans.fallback");
+    let iters_ctr = sink.counter("opt.simplex.iterations");
+    let latency_hist = sink.histogram_tagged(
+        "opt.plan.latency_ms",
+        &LATENCY_MS_EDGES,
+        Determinism::BestEffort,
+    );
+    let deferred_gauge = sink.gauge("opt.deferred.kwh");
+
+    // ---- Optimized run -------------------------------------------------
+    let mut pcm = plant.fresh_pcm(cfg);
+    let mut backlog: Vec<Vec<Pending>> = vec![Vec::new(); tranches];
+    let mut plan: Option<(usize, crate::model::Plan)> = None;
+    let mut cost_optimized = 0.0;
+    let mut plans: u64 = 0;
+    let mut fallbacks: u64 = 0;
+    let mut iterations: u64 = 0;
+    let mut deadline_misses: u64 = 0;
+    let mut overload_slots: u64 = 0;
+    let mut arrived_kwh = 0.0;
+    let mut executed_kwh = 0.0;
+    let mut deferred_kwh = 0.0;
+    let mut load_optimized_kw = Vec::with_capacity(sim_slots);
+
+    for s in 0..sim_slots {
+        let t_mid = (s as f64 + 0.5) * dt_s;
+
+        if s % replan_every == 0 {
+            let model = build_model(
+                cfg, trace, &plant, &pcm, &backlog, faults, s, plan_slots, tranches, &windows,
+                dt_s, dt_h,
+            );
+            let started = std::time::Instant::now();
+            let _span = sink.span("opt.plan");
+            match model.solve() {
+                Ok(p) => {
+                    iterations += p.iterations;
+                    iters_ctr.add(p.iterations);
+                    plans += 1;
+                    plans_ctr.incr();
+                    plan = Some((s, p));
+                }
+                Err(_) => {
+                    fallbacks += 1;
+                    fallback_ctr.incr();
+                    plan = None;
+                }
+            }
+            latency_hist.record(started.elapsed().as_secs_f64() * 1e3);
+        }
+
+        // Offered load, with faults applied to the actual plant only.
+        let util = (trace.at(Seconds::new(t_mid)) * faults.load_mult(t_mid)).clamp(0.0, 1.0);
+        let offered_kw = fleet_peak_kw * util;
+        let firm_kw = offered_kw * (1.0 - cfg.deferrable_frac);
+        let per_class_kw = offered_kw * cfg.deferrable_frac / tranches as f64;
+        for (c, item) in backlog.iter_mut().enumerate() {
+            if per_class_kw > 0.0 {
+                item.push(Pending {
+                    kw_slots: per_class_kw,
+                    arrival_slot: s,
+                    deadline_slot: s + windows[c] - 1,
+                });
+            }
+        }
+        arrived_kwh += offered_kw * dt_h;
+
+        // Execute: deadline-forced work first, then the planned amount,
+        // then (on the final slot) everything left.
+        let mut executed_deferrable_kw = 0.0;
+        for (c, queue) in backlog.iter_mut().enumerate() {
+            let planned_kw = match &plan {
+                Some((start, p)) => p.run_kw.get(s - start).map_or(0.0, |row| row[c]),
+                None => f64::INFINITY, // fallback: run-on-arrival
+            };
+            let mut ran_kw = 0.0;
+            let mut rest = Vec::new();
+            for item in queue.drain(..) {
+                let forced = item.deadline_slot <= s || s + 1 == sim_slots;
+                if item.deadline_slot < s {
+                    deadline_misses += 1;
+                }
+                if forced {
+                    ran_kw += item.kw_slots;
+                    if item.arrival_slot < s {
+                        deferred_kwh += item.kw_slots * dt_h;
+                    }
+                } else if ran_kw < planned_kw {
+                    let take = item.kw_slots.min(planned_kw - ran_kw);
+                    ran_kw += take;
+                    if item.arrival_slot < s {
+                        deferred_kwh += take * dt_h;
+                    }
+                    if item.kw_slots - take > 1e-12 {
+                        rest.push(Pending {
+                            kw_slots: item.kw_slots - take,
+                            ..item
+                        });
+                    }
+                } else {
+                    rest.push(item);
+                }
+            }
+            *queue = rest;
+            executed_deferrable_kw += ran_kw;
+        }
+        let p_it_kw = firm_kw + executed_deferrable_kw;
+        executed_kwh += p_it_kw * dt_h;
+        let pending_kwh: f64 = backlog.iter().flatten().map(|i| i.kw_slots * dt_h).sum();
+        deferred_gauge.set(pending_kwh);
+
+        // PCM command from the plan, clamped by the valve model.
+        let air = plant.air_temp(p_it_kw * 1000.0);
+        let q_w = match &plan {
+            Some((start, p)) => {
+                let rate_kw = p.pcm_kw.get(s - start).copied().unwrap_or(0.0);
+                pcm.command_rate(
+                    Watts::new(rate_kw * 1000.0),
+                    air,
+                    plant.coupling,
+                    Seconds::new(dt_s),
+                )
+            }
+            None => pcm.step(air, plant.coupling, Seconds::new(dt_s)),
+        };
+
+        let (slot_cost, load_kw, overloaded) = settle_slot(
+            &plant,
+            faults,
+            p_it_kw,
+            q_w.value() / 1000.0,
+            t_mid,
+            dt_h,
+            cop,
+        );
+        cost_optimized += slot_cost;
+        load_optimized_kw.push(load_kw);
+        overload_slots += overloaded as u64;
+    }
+    // Work arriving in the final slot is executed there by the flush.
+    let leftover_kwh: f64 = backlog.iter().flatten().map(|i| i.kw_slots * dt_h).sum();
+    executed_kwh += leftover_kwh;
+
+    // ---- Passive baseline ---------------------------------------------
+    let mut pcm_base = plant.fresh_pcm(cfg);
+    let mut cost_passive = 0.0;
+    let mut overload_slots_passive: u64 = 0;
+    let mut load_passive_kw = Vec::with_capacity(sim_slots);
+    for s in 0..sim_slots {
+        let t_mid = (s as f64 + 0.5) * dt_s;
+        let util = (trace.at(Seconds::new(t_mid)) * faults.load_mult(t_mid)).clamp(0.0, 1.0);
+        let p_it_kw = fleet_peak_kw * util;
+        let air = plant.air_temp(p_it_kw * 1000.0);
+        let q_w = pcm_base.step(air, plant.coupling, Seconds::new(dt_s));
+        let (slot_cost, load_kw, overloaded) = settle_slot(
+            &plant,
+            faults,
+            p_it_kw,
+            q_w.value() / 1000.0,
+            t_mid,
+            dt_h,
+            cop,
+        );
+        cost_passive += slot_cost;
+        load_passive_kw.push(load_kw);
+        overload_slots_passive += overloaded as u64;
+    }
+
+    ScheduleOutcome {
+        slots: sim_slots as u64,
+        plans,
+        fallback_plans: fallbacks,
+        simplex_iterations: iterations,
+        cost_passive_usd: cost_passive,
+        cost_optimized_usd: cost_optimized,
+        savings_usd: cost_passive - cost_optimized,
+        savings_frac: if cost_passive > 0.0 {
+            (cost_passive - cost_optimized) / cost_passive
+        } else {
+            0.0
+        },
+        it_energy_kwh: executed_kwh,
+        deferred_energy_kwh: deferred_kwh,
+        deadline_misses,
+        overload_slots,
+        overload_slots_passive,
+        final_soc: pcm.melt_fraction().value(),
+        conservation_error_kwh: (arrived_kwh - executed_kwh).abs(),
+        load_optimized_kw,
+        load_passive_kw,
+    }
+}
+
+/// One slot of plant settlement: chiller load, overload bookkeeping,
+/// and the energy bill for IT plus (capacity-limited) cooling.
+fn settle_slot(
+    plant: &Plant,
+    faults: &Disturbances,
+    p_it_kw: f64,
+    q_kw: f64,
+    t_mid: f64,
+    dt_h: f64,
+    cop: f64,
+) -> (f64, f64, bool) {
+    let load_kw = (p_it_kw - q_kw).max(0.0);
+    let cap_kw = plant.cooling.peak_capacity().value() * faults.capacity_frac(t_mid);
+    let removed_kw = load_kw.min(cap_kw);
+    let overloaded = load_kw > cap_kw + 1e-9;
+    let elec_kwh = (p_it_kw + removed_kw / cop) * dt_h;
+    let rate = plant.tariff.rate_at(Seconds::new(t_mid)).value();
+    (rate * elec_kwh, load_kw, overloaded)
+}
+
+/// Builds the planning model at simulation slot `s0`. Forecasts are
+/// nominal (fault-free) except for cooling capacity, which is sensed at
+/// plan time and projected forward — the controller can react to a
+/// derating it can measure, but not to one it cannot foresee.
+#[allow(clippy::too_many_arguments)]
+fn build_model(
+    cfg: &ScheduleConfig,
+    trace: &TimeSeries,
+    plant: &Plant,
+    pcm: &PcmState,
+    backlog: &[Vec<Pending>],
+    faults: &Disturbances,
+    s0: usize,
+    plan_slots: usize,
+    tranches: usize,
+    windows: &[usize],
+    dt_s: f64,
+    dt_h: f64,
+) -> HorizonModel {
+    let fleet_peak_kw = plant.fleet_peak_w / 1000.0;
+    let duration = trace.duration().value();
+    let sensed_cap_kw =
+        plant.cooling.peak_capacity().value() * faults.capacity_frac((s0 as f64 + 0.5) * dt_s);
+    let rates = plant.tariff.rates_over(
+        Seconds::new(s0 as f64 * dt_s),
+        Seconds::new(dt_s),
+        plan_slots,
+    );
+    let slots = (0..plan_slots)
+        .map(|k| {
+            let t_mid = ((s0 + k) as f64 + 0.5) * dt_s;
+            let util = trace
+                .at(Seconds::new(t_mid.rem_euclid(duration)))
+                .clamp(0.0, 1.0);
+            let offered_kw = fleet_peak_kw * util;
+            let air_fc = plant.air_temp(offered_kw * 1000.0);
+            let delta_k = (air_fc - plant.wax_melt).value();
+            SlotForecast {
+                firm_kw: offered_kw * (1.0 - cfg.deferrable_frac),
+                arrivals_kw: vec![offered_kw * cfg.deferrable_frac / tranches as f64; tranches],
+                rate_usd_per_kwh: rates[k].value(),
+                charge_ub_kw: (plant.coupling.value() * delta_k.max(0.0)) / 1000.0,
+                discharge_ub_kw: (plant.coupling.value() * (-delta_k).max(0.0)) / 1000.0,
+                cooling_cap_kw: sensed_cap_kw,
+            }
+        })
+        .collect();
+    HorizonModel {
+        slots,
+        tranches,
+        dt_h,
+        deadline_slots: windows.to_vec(),
+        stored_kwh: pcm.melt_fraction().value()
+            * Joules::new(pcm.latent_capacity().value())
+                .kilowatt_hours()
+                .value(),
+        capacity_kwh: Joules::new(pcm.latent_capacity().value())
+            .kilowatt_hours()
+            .value(),
+        cop: plant.cooling.cop(),
+        backlog: backlog
+            .iter()
+            .map(|queue| {
+                queue
+                    .iter()
+                    .map(|i| BacklogItem {
+                        kw_slots: i.kw_slots,
+                        deadline_slot: i.deadline_slot.saturating_sub(s0),
+                    })
+                    .collect()
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> ScheduleConfig {
+        ScheduleConfig {
+            servers: 64,
+            horizon_h: 6.0,
+            extension_h: 1.0,
+            ..ScheduleConfig::default()
+        }
+    }
+
+    /// A deliberately coarse trace: half a day cheap/quiet, half a day
+    /// hot/expensive, one-hour buckets over one day.
+    fn square_trace() -> TimeSeries {
+        TimeSeries::from_fn(Seconds::new(3600.0), 24, |t| {
+            let hour = t / 3600.0;
+            if (8.0..18.0).contains(&hour) {
+                0.9
+            } else {
+                0.35
+            }
+        })
+    }
+
+    #[test]
+    fn optimizer_beats_passive_baseline() {
+        let out = run_schedule_on(
+            &quick_cfg(),
+            &square_trace(),
+            &Disturbances::default(),
+            &MetricsSink::disabled(),
+        );
+        assert!(out.plans > 0, "at least one plan must solve");
+        assert_eq!(out.deadline_misses, 0);
+        assert!(
+            out.savings_usd > 0.0,
+            "optimized {} vs passive {}",
+            out.cost_optimized_usd,
+            out.cost_passive_usd
+        );
+        assert!(
+            out.conservation_error_kwh < 1e-6 * out.it_energy_kwh.max(1.0),
+            "job conservation violated: {} kWh lost",
+            out.conservation_error_kwh
+        );
+        assert!(out.deferred_energy_kwh > 0.0, "some work must shift");
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let cfg = quick_cfg();
+        let a = run_schedule(&cfg, &MetricsSink::disabled());
+        let b = run_schedule(&cfg, &MetricsSink::disabled());
+        assert_eq!(a, b);
+        let c = run_schedule(
+            &ScheduleConfig { seed: 43, ..cfg },
+            &MetricsSink::disabled(),
+        );
+        assert_ne!(a, c, "the seed must matter");
+    }
+
+    #[test]
+    fn controller_degrades_gracefully_under_faults() {
+        let faults = Disturbances {
+            capacity: vec![(6.0 * 3600.0, 12.0 * 3600.0, 0.4)],
+            load: vec![(10.0 * 3600.0, 14.0 * 3600.0, 1.6)],
+        };
+        let out = run_schedule_on(
+            &quick_cfg(),
+            &square_trace(),
+            &faults,
+            &MetricsSink::disabled(),
+        );
+        assert_eq!(out.deadline_misses, 0, "deadlines hold even under faults");
+        assert!(
+            out.conservation_error_kwh < 1e-6 * out.it_energy_kwh.max(1.0),
+            "conservation must survive faults"
+        );
+        assert!(out.plans + out.fallback_plans > 0);
+        assert!(out.cost_optimized_usd.is_finite() && out.cost_optimized_usd > 0.0);
+    }
+
+    #[test]
+    fn default_trace_covers_two_days_of_slots() {
+        // A short planning horizon keeps this debug-mode test fast; the
+        // full 24 h + 3 h default horizon is exercised in release mode
+        // by the `repro schedule` CI gate.
+        let cfg = ScheduleConfig {
+            horizon_h: 4.0,
+            extension_h: 1.0,
+            ..ScheduleConfig::default()
+        };
+        let out = run_schedule(&cfg, &MetricsSink::disabled());
+        assert_eq!(out.slots, 192, "two days of 15-min slots");
+        assert!(out.savings_usd > 0.0);
+    }
+}

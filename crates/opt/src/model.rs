@@ -1,0 +1,312 @@
+//! Horizon model: forecast in, LP out, plan back.
+//!
+//! The model works in **kW / kWh / slot** units so the tableau stays
+//! well-conditioned: fleet powers are O(100) kW, the PCM latent band is
+//! O(10) kWh, and objective coefficients are O(0.01) $ — every number
+//! the simplex touches sits within a few orders of magnitude of 1.
+//!
+//! # Variables (per slot `k`, `C` delay classes)
+//!
+//! * `r[k][c] ≥ 0` — deferrable power of class `c` executed in slot `k`
+//!   (kW, sustained for the slot).
+//! * `q[k] ∈ [−discharge_ub, charge_ub]` — PCM heat rate (kW):
+//!   positive = charging (absorbing heat, relieving the chiller),
+//!   negative = discharging (rejecting stored heat into the aisle).
+//!
+//! # Constraints (each a single *range row*)
+//!
+//! * **Cooling capacity**: `Σ_c r[k][c] − q[k] ∈ [−firm_k, cap_k − firm_k]`
+//!   — the chiller sees `firm + Σr − q` and that must stay in
+//!   `[0, cap_k]`.
+//! * **State of charge**: `Σ_{j≤k} q[j]·dt_h ∈ [−stored, capacity − stored]`
+//!   — cumulative charge keeps the latent store inside `[0, capacity]`.
+//! * **Job conservation + deadlines** (per class): cumulative executed
+//!   work `Σ_{j≤k} r[c][j]` is at least the work already due and at most
+//!   the work that has arrived — `[cum_due, cum_arrived]` in kW·slot.
+//!
+//! # Objective
+//!
+//! Minimize `Σ_k w_k · (Σ_c r[k][c] · (1 + 1/cop) − q[k]/cop)` where
+//! `w_k = rate_k · dt_h` is the $/kWh tariff scaled to the slot. Firm
+//! load contributes a constant; [`Plan::cost_usd`] adds it back so the
+//! reported number is the full horizon energy bill.
+
+use crate::simplex::{Lp, Outcome};
+
+/// Deadline tolerance of each deferrable tranche, in minutes. The
+/// `tranches` experiment parameter selects a prefix of this table.
+pub const DELAY_CLASSES_MIN: [f64; 4] = [30.0, 60.0, 120.0, 180.0];
+
+/// Forecast for one planning slot.
+#[derive(Debug, Clone)]
+pub struct SlotForecast {
+    /// Non-deferrable IT power (kW) expected in this slot.
+    pub firm_kw: f64,
+    /// Deferrable arrivals (kW) per delay class, `tranches` entries.
+    pub arrivals_kw: Vec<f64>,
+    /// Tariff rate in effect ($/kWh).
+    pub rate_usd_per_kwh: f64,
+    /// Max PCM charge rate (kW) the melt dynamics allow this slot.
+    pub charge_ub_kw: f64,
+    /// Max PCM discharge rate (kW) the melt dynamics allow this slot.
+    pub discharge_ub_kw: f64,
+    /// Cooling plant capacity (kW of heat removal) after any derating.
+    pub cooling_cap_kw: f64,
+}
+
+/// A deferred-work item carried into the horizon from previous slots.
+#[derive(Debug, Clone, Copy)]
+pub struct BacklogItem {
+    /// Power (kW·slot) still owed.
+    pub kw_slots: f64,
+    /// Latest slot (0-based, relative to the horizon start) by whose
+    /// end the work must have run. Clamped to slot 0 when overdue.
+    pub deadline_slot: usize,
+}
+
+/// Everything the planner needs for one solve.
+#[derive(Debug, Clone)]
+pub struct HorizonModel {
+    /// Per-slot forecasts; the length sets the horizon `K`.
+    pub slots: Vec<SlotForecast>,
+    /// Number of delay classes `C` (1..=4).
+    pub tranches: usize,
+    /// Slot length in hours.
+    pub dt_h: f64,
+    /// Deadline window per class, in slots: work arriving in slot `k`
+    /// must complete by the end of slot `k + window − 1`.
+    pub deadline_slots: Vec<usize>,
+    /// Latent energy currently stored (kWh, melt fraction × capacity).
+    pub stored_kwh: f64,
+    /// Total latent capacity (kWh).
+    pub capacity_kwh: f64,
+    /// Cooling plant coefficient of performance.
+    pub cop: f64,
+    /// Deferred work carried over from before the horizon, per class.
+    pub backlog: Vec<Vec<BacklogItem>>,
+}
+
+/// An executable plan read back from the optimal basis.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// `run_kw[k][c]`: class-`c` power to execute in slot `k`.
+    pub run_kw: Vec<Vec<f64>>,
+    /// `pcm_kw[k]`: commanded PCM heat rate (kW, + charge / − discharge).
+    pub pcm_kw: Vec<f64>,
+    /// Full-horizon energy cost ($), firm load included.
+    pub cost_usd: f64,
+    /// Simplex iterations spent on this solve.
+    pub iterations: u64,
+}
+
+impl HorizonModel {
+    /// Deadline window in slots for a delay tolerance in minutes: the
+    /// number of slots (including the arrival slot) the work may span.
+    pub fn window_slots(delay_min: f64, slot_min: f64) -> usize {
+        ((delay_min / slot_min).round() as usize).max(1)
+    }
+
+    /// Builds the LP described in the module docs.
+    pub fn build(&self) -> Lp {
+        let k_slots = self.slots.len();
+        let c = self.tranches;
+        let mut lp = Lp::new();
+
+        // Variable layout: slot-major, classes then the PCM rate.
+        // index(k, c) = k·(C+1)+c, pcm index(k) = k·(C+1)+C.
+        for slot in &self.slots {
+            let w = slot.rate_usd_per_kwh * self.dt_h;
+            for _ in 0..c {
+                lp.add_var(0.0, f64::INFINITY, w * (1.0 + 1.0 / self.cop));
+            }
+            let lo = -slot.discharge_ub_kw.max(0.0);
+            let hi = slot.charge_ub_kw.max(0.0);
+            lp.add_var(lo, hi, -w / self.cop);
+        }
+        let r = |k: usize, cls: usize| k * (c + 1) + cls;
+        let q = |k: usize| k * (c + 1) + c;
+
+        // Cooling-capacity range rows.
+        for (k, slot) in self.slots.iter().enumerate() {
+            let mut coeffs: Vec<(usize, f64)> = (0..c).map(|cls| (r(k, cls), 1.0)).collect();
+            coeffs.push((q(k), -1.0));
+            let cap = slot.cooling_cap_kw.max(0.0);
+            let lo = -slot.firm_kw;
+            let hi = (cap - slot.firm_kw).max(lo);
+            lp.add_row(lo, &coeffs, hi);
+        }
+
+        // State-of-charge range rows (cumulative in kWh).
+        let soc_lo = -self.stored_kwh.max(0.0);
+        let soc_hi = (self.capacity_kwh - self.stored_kwh).max(soc_lo);
+        let mut soc_coeffs: Vec<(usize, f64)> = Vec::with_capacity(k_slots);
+        for k in 0..k_slots {
+            soc_coeffs.push((q(k), self.dt_h));
+            lp.add_row(soc_lo, &soc_coeffs, soc_hi);
+        }
+
+        // Job-conservation rows: cum_due ≤ Σ r ≤ cum_arrived (kW·slot).
+        for cls in 0..c {
+            let window = self.deadline_slots.get(cls).copied().unwrap_or(1).max(1);
+            let mut cum_arrived = 0.0;
+            let mut coeffs: Vec<(usize, f64)> = Vec::with_capacity(k_slots);
+            for k in 0..k_slots {
+                coeffs.push((r(k, cls), 1.0));
+                cum_arrived += self.slots[k].arrivals_kw.get(cls).copied().unwrap_or(0.0);
+                if k == 0 {
+                    cum_arrived += self
+                        .backlog
+                        .get(cls)
+                        .map(|b| b.iter().map(|i| i.kw_slots).sum::<f64>())
+                        .unwrap_or(0.0);
+                }
+                let mut cum_due = 0.0;
+                for (j, slot) in self.slots.iter().enumerate().take(k + 1) {
+                    // Arrivals in slot j are due by the end of slot
+                    // j + window − 1; count them once that slot passes.
+                    if j + window - 1 <= k {
+                        cum_due += slot.arrivals_kw.get(cls).copied().unwrap_or(0.0);
+                    }
+                }
+                if let Some(items) = self.backlog.get(cls) {
+                    cum_due += items
+                        .iter()
+                        .filter(|i| i.deadline_slot <= k)
+                        .map(|i| i.kw_slots)
+                        .sum::<f64>();
+                }
+                lp.add_row(cum_due.min(cum_arrived), &coeffs, cum_arrived);
+            }
+        }
+        lp
+    }
+
+    /// Builds and solves the LP, translating the optimal vertex into a
+    /// [`Plan`]. Non-optimal outcomes are returned untouched so the
+    /// controller can degrade gracefully.
+    pub fn solve(&self) -> Result<Plan, Outcome> {
+        let lp = self.build();
+        match lp.solve() {
+            Outcome::Optimal(sol) => {
+                let k_slots = self.slots.len();
+                let c = self.tranches;
+                let mut run_kw = Vec::with_capacity(k_slots);
+                let mut pcm_kw = Vec::with_capacity(k_slots);
+                let mut firm_cost = 0.0;
+                for (k, slot) in self.slots.iter().enumerate() {
+                    let base = k * (c + 1);
+                    run_kw.push(sol.x[base..base + c].to_vec());
+                    pcm_kw.push(sol.x[base + c]);
+                    firm_cost +=
+                        slot.rate_usd_per_kwh * self.dt_h * slot.firm_kw * (1.0 + 1.0 / self.cop);
+                }
+                Ok(Plan {
+                    run_kw,
+                    pcm_kw,
+                    cost_usd: sol.objective + firm_cost,
+                    iterations: sol.iterations,
+                })
+            }
+            other => Err(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat_model(k: usize, rates: &[f64]) -> HorizonModel {
+        HorizonModel {
+            slots: (0..k)
+                .map(|i| SlotForecast {
+                    firm_kw: 50.0,
+                    arrivals_kw: vec![10.0],
+                    rate_usd_per_kwh: rates[i % rates.len()],
+                    charge_ub_kw: 20.0,
+                    discharge_ub_kw: 20.0,
+                    cooling_cap_kw: 200.0,
+                })
+                .collect(),
+            tranches: 1,
+            dt_h: 0.25,
+            deadline_slots: vec![2],
+            stored_kwh: 2.0,
+            capacity_kwh: 10.0,
+            cop: 4.0,
+            backlog: vec![Vec::new()],
+        }
+    }
+
+    #[test]
+    fn all_due_work_runs_and_soc_stays_bounded() {
+        let m = flat_model(8, &[0.10]);
+        let plan = m.solve().expect("feasible");
+        // With a 2-slot window, arrivals in slots 0..=6 fall due inside
+        // the horizon; the slot-7 arrival's deadline lies beyond it and
+        // a cost-minimizing plan defers exactly that much.
+        let executed: f64 = plan.run_kw.iter().flatten().sum();
+        let due: f64 = 7.0 * 10.0;
+        assert!(
+            (executed - due).abs() < 1e-6,
+            "conservation: executed {executed} vs due {due}"
+        );
+        let mut soc = m.stored_kwh;
+        for q in &plan.pcm_kw {
+            soc += q * m.dt_h;
+            assert!((-1e-7..=m.capacity_kwh + 1e-7).contains(&soc), "soc {soc}");
+        }
+    }
+
+    #[test]
+    fn deferrable_work_moves_to_cheap_slots() {
+        // Expensive first half, cheap second half; the 2-slot window
+        // lets each arrival shift one slot, so boundary work crosses.
+        let m = flat_model(8, &[0.20, 0.20, 0.20, 0.20, 0.05, 0.05, 0.05, 0.05]);
+        let plan = m.solve().expect("feasible");
+        let expensive: f64 = plan.run_kw[..4].iter().flatten().sum();
+        let cheap: f64 = plan.run_kw[4..].iter().flatten().sum();
+        assert!(
+            cheap > expensive,
+            "expected shifting into cheap slots, got {expensive} vs {cheap}"
+        );
+    }
+
+    #[test]
+    fn pcm_discharges_in_cheap_slots_to_charge_in_expensive() {
+        // Cheap first half, expensive second: the optimal plan empties
+        // the initial 2 kWh while energy is cheap so the full 10 kWh of
+        // latent capacity is available to absorb peak-priced heat.
+        let m = flat_model(8, &[0.05, 0.05, 0.05, 0.05, 0.20, 0.20, 0.20, 0.20]);
+        let plan = m.solve().expect("feasible");
+        let cheap_q: f64 = plan.pcm_kw[..4].iter().sum();
+        let peak_q: f64 = plan.pcm_kw[4..].iter().sum();
+        assert!(cheap_q < 0.0, "discharge while cheap, got {cheap_q}");
+        assert!(peak_q > 0.0, "charge during peak, got {peak_q}");
+    }
+
+    #[test]
+    fn deadline_forces_overdue_backlog_into_first_slot() {
+        let mut m = flat_model(4, &[0.30]);
+        m.backlog[0].push(BacklogItem {
+            kw_slots: 5.0,
+            deadline_slot: 0,
+        });
+        let plan = m.solve().expect("feasible");
+        assert!(
+            plan.run_kw[0][0] >= 5.0 - 1e-7,
+            "backlog due now must run now, got {}",
+            plan.run_kw[0][0]
+        );
+    }
+
+    #[test]
+    fn capacity_shortfall_is_infeasible() {
+        let mut m = flat_model(2, &[0.10]);
+        for s in &mut m.slots {
+            s.cooling_cap_kw = 10.0; // firm alone is 50 kW
+            s.discharge_ub_kw = 0.0; // and the PCM cannot help
+        }
+        assert!(m.solve().is_err());
+    }
+}

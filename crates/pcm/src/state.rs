@@ -132,6 +132,33 @@ impl PcmState {
         -max_release
     }
 
+    /// Advances the wax by `dt` under an *active* heat-rate command, as
+    /// issued by a scheduler that modulates a bypass valve in front of
+    /// the wax bank.
+    ///
+    /// The valve can only throttle the passive exchange, never reverse
+    /// or amplify it: the realized rate is `rate` clamped to the closed
+    /// interval between zero (valve shut) and whatever [`Self::step`]
+    /// would transfer passively (valve fully open). Returns the heat
+    /// actually absorbed by the wax (positive charging, negative
+    /// discharging), exactly consistent with the enthalpy update.
+    pub fn command_rate(
+        &mut self,
+        rate: Watts,
+        air_temp: Celsius,
+        coupling: WattsPerKelvin,
+        dt: Seconds,
+    ) -> Watts {
+        let before = self.enthalpy;
+        let passive = self.step(air_temp, coupling, dt).value();
+        let actual = rate.value().clamp(passive.min(0.0), passive.max(0.0));
+        if dt.value() > 0.0 {
+            let delta_h = actual * dt.value() / self.mass.value();
+            self.enthalpy = JoulesPerGram::new(before.value() + delta_h);
+        }
+        Watts::new(actual)
+    }
+
     /// Current wax temperature.
     pub fn temperature(&self) -> Celsius {
         self.curve.temperature_at(self.enthalpy)
@@ -368,6 +395,58 @@ mod tests {
         );
         s.reset_to(Celsius::new(25.0));
         assert!((s.temperature().value() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn command_rate_throttles_but_never_exceeds_passive_exchange() {
+        let g = WattsPerKelvin::new(5.0);
+        let dt = Seconds::new(900.0);
+        // Hot air: the valve can realize any charge rate up to passive.
+        let mut passive = state(30.0);
+        let q_open = passive.step(Celsius::new(50.0), g, dt);
+        let mut s = state(30.0);
+        let q = s.command_rate(Watts::new(10.0), Celsius::new(50.0), g, dt);
+        assert!(
+            (q.value() - 10.0).abs() < 1e-9,
+            "throttled to 10 W, got {q:?}"
+        );
+        let stored = s.stored_energy().value();
+        assert!(
+            (stored - 10.0 * 900.0).abs() < 1e-6,
+            "enthalpy consistent with realized rate, stored {stored}"
+        );
+        // Asking for more than passive clamps at passive.
+        let mut s = state(30.0);
+        let q = s.command_rate(Watts::new(1e9), Celsius::new(50.0), g, dt);
+        assert!((q.value() - q_open.value()).abs() < 1e-9);
+        // Asking to charge from cold air does nothing (valve cannot
+        // reverse the gradient), and the wax is untouched.
+        let mut s = state(40.0);
+        let q = s.command_rate(Watts::new(50.0), Celsius::new(20.0), g, dt);
+        assert_eq!(q.value(), 0.0);
+        assert_eq!(s.stored_energy().value(), 0.0);
+    }
+
+    #[test]
+    fn command_rate_discharge_is_bounded_by_passive_release() {
+        let g = WattsPerKelvin::new(5.0);
+        let dt = Seconds::new(900.0);
+        let mut molten = state(25.0);
+        for _ in 0..200 {
+            molten.step(Celsius::new(60.0), g, Seconds::new(600.0));
+        }
+        let mut passive = molten.clone();
+        let q_open = passive.step(Celsius::new(20.0), g, dt);
+        assert!(q_open.value() < 0.0, "cold air must pull heat out");
+        // A gentle discharge command is realized exactly.
+        let want = q_open.value() / 2.0;
+        let mut s = molten.clone();
+        let q = s.command_rate(Watts::new(want), Celsius::new(20.0), g, dt);
+        assert!((q.value() - want).abs() < 1e-9);
+        // An aggressive one clamps at the passive rate.
+        let mut s = molten.clone();
+        let q = s.command_rate(Watts::new(-1e9), Celsius::new(20.0), g, dt);
+        assert!((q.value() - q_open.value()).abs() < 1e-9);
     }
 
     #[test]

@@ -271,11 +271,17 @@ fn list_experiments() -> Response {
                 (
                     "params".to_string(),
                     Json::Arr(
-                        e.supported_params()
+                        e.schema()
                             .iter()
-                            .map(|p| Json::Str((*p).to_string()))
+                            .map(|p| Json::Str(p.name.to_string()))
                             .collect(),
                     ),
+                ),
+                // Additive: the full declarative schema (types, ranges,
+                // defaults) behind each bare name above.
+                (
+                    "schema".to_string(),
+                    thermal_time_shifting::params::schema_json(e.schema()),
                 ),
             ])
         })
@@ -336,10 +342,11 @@ fn validate(name: &str, params_doc: &Json) -> Result<Scenario, Response> {
             &format!("unknown experiment {name:?} (known: {})", known.join(", ")),
         ));
     };
-    let params = Params::from_json(params_doc).map_err(|msg| Response::error(400, &msg))?;
-    params
-        .ensure_only(exp.supported_params())
-        .map_err(|msg| Response::error(400, &msg))?;
+    // Schema-driven validation: unknown keys, wrong types, and values
+    // outside the experiment's declared ranges are all 400s, and the
+    // error mentions only the parameters *this* experiment understands.
+    let params =
+        Params::from_json(params_doc, exp.schema()).map_err(|msg| Response::error(400, &msg))?;
     Ok(Scenario {
         name: name.to_string(),
         params,

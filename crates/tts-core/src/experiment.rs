@@ -186,165 +186,7 @@ impl ExecCtx {
     }
 }
 
-/// Caller-supplied overrides for one experiment run, parsed from the JSON
-/// body of `POST /v1/experiments/{name}` (and usable by any embedder).
-///
-/// Every field is optional; `None` means "the experiment's default". An
-/// experiment declares which knobs it honours via
-/// [`Experiment::supported_params`], and [`Params::ensure_only`] rejects
-/// anything else up front, so a typo'd or unsupported parameter is a
-/// clear error rather than a silently ignored field.
-///
-/// `threads` is special: it is *advisory to the executor*, applied by the
-/// caller (the serving layer wraps the run in a thread-count override).
-/// The repo-wide determinism contract means it can never change result
-/// bytes — only how fast they are produced.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
-pub struct Params {
-    /// Worker-thread count for the run's parallel sweeps.
-    pub threads: Option<usize>,
-    /// Trace seed for the discrete simulation's job stream.
-    pub seed: Option<u64>,
-    /// Cluster size (number of servers).
-    pub servers: Option<usize>,
-    /// Fixed wax melting point in °C instead of the catalogue grid search.
-    pub melt_temp_c: Option<f64>,
-    /// Scenario count for the chaos batch (the seed chain length).
-    pub seeds: Option<usize>,
-    /// Shard count for the fleet engine's epoch-parallel stepping.
-    pub shards: Option<usize>,
-    /// Number of datacenters drawn from the fleet site catalogue.
-    pub datacenters: Option<usize>,
-    /// Simulated horizon in hours (the fleet trace wraps past its end).
-    pub horizon_h: Option<f64>,
-}
-
-/// Reads a JSON number as a bounded integer parameter.
-fn int_param(name: &str, v: &Json, min: u64, max: u64) -> Result<u64, String> {
-    let x = v
-        .as_f64()
-        .filter(|x| x.is_finite() && x.fract() == 0.0 && *x >= 0.0)
-        .ok_or_else(|| format!("parameter {name:?} must be a non-negative integer"))?;
-    let n = x as u64;
-    if !(min..=max).contains(&n) {
-        return Err(format!(
-            "parameter {name:?} must be in {min}..={max} (got {n})"
-        ));
-    }
-    Ok(n)
-}
-
-impl Params {
-    /// Every parameter name any experiment understands.
-    pub const KNOWN: &'static [&'static str] = &[
-        "threads",
-        "seed",
-        "servers",
-        "melt_temp_c",
-        "seeds",
-        "shards",
-        "datacenters",
-        "horizon_h",
-    ];
-
-    /// Parses a request body. The body must be a JSON object; unknown
-    /// keys, wrong types, and out-of-range values are errors (the serving
-    /// layer maps them to `400`). An empty object is the all-defaults run.
-    pub fn from_json(doc: &Json) -> Result<Self, String> {
-        let Json::Obj(members) = doc else {
-            return Err(format!(
-                "params must be a JSON object, got {}",
-                doc.kind_name()
-            ));
-        };
-        let mut p = Params::default();
-        for (key, value) in members {
-            match key.as_str() {
-                "threads" => p.threads = Some(int_param(key, value, 1, 1024)? as usize),
-                "seed" => p.seed = Some(int_param(key, value, 0, (1u64 << 53) - 1)?),
-                "servers" => p.servers = Some(int_param(key, value, 1, 1_000_000)? as usize),
-                "seeds" => p.seeds = Some(int_param(key, value, 1, 4096)? as usize),
-                "shards" => p.shards = Some(int_param(key, value, 1, 65_536)? as usize),
-                "datacenters" => p.datacenters = Some(int_param(key, value, 1, 8)? as usize),
-                "horizon_h" => {
-                    let h = value
-                        .as_f64()
-                        .filter(|h| h.is_finite())
-                        .ok_or_else(|| "parameter \"horizon_h\" must be a number".to_string())?;
-                    if !(0.01..=240.0).contains(&h) {
-                        return Err(format!(
-                            "parameter \"horizon_h\" must be in 0.01..=240 hours (got {h})"
-                        ));
-                    }
-                    p.horizon_h = Some(h);
-                }
-                "melt_temp_c" => {
-                    let t = value
-                        .as_f64()
-                        .filter(|t| t.is_finite())
-                        .ok_or_else(|| "parameter \"melt_temp_c\" must be a number".to_string())?;
-                    if !(0.0..=150.0).contains(&t) {
-                        return Err(format!(
-                            "parameter \"melt_temp_c\" must be in 0..=150 °C (got {t})"
-                        ));
-                    }
-                    p.melt_temp_c = Some(t);
-                }
-                other => {
-                    return Err(format!(
-                        "unknown parameter {other:?} (known: {})",
-                        Self::KNOWN.join(", ")
-                    ))
-                }
-            }
-        }
-        Ok(p)
-    }
-
-    /// Names of the parameters that are actually set.
-    pub fn set_fields(&self) -> Vec<&'static str> {
-        let mut out = Vec::new();
-        if self.threads.is_some() {
-            out.push("threads");
-        }
-        if self.seed.is_some() {
-            out.push("seed");
-        }
-        if self.servers.is_some() {
-            out.push("servers");
-        }
-        if self.melt_temp_c.is_some() {
-            out.push("melt_temp_c");
-        }
-        if self.seeds.is_some() {
-            out.push("seeds");
-        }
-        if self.shards.is_some() {
-            out.push("shards");
-        }
-        if self.datacenters.is_some() {
-            out.push("datacenters");
-        }
-        if self.horizon_h.is_some() {
-            out.push("horizon_h");
-        }
-        out
-    }
-
-    /// Errors unless every set parameter is in `supported` — the guard
-    /// behind the default [`Experiment::run_with`].
-    pub fn ensure_only(&self, supported: &[&str]) -> Result<(), String> {
-        for field in self.set_fields() {
-            if !supported.contains(&field) {
-                return Err(format!(
-                    "parameter {field:?} is not supported by this experiment (supported: {})",
-                    supported.join(", ")
-                ));
-            }
-        }
-        Ok(())
-    }
-}
+pub use crate::params::{ParamKind, ParamSpec, Params};
 
 /// What an experiment produced: everything the harness needs to print,
 /// record, and chain into downstream analyses.
@@ -399,17 +241,19 @@ pub trait Experiment {
     /// Runs the experiment, reporting telemetry into `ctx`.
     fn run(&self, ctx: &ExecCtx) -> Figure;
 
-    /// The [`Params`] fields this experiment honours. `threads` is in
-    /// every list because the executor override is experiment-agnostic.
-    fn supported_params(&self) -> &'static [&'static str] {
-        &["threads"]
+    /// The declarative schema of [`Params`] this experiment honours —
+    /// names, value domains, defaults, and docs, all from one source of
+    /// truth (see [`crate::params`]). `threads` is in every schema
+    /// because the executor override is experiment-agnostic.
+    fn schema(&self) -> &'static [ParamSpec] {
+        crate::params::BASE
     }
 
     /// Runs with caller-supplied overrides, erroring on any set parameter
-    /// the experiment does not support. `params.threads` is *not* applied
+    /// outside [`Self::schema`]. `params.threads` is *not* applied
     /// here — the caller owns the executor (see [`Params`]).
     fn run_with(&self, ctx: &ExecCtx, params: &Params) -> Result<Figure, String> {
-        params.ensure_only(self.supported_params())?;
+        params.ensure_only(self.schema())?;
         Ok(self.run(ctx))
     }
 
@@ -455,6 +299,7 @@ pub fn registry() -> Vec<Box<dyn Experiment>> {
         Box::new(DcsimQos),
         Box::new(ChaosBatch),
         Box::new(FleetScale),
+        Box::new(ScheduleOpt),
     ]
 }
 
@@ -541,12 +386,12 @@ impl Experiment for Fig11CoolingLoad {
         self.render(ctx, None, None)
     }
 
-    fn supported_params(&self) -> &'static [&'static str] {
-        &["threads", "servers", "melt_temp_c"]
+    fn schema(&self) -> &'static [ParamSpec] {
+        crate::params::FIG11
     }
 
     fn run_with(&self, ctx: &ExecCtx, params: &Params) -> Result<Figure, String> {
-        params.ensure_only(self.supported_params())?;
+        params.ensure_only(self.schema())?;
         Ok(self.render(ctx, params.servers, params.melt_temp_c))
     }
 }
@@ -685,12 +530,12 @@ impl Experiment for DcsimQos {
         self.render(ctx, 17, 32)
     }
 
-    fn supported_params(&self) -> &'static [&'static str] {
-        &["threads", "seed", "servers"]
+    fn schema(&self) -> &'static [ParamSpec] {
+        crate::params::DCSIM
     }
 
     fn run_with(&self, ctx: &ExecCtx, params: &Params) -> Result<Figure, String> {
-        params.ensure_only(self.supported_params())?;
+        params.ensure_only(self.schema())?;
         Ok(self.render(ctx, params.seed.unwrap_or(17), params.servers.unwrap_or(32)))
     }
 }
@@ -771,12 +616,12 @@ impl Experiment for ChaosBatch {
         self.render(ctx, tts_chaos::BatchConfig::default())
     }
 
-    fn supported_params(&self) -> &'static [&'static str] {
-        &["threads", "seed", "seeds", "servers"]
+    fn schema(&self) -> &'static [ParamSpec] {
+        crate::params::CHAOS
     }
 
     fn run_with(&self, ctx: &ExecCtx, params: &Params) -> Result<Figure, String> {
-        params.ensure_only(self.supported_params())?;
+        params.ensure_only(self.schema())?;
         let mut cfg = tts_chaos::BatchConfig::default();
         if let Some(seed) = params.seed {
             cfg.base_seed = seed;
@@ -875,19 +720,12 @@ impl Experiment for FleetScale {
         self.render(ctx, &Params::default())
     }
 
-    fn supported_params(&self) -> &'static [&'static str] {
-        &[
-            "threads",
-            "seed",
-            "servers",
-            "shards",
-            "datacenters",
-            "horizon_h",
-        ]
+    fn schema(&self) -> &'static [ParamSpec] {
+        crate::params::FLEET
     }
 
     fn run_with(&self, ctx: &ExecCtx, params: &Params) -> Result<Figure, String> {
-        params.ensure_only(self.supported_params())?;
+        params.ensure_only(self.schema())?;
         Ok(self.render(ctx, params))
     }
 }
@@ -1005,6 +843,134 @@ impl FleetScale {
     }
 }
 
+/// The receding-horizon PCM/job co-optimizer: jointly schedules
+/// deferrable job tranches, PCM charge/discharge, and grid draw under
+/// the time-of-use tariff, and reports the energy bill against the
+/// passive paper configuration on the identical diurnal trace.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScheduleOpt;
+
+impl Experiment for ScheduleOpt {
+    fn name(&self) -> &'static str {
+        "schedule"
+    }
+
+    fn run(&self, ctx: &ExecCtx) -> Figure {
+        self.render(ctx, &Params::default())
+    }
+
+    fn schema(&self) -> &'static [ParamSpec] {
+        crate::params::SCHEDULE
+    }
+
+    fn run_with(&self, ctx: &ExecCtx, params: &Params) -> Result<Figure, String> {
+        params.ensure_only(self.schema())?;
+        Ok(self.render(ctx, params))
+    }
+}
+
+impl ScheduleOpt {
+    /// Runs the co-optimizer (defaults: the paper's 1008 servers, 24 h
+    /// horizon + 3 h extension, 15-min slots, four delay classes) and
+    /// renders the optimized-vs-passive comparison.
+    fn render(&self, ctx: &ExecCtx, params: &Params) -> Figure {
+        let mut cfg = tts_opt::ScheduleConfig::default();
+        if let Some(seed) = params.seed {
+            cfg.seed = seed;
+        }
+        if let Some(servers) = params.servers {
+            cfg.servers = servers;
+        }
+        if let Some(h) = params.horizon_h {
+            cfg.horizon_h = h;
+        }
+        if let Some(m) = params.slot_min {
+            cfg.slot_min = m as f64;
+        }
+        if let Some(t) = params.tranches {
+            cfg.tranches = t;
+        }
+        let out = tts_opt::run_schedule(&cfg, ctx.sink());
+        ctx.check_cancel();
+
+        let mut fig = Figure::new(
+            "schedule",
+            "Schedule: receding-horizon PCM/job co-optimizer vs. passive wax",
+        );
+        let chart = ascii_chart(
+            &[
+                ("passive chiller load", &out.load_passive_kw),
+                ("optimized chiller load", &out.load_optimized_kw),
+            ],
+            72,
+            12,
+        );
+        let table = text_table(
+            &["metric", "passive", "optimized"],
+            &[
+                vec![
+                    "energy bill".into(),
+                    format!("${:.2}", out.cost_passive_usd),
+                    format!("${:.2}", out.cost_optimized_usd),
+                ],
+                vec![
+                    "capacity-overload slots".into(),
+                    format!("{}", out.overload_slots_passive),
+                    format!("{}", out.overload_slots),
+                ],
+            ],
+        );
+        fig.text.push_str(&format!(
+            "{} servers, {} slots of {:.0} min, {} delay classes; {} plans ({} fallbacks), \
+             {} simplex iterations\n{chart}\n{table}savings ${:.2} ({:.2} %); \
+             {:.1} kWh deferred; {} deadline misses; conservation residue {:.3e} kWh\n",
+            cfg.servers,
+            out.slots,
+            cfg.slot_min,
+            cfg.tranches,
+            out.plans,
+            out.fallback_plans,
+            out.simplex_iterations,
+            out.savings_usd,
+            out.savings_frac * 100.0,
+            out.deferred_energy_kwh,
+            out.deadline_misses,
+            out.conservation_error_kwh,
+        ));
+        fig.markdown.push_str(&format!(
+            "## Schedule — receding-horizon co-optimizer\n\nEvery hour a bounded-variable \
+             simplex re-plans the next {:.0} h + {:.0} h: which deferrable tranches \
+             (30/60/120/180-min classes, a quarter of offered load) run now vs. later, and \
+             how hard to charge or discharge the wax, minimizing the time-of-use energy \
+             bill subject to job-conservation, state-of-charge, cooling-capacity, and \
+             deadline constraints. The baseline is the paper's passive configuration on the \
+             identical trace.\n\n```text\n{chart}```\n\n```text\n{table}```\n\nSavings \
+             **${:.2}** ({:.2} %), {:.1} kWh executed off-schedule, {} deadline misses.\n\n",
+            cfg.horizon_h,
+            cfg.extension_h,
+            out.savings_usd,
+            out.savings_frac * 100.0,
+            out.deferred_energy_kwh,
+            out.deadline_misses,
+        ));
+        fig.key_values = vec![
+            ("cost_passive_usd".into(), out.cost_passive_usd),
+            ("cost_optimized_usd".into(), out.cost_optimized_usd),
+            ("savings_usd".into(), out.savings_usd),
+            ("savings_frac".into(), out.savings_frac),
+            ("deferred_energy_kwh".into(), out.deferred_energy_kwh),
+            ("simplex_iterations".into(), out.simplex_iterations as f64),
+            ("plans".into(), out.plans as f64),
+            ("fallback_plans".into(), out.fallback_plans as f64),
+            ("deadline_misses".into(), out.deadline_misses as f64),
+            ("final_soc".into(), out.final_soc),
+        ];
+        fig.artifacts
+            .push(("results/schedule.json".into(), out.to_json()));
+        fig
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1012,7 +978,10 @@ mod tests {
     #[test]
     fn registry_dispatches_by_name() {
         let names: Vec<&str> = registry().iter().map(|e| e.name()).collect();
-        assert_eq!(names, ["fig7", "fig11", "fig12", "dcsim", "chaos", "fleet"]);
+        assert_eq!(
+            names,
+            ["fig7", "fig11", "fig12", "dcsim", "chaos", "fleet", "schedule"]
+        );
         assert!(find("fig11").is_some());
         assert!(find("fig99").is_none());
     }
@@ -1055,11 +1024,12 @@ mod tests {
     #[test]
     fn params_parse_validate_and_reject_unknown_keys() {
         use tts_units::json::parse;
-        let p = Params::from_json(&parse(r#"{"threads":4,"seed":99}"#).unwrap()).unwrap();
+        let all = crate::params::ALL;
+        let p = Params::from_json(&parse(r#"{"threads":4,"seed":99}"#).unwrap(), all).unwrap();
         assert_eq!(p.threads, Some(4));
         assert_eq!(p.seed, Some(99));
         assert_eq!(p.set_fields(), vec!["threads", "seed"]);
-        let empty = Params::from_json(&parse("{}").unwrap()).unwrap();
+        let empty = Params::from_json(&parse("{}").unwrap(), all).unwrap();
         assert_eq!(empty, Params::default());
         for bad in [
             r#"{"thread":4}"#,         // unknown key
@@ -1072,10 +1042,55 @@ mod tests {
             "[1]",                     // not an object
         ] {
             assert!(
-                Params::from_json(&parse(bad).unwrap()).is_err(),
+                Params::from_json(&parse(bad).unwrap(), all).is_err(),
                 "{bad} should be rejected"
             );
         }
+        // Parsing is schema-scoped: a parameter another experiment owns
+        // is *unknown* here, and the error names only this schema's
+        // params.
+        let err = Params::from_json(&parse(r#"{"shards":8}"#).unwrap(), Fig7Blockage.schema())
+            .unwrap_err();
+        assert!(
+            err.contains("unknown parameter \"shards\"") && err.contains("threads"),
+            "{err}"
+        );
+        assert!(!err.contains("shards, "), "{err}");
+    }
+
+    #[test]
+    fn schedule_experiment_honours_params_and_reports_savings() {
+        let ctx = ExecCtx::disabled();
+        // A short horizon and coarse slots keep the debug-mode LP small;
+        // the full default is exercised in release by the CI gate.
+        let fig = ScheduleOpt
+            .run_with(
+                &ctx,
+                &Params {
+                    servers: Some(96),
+                    horizon_h: Some(2.0),
+                    slot_min: Some(30),
+                    tranches: Some(2),
+                    seed: Some(7),
+                    ..Params::default()
+                },
+            )
+            .expect("supported params");
+        assert!(fig.text.contains("96 servers"));
+        assert!(fig.key_value("plans").expect("plans") > 0.0);
+        assert_eq!(fig.key_value("deadline_misses"), Some(0.0));
+        assert!(fig.key_value("savings_usd").expect("savings") > 0.0);
+        // The fleet engine's shard count means nothing to the scheduler.
+        let err = ScheduleOpt
+            .run_with(
+                &ctx,
+                &Params {
+                    shards: Some(8),
+                    ..Params::default()
+                },
+            )
+            .unwrap_err();
+        assert!(err.contains("shards"), "{err}");
     }
 
     #[test]
