@@ -179,4 +179,49 @@ elif [ "$bench_rc" -ne 0 ]; then
   exit "$bench_rc"
 fi
 
+echo "==> design gate (surrogate search matches the grid optimum in <= 1/10 evals, byte-identical at 1/4/8 threads)"
+# The tts-design search must reproduce the paper's melting-point optimum
+# exactly (same lattice point, bit-identical objective) while paying at
+# most a tenth of the exhaustive grid's simulator evaluations, the joint
+# class x melt x mass x tariff x ambient search must end with a finite,
+# strictly improved best-objective trace, and — like every result
+# surface — the summary bytes must not depend on the worker count.
+for T in 1 4 8; do
+  (cd "$TMPDIR_CI" && TTS_THREADS=$T "$REPRO_ABS" design --write > /dev/null)
+  cp "$TMPDIR_CI/results/design.summary.json" "$TMPDIR_CI/design.t$T.summary.json"
+done
+cmp "$TMPDIR_CI/design.t1.summary.json" "$TMPDIR_CI/design.t4.summary.json"
+cmp "$TMPDIR_CI/design.t1.summary.json" "$TMPDIR_CI/design.t8.summary.json"
+dkey() { grep -o "\"$1\": *[0-9.eE+-]*" "$TMPDIR_CI/design.t1.summary.json" | awk '{print $2}'; }
+d_match=$(dkey design_matches_grid)
+d_evals=$(dkey design_evals)
+g_evals=$(dkey grid_evals)
+j_finite=$(dkey joint_trace_finite)
+j_delta=$(dkey joint_trace_delta_usd)
+[ -n "$d_match" ] && [ -n "$d_evals" ] && [ -n "$g_evals" ] \
+  && [ -n "$j_finite" ] && [ -n "$j_delta" ] \
+  || { echo "design summary lacks gate fields"; exit 1; }
+awk -v m="$d_match" 'BEGIN { exit !(m == 1) }' || {
+  echo "design gate: search did not match the grid optimum"; exit 1; }
+awk -v d="$d_evals" -v g="$g_evals" 'BEGIN { exit !(d * 10 <= g) }' || {
+  echo "design gate: eval budget blown ($d_evals vs grid $g_evals)"; exit 1; }
+awk -v f="$j_finite" -v d="$j_delta" 'BEGIN { exit !(f == 1 && d > 0) }' || {
+  echo "design gate: joint trace not finite+improving (finite=$j_finite delta=$j_delta)"; exit 1; }
+echo "design gate: grid optimum matched with $d_evals/$g_evals evals; joint search improved \$$j_delta"
+
+echo "==> design bench gate (search latency within 25% of BENCH_design.json)"
+# Two quantities: pure optimizer overhead per evaluation (analytic
+# objective) and the end-to-end paper-space search against the real
+# dcsim oracle. 25% rides out shared-box noise; a real regression
+# (surrogate refit blow-up, memo miss storm) lands in multiples.
+TTS_BENCH_SAMPLES=3 TTS_BENCH_OUT="$TMPDIR_CI/design_search.json" \
+  cargo bench --offline -q -p tts-bench --bench design_search
+bench_rc=0
+"$REPRO" bench-check "$TMPDIR_CI/design_search.json" BENCH_design.json 25 || bench_rc=$?
+if [ "$bench_rc" -eq 3 ]; then
+  echo "ci.sh: WARNING: design bench gate skipped (no usable baseline; exit 3)"
+elif [ "$bench_rc" -ne 0 ]; then
+  exit "$bench_rc"
+fi
+
 echo "ci.sh: all gates passed"

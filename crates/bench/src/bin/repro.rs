@@ -1,12 +1,14 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [table1|fig1|fig4|fig7|fig10|fig11|fig12|table2|tco|dcsim|fleet|schedule|extensions|all]
+//! repro [table1|fig1|fig4|fig7|fig10|fig11|fig12|table2|tco|dcsim|fleet|schedule|design|extensions|all]
 //!       [--write] [--threads N] [--metrics PATH] [--wall-unix SECS]
 //! repro fleet [--servers N] [--shards N] [--datacenters N] [--horizon-h H]
 //!             [--seed N] [--write] [--threads N]
 //! repro schedule [--seed N] [--servers N] [--horizon-h H] [--slot-min M]
 //!                [--tranches T] [--write] [--threads N]
+//! repro design [--seed N] [--servers N] [--budget N] [--generations N]
+//!              [--write] [--threads N]
 //! repro bench-check <report.json> <baseline.json> <max-regress-pct>
 //! repro chaos [--seeds N] [--seed 0xHEX] [--plan FILE] [--summary PATH]
 //!             [--no-storm] [--threads N]
@@ -22,6 +24,12 @@
 //! hard to charge or discharge the wax, and what to draw from the grid
 //! under the time-of-use tariff, then reports cost against the passive
 //! run-on-arrival baseline over the same diurnal trace.
+//!
+//! `design` runs the `tts-design` surrogate-driven search on the paper's
+//! melting-point space with `--budget` simulator evaluations (default 7),
+//! cross-checks it against the exhaustive grid through a shared evaluation
+//! memo, then searches the joint class × melt × mass × tariff × ambient
+//! space. Deterministic and byte-identical at any thread count.
 //!
 //! With `--write`, the harness also rewrites `EXPERIMENTS.md` (the
 //! paper-vs-measured record) and dumps raw results as JSON under
@@ -124,6 +132,10 @@ fn main() {
     scale_flag("--seed", &mut |p, n| p.seed = Some(n));
     scale_flag("--slot-min", &mut |p, n| p.slot_min = Some(n as usize));
     scale_flag("--tranches", &mut |p, n| p.tranches = Some(n as usize));
+    scale_flag("--budget", &mut |p, n| p.budget = Some(n as usize));
+    scale_flag("--generations", &mut |p, n| {
+        p.generations = Some(n as usize)
+    });
     if let Some(raw) = flag_value("--horizon-h") {
         let h = raw
             .parse::<f64>()
@@ -222,6 +234,8 @@ fn main() {
         if all {
             p.slot_min = None;
             p.tranches = None;
+            p.budget = None;
+            p.generations = None;
         }
         run_experiment_with("fleet", &p, &ctx, &mut md, &mut comparisons, write);
     }
@@ -230,8 +244,21 @@ fn main() {
         if all {
             p.shards = None;
             p.datacenters = None;
+            p.budget = None;
+            p.generations = None;
         }
         run_experiment_with("schedule", &p, &ctx, &mut md, &mut comparisons, write);
+    }
+    if all || which == "design" {
+        let mut p = cli_params;
+        if all {
+            p.shards = None;
+            p.datacenters = None;
+            p.slot_min = None;
+            p.tranches = None;
+            p.horizon_h = None;
+        }
+        run_experiment_with("design", &p, &ctx, &mut md, &mut comparisons, write);
     }
     if all || which == "extensions" {
         run_extensions(&mut md);

@@ -76,8 +76,9 @@ tts_units::derive_json! { struct CoolingLoadRun { times_h, load_no_wax_kw, load_
 /// melt-fraction series (histogram + final-value gauge), and the headline
 /// peaks. Recording happens *after* the run from its stored series, so
 /// every gauge write is serial (the deterministic-snapshot rule) and the
-/// simulation loop itself stays untouched.
-fn record_run(sink: &MetricsSink, run: &CoolingLoadRun) {
+/// simulation loop itself stays untouched. Public so alternative search
+/// paths (the `tts-design` seam) can replay their winner identically.
+pub fn record_cooling_run(sink: &MetricsSink, run: &CoolingLoadRun) {
     if !sink.is_enabled() {
         return;
     }
@@ -150,16 +151,33 @@ pub fn run_cooling_load(config: &ClusterConfig, trace: &TimeSeries) -> CoolingLo
 
 /// [`run_cooling_load`] with telemetry: the run's tick count,
 /// melt-fraction series, and headline peaks are recorded into `sink` once
-/// the run completes (see [`record_run`]). Only call from serial code —
-/// the gauges are last-value-wins.
+/// the run completes (see [`record_cooling_run`]). Only call from serial
+/// code — the gauges are last-value-wins.
 pub fn run_cooling_load_with(
     config: &ClusterConfig,
     trace: &TimeSeries,
     sink: &MetricsSink,
 ) -> CoolingLoadRun {
     let run = run_cooling_load(config, trace);
-    record_run(sink, &run);
+    record_cooling_run(sink, &run);
     run
+}
+
+/// Shared candidate-loop for the melting-point searches: evaluate every
+/// candidate temperature in parallel (order-preserving `par_map`) and
+/// return `(candidate, result)` pairs in candidate order, counting the
+/// batch under `counter`. Both the cooling-load and the constrained
+/// searches reduce over this — their selection rules differ, the sweep
+/// does not.
+pub(crate) fn sweep_candidates<R: Send>(
+    candidates: Vec<f64>,
+    sink: &MetricsSink,
+    counter: &str,
+    eval: impl Fn(f64) -> R + Sync,
+) -> Vec<(f64, R)> {
+    let runs = tts_exec::par_map(&candidates, |&c| eval(c));
+    sink.counter(counter).add(candidates.len() as u64);
+    candidates.into_iter().zip(runs).collect()
 }
 
 /// Grid-searches the commercial-paraffin melting point that minimizes the
@@ -180,34 +198,37 @@ pub fn select_melting_point(
 /// evaluations run unobserved (per-candidate series would race on the
 /// gauges); the search records `cluster.candidates_evaluated` /
 /// `cluster.candidates_refrozen` counters and then replays the *winner's*
-/// stored series into `sink` serially (see [`record_run`]) — so the
-/// snapshot describes the selected configuration, byte-identically at any
-/// thread count.
+/// stored series into `sink` serially (see [`record_cooling_run`]) — so
+/// the snapshot describes the selected configuration, byte-identically at
+/// any thread count.
 pub fn select_melting_point_with(
     config: &ClusterConfig,
     trace: &TimeSeries,
     candidates_c: impl IntoIterator<Item = f64>,
     sink: &MetricsSink,
 ) -> (PcmMaterial, CoolingLoadRun) {
-    // Candidate evaluations are independent cluster simulations: fan them
-    // out on the tts_exec pool, then fold *in candidate order* so the
-    // winner (strict `<`, first-best tie-break) is the one the serial
-    // loop would have picked, at any thread count.
-    let candidates: Vec<f64> = candidates_c.into_iter().collect();
-    let runs = tts_exec::par_map(&candidates, |&c| {
-        let cfg = ClusterConfig {
-            chars: config.chars.with_melting_point(Celsius::new(c)),
-            spec: config.spec.clone(),
-            servers: config.servers,
-        };
-        run_cooling_load(&cfg, trace)
-    });
+    // Candidate evaluations are independent cluster simulations: the
+    // shared sweep fans them out on the tts_exec pool, then this fold runs
+    // *in candidate order* so the winner (strict `<`, first-best
+    // tie-break) is the one the serial loop would have picked, at any
+    // thread count.
+    let runs = sweep_candidates(
+        candidates_c.into_iter().collect(),
+        sink,
+        "cluster.candidates_evaluated",
+        |c| {
+            let cfg = ClusterConfig {
+                chars: config.chars.with_melting_point(Celsius::new(c)),
+                spec: config.spec.clone(),
+                servers: config.servers,
+            };
+            run_cooling_load(&cfg, trace)
+        },
+    );
 
-    sink.counter("cluster.candidates_evaluated")
-        .add(candidates.len() as u64);
     let mut refrozen: u64 = 0;
     let mut best: Option<(PcmMaterial, CoolingLoadRun)> = None;
-    for (&c, run) in candidates.iter().zip(runs) {
+    for (c, run) in runs {
         if !run.refrozen_at_end {
             continue;
         }
@@ -222,7 +243,7 @@ pub fn select_melting_point_with(
     }
     sink.counter("cluster.candidates_refrozen").add(refrozen);
     let best = best.expect("at least one candidate melting point must refreeze daily");
-    record_run(sink, &best.1);
+    record_cooling_run(sink, &best.1);
     best
 }
 
@@ -393,6 +414,24 @@ mod tests {
             "melt onset at {:.0} % of peak power (paper: ~75 % load)",
             onset * 100.0
         );
+    }
+
+    #[test]
+    fn default_candidates_are_sorted_unique_and_cover_the_paper_range() {
+        // The design-search lattice and the grid must agree on the
+        // candidate set: strictly ascending, no duplicates, half-degree
+        // spaced, and spanning at least the paper's 34–58 °C window.
+        let v = default_melting_candidates();
+        assert!(!v.is_empty());
+        for w in v.windows(2) {
+            assert!(w[0] < w[1], "candidates must be strictly ascending: {w:?}");
+            assert!(
+                ((w[1] - w[0]) - 0.5).abs() < 1e-12,
+                "candidates must be half-degree spaced: {w:?}"
+            );
+        }
+        assert!(v[0] <= 34.0, "range must start at or below 34 °C");
+        assert!(*v.last().unwrap() >= 58.0, "range must reach 58 °C");
     }
 
     #[test]

@@ -134,7 +134,9 @@ fn max_feasible_util(
 /// Records one finished constrained run into `sink`: tick counts (total
 /// and thermally throttled), the melt-fraction series, and the headline
 /// gains. Post-hoc from the stored series, so all gauge writes are serial.
-fn record_run(sink: &MetricsSink, run: &ConstrainedRun) {
+/// Public so alternative search paths (the `tts-design` seam) can replay
+/// their winner identically.
+pub fn record_constrained_run(sink: &MetricsSink, run: &ConstrainedRun) {
     if !sink.is_enabled() {
         return;
     }
@@ -161,15 +163,15 @@ fn record_run(sink: &MetricsSink, run: &ConstrainedRun) {
 }
 
 /// [`run_constrained`] with telemetry recorded into `sink` after the run
-/// (see [`record_run`]). Only call from serial code — the gauges are
-/// last-value-wins.
+/// (see [`record_constrained_run`]). Only call from serial code — the
+/// gauges are last-value-wins.
 pub fn run_constrained_with(
     config: &ConstrainedConfig,
     trace: &TimeSeries,
     sink: &MetricsSink,
 ) -> ConstrainedRun {
     let run = run_constrained(config, trace);
-    record_run(sink, &run);
+    record_constrained_run(sink, &run);
     run
 }
 
@@ -326,7 +328,7 @@ pub fn select_melting_point_constrained(
 /// [`select_melting_point_constrained`] with telemetry: candidate runs
 /// stay unobserved (they would race on the gauges); the search counts
 /// `throttle.candidates_evaluated` and then serially replays the winner's
-/// stored series into `sink` (see [`record_run`]), keeping the snapshot
+/// stored series into `sink` (see [`record_constrained_run`]), keeping the snapshot
 /// byte-identical at any thread count.
 pub fn select_melting_point_constrained_with(
     config: &ConstrainedConfig,
@@ -334,20 +336,23 @@ pub fn select_melting_point_constrained_with(
     candidates_c: impl IntoIterator<Item = f64>,
     sink: &MetricsSink,
 ) -> (tts_pcm::PcmMaterial, ConstrainedRun) {
-    // Independent simulations per candidate → tts_exec pool; the ordered
-    // results feed the same in-order reduction as the serial loop.
-    let candidates: Vec<f64> = candidates_c.into_iter().collect();
-    let runs: Vec<(f64, ConstrainedRun)> = tts_exec::par_map(&candidates, |&c| {
-        let cfg = ConstrainedConfig {
-            chars: config.chars.with_melting_point(tts_units::Celsius::new(c)),
-            spec: config.spec.clone(),
-            servers: config.servers,
-            limit: config.limit,
-        };
-        (c, run_constrained(&cfg, trace))
-    });
-    sink.counter("throttle.candidates_evaluated")
-        .add(candidates.len() as u64);
+    // Independent simulations per candidate → the shared sweep on the
+    // tts_exec pool; the ordered results feed the same in-order reduction
+    // as the serial loop.
+    let runs: Vec<(f64, ConstrainedRun)> = crate::cluster::sweep_candidates(
+        candidates_c.into_iter().collect(),
+        sink,
+        "throttle.candidates_evaluated",
+        |c| {
+            let cfg = ConstrainedConfig {
+                chars: config.chars.with_melting_point(tts_units::Celsius::new(c)),
+                spec: config.spec.clone(),
+                servers: config.servers,
+                limit: config.limit,
+            };
+            run_constrained(&cfg, trace)
+        },
+    );
     let best_gain = runs
         .iter()
         .map(|(_, r)| r.peak_gain.value())
@@ -364,7 +369,7 @@ pub fn select_melting_point_constrained_with(
                 .expect("delays are finite")
         })
         .expect("at least one candidate melting point");
-    record_run(sink, &run);
+    record_constrained_run(sink, &run);
     (
         tts_pcm::PcmMaterial::commercial_paraffin(tts_units::Celsius::new(c)),
         run,

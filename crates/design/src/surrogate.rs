@@ -1,0 +1,220 @@
+//! RBF surrogate model and expected-improvement acquisition.
+//!
+//! The surrogate is a Gaussian radial-basis interpolant over unit-cube
+//! points, fit by Gaussian elimination with partial pivoting plus a small
+//! ridge (the training sets are tiny — capped at [`MAX_TRAINING`] points —
+//! so dense O(n³) solves are cheap and deterministic). Uncertainty at a
+//! query point is approximated by its distance to the nearest training
+//! point, which is what expected improvement needs to trade exploration
+//! against exploitation when ranking unevaluated candidates.
+
+/// Cap on surrogate training-set size; keeps the dense solve bounded.
+pub const MAX_TRAINING: usize = 64;
+
+/// Solve `A x = b` in place by Gaussian elimination with partial pivoting.
+/// Returns `None` when the system is numerically singular.
+#[allow(clippy::needless_range_loop)] // dense elimination reads clearest with raw indices
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        let mut pivot = col;
+        for row in (col + 1)..n {
+            if a[row][col].abs() > a[pivot][col].abs() {
+                pivot = row;
+            }
+        }
+        if a[pivot][col].abs() < 1e-14 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in (col + 1)..n {
+            let f = a[row][col] / a[col][col];
+            if f == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= f * a[col][k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for k in (col + 1)..n {
+            acc -= a[col][k] * x[k];
+        }
+        x[col] = acc / a[col][col];
+    }
+    Some(x)
+}
+
+fn dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// A fitted Gaussian-RBF interpolant.
+#[derive(Debug, Clone)]
+pub struct Rbf {
+    centers: Vec<Vec<f64>>,
+    weights: Vec<f64>,
+    /// Kernel length scale (mean pairwise training distance).
+    eps: f64,
+    fmin: f64,
+    fmax: f64,
+}
+
+impl Rbf {
+    /// Fit an interpolant through `(point, value)` pairs (unit-cube points,
+    /// finite values). Returns `None` with fewer than 2 points or when the
+    /// kernel system is singular.
+    pub fn fit(samples: &[(Vec<f64>, f64)]) -> Option<Rbf> {
+        let n = samples.len();
+        if n < 2 {
+            return None;
+        }
+        let mut dsum = 0.0;
+        let mut dcount = 0usize;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                dsum += dist(&samples[i].0, &samples[j].0);
+                dcount += 1;
+            }
+        }
+        let eps = (dsum / dcount.max(1) as f64).max(1e-6);
+        let a: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                (0..n)
+                    .map(|j| {
+                        let r = dist(&samples[i].0, &samples[j].0) / eps;
+                        (-r * r).exp() + if i == j { 1e-8 } else { 0.0 }
+                    })
+                    .collect()
+            })
+            .collect();
+        // Ridge on the diagonal is already applied above; solve for weights.
+        let b: Vec<f64> = samples.iter().map(|(_, v)| *v).collect();
+        let fmin = b.iter().cloned().fold(f64::INFINITY, f64::min);
+        let fmax = b.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let weights = solve(a, b)?;
+        Some(Rbf {
+            centers: samples.iter().map(|(p, _)| p.clone()).collect(),
+            weights,
+            eps,
+            fmin,
+            fmax,
+        })
+    }
+
+    /// Predicted value at `x`, clamped to a sane band around the training
+    /// range so wild extrapolation cannot hijack the CMA-ES ranking.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for (c, w) in self.centers.iter().zip(&self.weights) {
+            let r = dist(c, x) / self.eps;
+            acc += w * (-r * r).exp();
+        }
+        let band = (self.fmax - self.fmin).max(1e-12);
+        acc.clamp(self.fmin - band, self.fmax + band)
+    }
+
+    /// Distance from `x` to the nearest training point — the uncertainty
+    /// proxy used by [`expected_improvement`].
+    pub fn min_dist(&self, x: &[f64]) -> f64 {
+        self.centers
+            .iter()
+            .map(|c| dist(c, x))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Spread of the training values (scales distance into value units).
+    pub fn value_range(&self) -> f64 {
+        (self.fmax - self.fmin).max(1e-12)
+    }
+}
+
+/// Abramowitz–Stegun 7.1.26 erf approximation (|error| < 1.5e-7), used for
+/// the standard normal CDF without pulling in libm extras.
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+fn normal_pdf(x: f64) -> f64 {
+    (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Expected improvement of a candidate with surrogate mean `pred` and
+/// uncertainty `s` over the incumbent `f_best` (minimization). Zero
+/// uncertainty degenerates to plain improvement.
+pub fn expected_improvement(pred: f64, s: f64, f_best: f64) -> f64 {
+    let imp = f_best - pred;
+    if s <= 1e-12 {
+        return imp.max(0.0);
+    }
+    let u = imp / s;
+    imp * normal_cdf(u) + s * normal_pdf(u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolates_training_points() {
+        let samples: Vec<(Vec<f64>, f64)> = vec![
+            (vec![0.1, 0.1], 1.0),
+            (vec![0.9, 0.2], 2.0),
+            (vec![0.4, 0.8], -0.5),
+            (vec![0.6, 0.5], 0.25),
+        ];
+        let rbf = Rbf::fit(&samples).expect("fit");
+        for (p, v) in &samples {
+            assert!(
+                (rbf.predict(p) - v).abs() < 1e-3,
+                "poor interpolation at {p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ei_prefers_low_prediction_and_high_uncertainty() {
+        let close = expected_improvement(1.0, 0.01, 1.0);
+        let far = expected_improvement(1.0, 0.5, 1.0);
+        assert!(far > close, "uncertainty should raise EI");
+        let good = expected_improvement(0.5, 0.1, 1.0);
+        let bad = expected_improvement(1.5, 0.1, 1.0);
+        assert!(good > bad, "lower prediction should raise EI");
+    }
+
+    #[test]
+    fn erf_matches_known_values() {
+        assert!((erf(0.0)).abs() < 1e-7);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-6);
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn singular_system_is_rejected() {
+        // Duplicate points make the kernel matrix singular up to the ridge;
+        // with the ridge the fit still succeeds, so check the solver guard
+        // directly with a rank-deficient system.
+        let a = vec![vec![1.0, 1.0], vec![1.0, 1.0]];
+        assert!(solve(a, vec![1.0, 2.0]).is_none());
+    }
+}

@@ -173,6 +173,10 @@ pub struct Params {
     pub slot_min: Option<usize>,
     /// Number of deferrable delay classes for the scheduler.
     pub tranches: Option<usize>,
+    /// Paid simulator-evaluation budget for the design search.
+    pub budget: Option<usize>,
+    /// CMA-ES generation cap for the design search.
+    pub generations: Option<usize>,
 }
 
 /// `threads` — honoured by every experiment.
@@ -300,6 +304,34 @@ pub const TRANCHES: ParamSpec = ParamSpec {
     get: |p| p.tranches.map(|v| v as f64),
 };
 
+/// `budget` — design-search paid-evaluation cap.
+pub const BUDGET: ParamSpec = ParamSpec {
+    name: "budget",
+    kind: ParamKind::Int {
+        min: 1,
+        max: 100_000,
+    },
+    unit: "evals",
+    default: "7",
+    doc: "Paid simulator evaluations the design search may spend (memo hits are free).",
+    set: |p, v| p.budget = Some(v as usize),
+    get: |p| p.budget.map(|v| v as f64),
+};
+
+/// `generations` — design-search CMA-ES generation cap.
+pub const GENERATIONS: ParamSpec = ParamSpec {
+    name: "generations",
+    kind: ParamKind::Int {
+        min: 1,
+        max: 10_000,
+    },
+    unit: "",
+    default: "40",
+    doc: "Upper bound on CMA-ES generations in the design search.",
+    set: |p, v| p.generations = Some(v as usize),
+    get: |p| p.generations.map(|v| v as f64),
+};
+
 /// Every spec, in canonical order — the universe [`Params::set_fields`]
 /// and [`Params::ensure_only`] scan.
 pub const ALL: &[ParamSpec] = &[
@@ -313,6 +345,8 @@ pub const ALL: &[ParamSpec] = &[
     HORIZON_H,
     SLOT_MIN,
     TRANCHES,
+    BUDGET,
+    GENERATIONS,
 ];
 
 /// The schema every experiment supports at minimum.
@@ -351,6 +385,9 @@ pub const SCHEDULE: &[ParamSpec] = &[
     SLOT_MIN,
     TRANCHES,
 ];
+
+/// `design` — surrogate-assisted design-search knobs.
+pub const DESIGN: &[ParamSpec] = &[THREADS, SEED, SERVERS, BUDGET, GENERATIONS];
 
 /// The names in a schema, in order.
 pub fn names(schema: &[ParamSpec]) -> Vec<&'static str> {

@@ -1,12 +1,10 @@
 //! The high-level scenario builder.
 
+use crate::design::{optimize_melting_point, optimize_melting_point_constrained};
 use tts_dcsim::cluster::{
-    default_melting_candidates, run_cooling_load_with, select_melting_point_with, ClusterConfig,
-    CoolingLoadRun,
+    default_melting_candidates, run_cooling_load_with, ClusterConfig, CoolingLoadRun,
 };
-use tts_dcsim::throttle::{
-    run_constrained_with, select_melting_point_constrained_with, ConstrainedConfig, ConstrainedRun,
-};
+use tts_dcsim::throttle::{run_constrained_with, ConstrainedConfig, ConstrainedRun};
 use tts_obs::MetricsSink;
 use tts_pcm::PcmMaterial;
 use tts_server::{ServerClass, ServerSpec, ServerWaxCharacteristics};
@@ -16,8 +14,9 @@ use tts_workload::{GoogleTrace, TimeSeries};
 /// How the wax melting point is chosen.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum MeltingPointChoice {
-    /// Grid-search the paraffin catalogue for the best melting point
-    /// (the paper's approach).
+    /// Search the paraffin catalogue for the best melting point (the
+    /// paper's approach), through the [`crate::design`] evaluation seam —
+    /// the same path (and memo keys) the `design` experiment uses.
     Optimize,
     /// Use a fixed melting point (e.g. the §3 retail wax at 39 °C).
     Fixed(Celsius),
@@ -175,7 +174,7 @@ impl Scenario {
         };
         let (material, run) = match self.melting_point {
             MeltingPointChoice::Optimize => {
-                select_melting_point_with(&config, &trace, default_melting_candidates(), &self.sink)
+                optimize_melting_point(&config, &trace, default_melting_candidates(), &self.sink)
             }
             MeltingPointChoice::Fixed(t) => {
                 let cfg = ClusterConfig {
@@ -210,7 +209,7 @@ impl Scenario {
         );
         let limit_kw = config.limit.value();
         let (material, run) = match self.melting_point {
-            MeltingPointChoice::Optimize => select_melting_point_constrained_with(
+            MeltingPointChoice::Optimize => optimize_melting_point_constrained(
                 &config,
                 &trace,
                 default_melting_candidates(),

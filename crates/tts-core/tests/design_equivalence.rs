@@ -1,0 +1,102 @@
+//! Satellite guarantee of the design-search subsystem: on the paper's
+//! melting-point space the surrogate-driven search finds the *same*
+//! optimum as the exhaustive grid — same material, bit-identical objective
+//! — in at most a tenth of the grid's simulator evaluations, and the
+//! `design` experiment's machine-readable summary is byte-identical
+//! across thread budgets.
+
+use thermal_time_shifting::design::{self, SearchConfig, Strategy};
+use thermal_time_shifting::experiment::{find, ExecCtx};
+use thermal_time_shifting::params::Params;
+use tts_dcsim::cluster::default_melting_candidates;
+use tts_dcsim::ClusterConfig;
+use tts_obs::MetricsSink;
+use tts_pcm::PcmMaterial;
+use tts_server::{ServerClass, ServerWaxCharacteristics};
+use tts_units::Celsius;
+use tts_workload::GoogleTrace;
+
+fn paper_config() -> ClusterConfig {
+    let spec = ServerClass::LowPower1U.spec();
+    let chars = ServerWaxCharacteristics::extract(
+        &spec,
+        &PcmMaterial::commercial_paraffin(Celsius::new(45.0)),
+    );
+    ClusterConfig::paper_cluster(spec, chars)
+}
+
+#[test]
+fn design_matches_grid_in_a_tenth_of_the_evals() {
+    let config = paper_config();
+    let trace = GoogleTrace::default_two_day().total().clone();
+    let sink = MetricsSink::disabled();
+    let candidates = default_melting_candidates();
+
+    let budget = candidates.len() / 10;
+    let mut cache = design::EvalCache::new();
+    let cmaes = design::search_melting_point(
+        &config,
+        &trace,
+        &SearchConfig {
+            budget,
+            ..SearchConfig::default()
+        },
+        &sink,
+        &mut cache,
+    );
+
+    let mut grid_cache = design::EvalCache::new();
+    let grid = design::search_melting_point(
+        &config,
+        &trace,
+        &SearchConfig {
+            strategy: Strategy::Grid(candidates.iter().map(|&c| vec![c]).collect()),
+            budget: candidates.len(),
+            ..SearchConfig::default()
+        },
+        &sink,
+        &mut grid_cache,
+    );
+
+    assert!(
+        cmaes.evals * 10 <= grid.evals,
+        "design paid {} evals, grid paid {}",
+        cmaes.evals,
+        grid.evals
+    );
+    assert_eq!(
+        cmaes.best_x[0].to_bits(),
+        grid.best_x[0].to_bits(),
+        "design picked {} °C, grid picked {} °C",
+        cmaes.best_x[0],
+        grid.best_x[0]
+    );
+    assert_eq!(
+        cmaes.best_value.to_bits(),
+        grid.best_value.to_bits(),
+        "objective differs: {} vs {}",
+        cmaes.best_value,
+        grid.best_value
+    );
+    // Same material, down to the derived melting point of the run.
+    assert_eq!(cmaes.best_out.melting_point, grid.best_out.melting_point);
+}
+
+#[test]
+fn design_summary_is_byte_identical_across_thread_budgets() {
+    let emit = |threads: usize| {
+        tts_exec::with_thread_budget(threads, || {
+            let exp = find("design").expect("design experiment registered");
+            let ctx = ExecCtx::disabled();
+            let params = Params {
+                servers: Some(126),
+                ..Params::default()
+            };
+            let fig = exp.run_with(&ctx, &params).expect("schema accepts servers");
+            exp.emit_json(&fig).to_string_pretty()
+        })
+    };
+    let one = emit(1);
+    let four = emit(4);
+    assert_eq!(one, four, "summary differs between 1 and 4 threads");
+}
