@@ -116,6 +116,17 @@ echo "==> chaos gate (8 seeded fault scenarios, zero violations, byte-identical 
 TTS_THREADS=1 "$REPRO" chaos --seeds 8 --summary "$TMPDIR_CI/chaos.t1.json"
 TTS_THREADS=4 "$REPRO" chaos --seeds 8 --summary "$TMPDIR_CI/chaos.t4.json"
 cmp "$TMPDIR_CI/chaos.t1.json" "$TMPDIR_CI/chaos.t4.json"
+# The batch must actually exercise the cooling-backend faults: at the
+# default base seed the sampler draws each of the three backend kinds at
+# least once across the 8 plans, and their invariant phases run with
+# zero violations (already enforced by the exit code above).
+for kind in EconomizerDamperStuck PumpDerate ReuseDropout; do
+  n=$(grep -o "\"$kind\": *[0-9]*" "$TMPDIR_CI/chaos.t1.json" | head -n 1 | awk '{print $2}')
+  [ -n "$n" ] || { echo "chaos gate: summary lacks fault count for $kind"; exit 1; }
+  awk -v n="$n" 'BEGIN { exit !(n >= 1) }' || {
+    echo "chaos gate: $kind never injected across the batch"; exit 1; }
+done
+echo "chaos gate: all three cooling-backend fault kinds injected"
 
 echo "==> fleet gate (100k servers, 6 h horizon, byte-identical at 1 and 4 threads)"
 # The epoch-sharded fleet engine must not let the worker count leak into
@@ -223,5 +234,40 @@ if [ "$bench_rc" -eq 3 ]; then
 elif [ "$bench_rc" -ne 0 ]; then
   exit "$bench_rc"
 fi
+
+echo "==> scenarios gate (backend x site x trace matrix: byte-identical at 1 and 4 threads, reuse win, served bytes)"
+# The smoke matrix (1 site x 2 backends x 2 traces = 4 cells) must not
+# let the worker count leak into its summary bytes.
+for T in 1 4; do
+  (cd "$TMPDIR_CI" && TTS_THREADS=$T "$REPRO_ABS" scenarios \
+    --sites 1 --backends 2 --traces 2 --write > /dev/null)
+  cp "$TMPDIR_CI/results/scenarios.summary.json" "$TMPDIR_CI/scenarios.t$T.summary.json"
+done
+cmp "$TMPDIR_CI/scenarios.t1.summary.json" "$TMPDIR_CI/scenarios.t4.summary.json"
+# With the hot-water backend in the catalogue, selling the rejected heat
+# must strictly lower the bill on at least one matrix cell.
+(cd "$TMPDIR_CI" && "$REPRO_ABS" scenarios --sites 1 --backends 3 --traces 1 --write > /dev/null)
+wins=$(grep -o '"hotwater_reuse_win_cells": *[0-9.eE+-]*' \
+  "$TMPDIR_CI/results/scenarios.summary.json" | awk '{print $2}')
+[ -n "$wins" ] || { echo "scenarios summary lacks hotwater_reuse_win_cells"; exit 1; }
+awk -v w="$wins" 'BEGIN { exit !(w >= 1) }' || {
+  echo "scenarios gate: hot-water reuse never beat the plain bill ($wins win cells)"; exit 1; }
+echo "scenarios gate: hot-water reuse wins on $wins cell(s)"
+# The serving layer must answer the same bytes repro filed — cold
+# (computed on demand) and cached — for the same parameter set.
+PORT_FILE="$TMPDIR_CI/ttsd.scen.port"
+"$TTSD" --addr 127.0.0.1:0 --no-stdin-watch --port-file "$PORT_FILE" &
+TTSD_PID=$!
+for _ in $(seq 1 100); do [ -s "$PORT_FILE" ] && break; sleep 0.1; done
+[ -s "$PORT_FILE" ] || { echo "ttsd never wrote its port file"; exit 1; }
+ADDR="$(cat "$PORT_FILE")"
+"$TTSD" req "$ADDR" POST /v1/experiments/scenarios \
+  --body '{"sites": 1, "backends": 3, "traces": 1}' > "$TMPDIR_CI/scenarios.cold.body"
+"$TTSD" req "$ADDR" POST /v1/experiments/scenarios \
+  --body '{"sites": 1, "backends": 3, "traces": 1}' > "$TMPDIR_CI/scenarios.cached.body"
+"$TTSD" req "$ADDR" POST /admin/shutdown > /dev/null
+wait "$TTSD_PID"
+cmp "$TMPDIR_CI/results/scenarios.summary.json" "$TMPDIR_CI/scenarios.cold.body"
+cmp "$TMPDIR_CI/results/scenarios.summary.json" "$TMPDIR_CI/scenarios.cached.body"
 
 echo "ci.sh: all gates passed"

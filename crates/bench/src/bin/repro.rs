@@ -1,7 +1,7 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [table1|fig1|fig4|fig7|fig10|fig11|fig12|table2|tco|dcsim|fleet|schedule|design|extensions|all]
+//! repro [table1|fig1|fig4|fig7|fig10|fig11|fig12|table2|tco|dcsim|fleet|schedule|design|scenarios|extensions|all]
 //!       [--write] [--threads N] [--metrics PATH] [--wall-unix SECS]
 //! repro fleet [--servers N] [--shards N] [--datacenters N] [--horizon-h H]
 //!             [--seed N] [--write] [--threads N]
@@ -9,6 +9,8 @@
 //!                [--tranches T] [--write] [--threads N]
 //! repro design [--seed N] [--servers N] [--budget N] [--generations N]
 //!              [--write] [--threads N]
+//! repro scenarios [--sites N] [--backends N] [--traces N] [--seed N]
+//!                 [--write] [--threads N]
 //! repro bench-check <report.json> <baseline.json> <max-regress-pct>
 //! repro chaos [--seeds N] [--seed 0xHEX] [--plan FILE] [--summary PATH]
 //!             [--no-storm] [--threads N]
@@ -30,6 +32,12 @@
 //! cross-checks it against the exhaustive grid through a shared evaluation
 //! memo, then searches the joint class × melt × mass × tariff × ambient
 //! space. Deterministic and byte-identical at any thread count.
+//!
+//! `scenarios` sweeps the cooling backend × climate site × demand trace
+//! matrix: the paper's chiller, an airside economizer, and the hot-water
+//! loop with energy reuse, each billed over seeded weather years and the
+//! demand-variation traces. `--sites/--backends/--traces` select prefixes
+//! of the catalogues; `--seed` moves the weather.
 //!
 //! With `--write`, the harness also rewrites `EXPERIMENTS.md` (the
 //! paper-vs-measured record) and dumps raw results as JSON under
@@ -136,6 +144,9 @@ fn main() {
     scale_flag("--generations", &mut |p, n| {
         p.generations = Some(n as usize)
     });
+    scale_flag("--sites", &mut |p, n| p.sites = Some(n as usize));
+    scale_flag("--backends", &mut |p, n| p.backends = Some(n as usize));
+    scale_flag("--traces", &mut |p, n| p.traces = Some(n as usize));
     if let Some(raw) = flag_value("--horizon-h") {
         let h = raw
             .parse::<f64>()
@@ -236,6 +247,9 @@ fn main() {
             p.tranches = None;
             p.budget = None;
             p.generations = None;
+            p.sites = None;
+            p.backends = None;
+            p.traces = None;
         }
         run_experiment_with("fleet", &p, &ctx, &mut md, &mut comparisons, write);
     }
@@ -246,6 +260,9 @@ fn main() {
             p.datacenters = None;
             p.budget = None;
             p.generations = None;
+            p.sites = None;
+            p.backends = None;
+            p.traces = None;
         }
         run_experiment_with("schedule", &p, &ctx, &mut md, &mut comparisons, write);
     }
@@ -257,8 +274,25 @@ fn main() {
             p.slot_min = None;
             p.tranches = None;
             p.horizon_h = None;
+            p.sites = None;
+            p.backends = None;
+            p.traces = None;
         }
         run_experiment_with("design", &p, &ctx, &mut md, &mut comparisons, write);
+    }
+    if all || which == "scenarios" {
+        let mut p = cli_params;
+        if all {
+            p.servers = None;
+            p.shards = None;
+            p.datacenters = None;
+            p.horizon_h = None;
+            p.slot_min = None;
+            p.tranches = None;
+            p.budget = None;
+            p.generations = None;
+        }
+        run_experiment_with("scenarios", &p, &ctx, &mut md, &mut comparisons, write);
     }
     if all || which == "extensions" {
         run_extensions(&mut md);

@@ -123,6 +123,38 @@ pub enum Fault {
         /// Concurrent storm clients.
         clients: usize,
     },
+    /// Economizer outside-air damper jams at a fixed position: the
+    /// free-cooling blend is scaled by `stuck_frac` (backend level,
+    /// `cooling::freecooling`).
+    EconomizerDamperStuck {
+        /// Onset, seconds into the scenario.
+        at_s: f64,
+        /// How long the damper stays jammed, seconds.
+        duration_s: f64,
+        /// Jammed damper position in `[0, 1]`; 0 is stuck closed
+        /// (fully mechanical cooling).
+        stuck_frac: f64,
+    },
+    /// Hot-water-loop pump derate: coolant flow (and with it the loop's
+    /// heat-rejection capacity) collapses to `flow_frac` of nominal
+    /// (backend level, `cooling::hotwater`).
+    PumpDerate {
+        /// Onset, seconds into the scenario.
+        at_s: f64,
+        /// How long the derate lasts, seconds.
+        duration_s: f64,
+        /// Surviving fraction of nominal flow in `(0, 1]`.
+        flow_frac: f64,
+    },
+    /// The heat-reuse consumer stops taking heat (district-heat loop
+    /// valve closed, adsorption chiller offline): the reuse credit
+    /// vanishes for the duration (backend level, `cooling::hotwater`).
+    ReuseDropout {
+        /// Onset, seconds into the scenario.
+        at_s: f64,
+        /// How long the demand is gone, seconds.
+        duration_s: f64,
+    },
 }
 
 impl Fault {
@@ -141,6 +173,9 @@ impl Fault {
             Fault::SlowLoris { .. } => "SlowLoris",
             Fault::MidBodyDisconnect { .. } => "MidBodyDisconnect",
             Fault::QueueStorm { .. } => "QueueStorm",
+            Fault::EconomizerDamperStuck { .. } => "EconomizerDamperStuck",
+            Fault::PumpDerate { .. } => "PumpDerate",
+            Fault::ReuseDropout { .. } => "ReuseDropout",
         }
     }
 
@@ -156,7 +191,10 @@ impl Fault {
             | Fault::SensorNoise { at_s, .. }
             | Fault::SensorStuck { at_s, .. }
             | Fault::WorkloadBurst { at_s, .. }
-            | Fault::WorkloadDropout { at_s, .. } => Some(at_s),
+            | Fault::WorkloadDropout { at_s, .. }
+            | Fault::EconomizerDamperStuck { at_s, .. }
+            | Fault::PumpDerate { at_s, .. }
+            | Fault::ReuseDropout { at_s, .. } => Some(at_s),
             Fault::SlowLoris { .. }
             | Fault::MidBodyDisconnect { .. }
             | Fault::QueueStorm { .. } => None,
@@ -265,6 +303,28 @@ impl ToJson for Fault {
             Fault::QueueStorm { clients } => {
                 num(&mut fields, "clients", clients as f64);
             }
+            Fault::EconomizerDamperStuck {
+                at_s,
+                duration_s,
+                stuck_frac,
+            } => {
+                num(&mut fields, "at_s", at_s);
+                num(&mut fields, "duration_s", duration_s);
+                num(&mut fields, "stuck_frac", stuck_frac);
+            }
+            Fault::PumpDerate {
+                at_s,
+                duration_s,
+                flow_frac,
+            } => {
+                num(&mut fields, "at_s", at_s);
+                num(&mut fields, "duration_s", duration_s);
+                num(&mut fields, "flow_frac", flow_frac);
+            }
+            Fault::ReuseDropout { at_s, duration_s } => {
+                num(&mut fields, "at_s", at_s);
+                num(&mut fields, "duration_s", duration_s);
+            }
         }
         Json::Obj(fields)
     }
@@ -331,6 +391,20 @@ impl FromJson for Fault {
             "QueueStorm" => Ok(Fault::QueueStorm {
                 clients: get_usize(v, kind, "clients")?,
             }),
+            "EconomizerDamperStuck" => Ok(Fault::EconomizerDamperStuck {
+                at_s: get_f64(v, kind, "at_s")?,
+                duration_s: get_f64(v, kind, "duration_s")?,
+                stuck_frac: get_f64(v, kind, "stuck_frac")?,
+            }),
+            "PumpDerate" => Ok(Fault::PumpDerate {
+                at_s: get_f64(v, kind, "at_s")?,
+                duration_s: get_f64(v, kind, "duration_s")?,
+                flow_frac: get_f64(v, kind, "flow_frac")?,
+            }),
+            "ReuseDropout" => Ok(Fault::ReuseDropout {
+                at_s: get_f64(v, kind, "at_s")?,
+                duration_s: get_f64(v, kind, "duration_s")?,
+            }),
             other => Err(JsonError::new(format!("unknown Fault kind `{other}`"))),
         }
     }
@@ -380,7 +454,7 @@ impl FaultPlan {
         for _ in 0..n {
             let at_s = (rng.gen_range(0.0..0.8) * cfg.window_s).round();
             let duration_s = (rng.gen_range(0.02..0.4) * cfg.window_s).round();
-            match rng.gen_range(0u32..12) {
+            match rng.gen_range(0u32..15) {
                 0 | 1 => {
                     // Kills are the most interesting fault; over-weight
                     // them and usually pair a revive (a "flap").
@@ -432,9 +506,20 @@ impl FaultPlan {
                     clients: rng.gen_range(1usize..5),
                     body_frac: rng.gen_range(0.1..0.9),
                 }),
-                _ => faults.push(Fault::QueueStorm {
+                11 => faults.push(Fault::QueueStorm {
                     clients: rng.gen_range(8usize..25),
                 }),
+                12 => faults.push(Fault::EconomizerDamperStuck {
+                    at_s,
+                    duration_s,
+                    stuck_frac: rng.gen_range(0.0..0.8),
+                }),
+                13 => faults.push(Fault::PumpDerate {
+                    at_s,
+                    duration_s,
+                    flow_frac: rng.gen_range(0.2..0.9),
+                }),
+                _ => faults.push(Fault::ReuseDropout { at_s, duration_s }),
             }
         }
         // Scheduled faults in onset order; connection-level ones at the
@@ -450,7 +535,7 @@ impl FaultPlan {
     /// `(kind, count)` pairs in taxonomy order — a deterministic digest
     /// for summaries.
     pub fn kind_counts(&self) -> Vec<(String, u64)> {
-        const KINDS: [&str; 12] = [
+        const KINDS: [&str; 15] = [
             "ServerKill",
             "ServerRevive",
             "CoolingDerating",
@@ -463,6 +548,9 @@ impl FaultPlan {
             "SlowLoris",
             "MidBodyDisconnect",
             "QueueStorm",
+            "EconomizerDamperStuck",
+            "PumpDerate",
+            "ReuseDropout",
         ];
         KINDS
             .iter()
@@ -541,7 +629,7 @@ mod tests {
     fn kind_counts_cover_the_taxonomy() {
         let plan = FaultPlan::sample(1, &PlanConfig::default());
         let counts = plan.kind_counts();
-        assert_eq!(counts.len(), 12);
+        assert_eq!(counts.len(), 15);
         let total: u64 = counts.iter().map(|(_, c)| c).sum();
         assert_eq!(total, plan.faults.len() as u64);
     }

@@ -16,6 +16,11 @@
 //!    (`tts_opt`) re-planning through the plan's cooling deratings and
 //!    workload bursts; the controller must stay feasible (no deadline
 //!    misses, work conserved, SOC in bounds) or degrade gracefully.
+//! 6. **Backend** — the alternative cooling backends (economizer with a
+//!    generated weather series, hot-water loop with energy reuse) under
+//!    the plan's damper jams, pump derates and reuse dropouts: faulted
+//!    bills must bracket between nominal and worst-case, credits must
+//!    stay physical, and pump derates must never lengthen ride-through.
 //!
 //! Everything is a pure function of `(seed, config)`; reports are
 //! byte-deterministic, which is what makes `repro chaos --seed 0x…`
@@ -210,6 +215,7 @@ pub fn run_plan(seed: u64, cfg: &ScenarioConfig, plan: &FaultPlan) -> ScenarioRe
     cooling_phase(cfg, plan, &mut checker);
     workload_phase(seed, &mut checker);
     schedule_phase(cfg, plan, &mut checker);
+    backend_phase(seed, cfg, plan, &mut checker);
     let (checks, violations) = checker.into_parts();
     ScenarioReport {
         seed,
@@ -778,6 +784,214 @@ fn schedule_phase(cfg: &ScenarioConfig, plan: &FaultPlan, checker: &mut Checker)
             .chain(out.load_passive_kw.iter())
             .all(|kw| kw.is_finite() && *kw >= -1e-9),
         || "non-physical per-slot chiller load".to_string(),
+    );
+}
+
+/// Phase 6: the alternative cooling backends under backend-level faults.
+///
+/// The economizer runs against a generated temperate weather series with
+/// the plan's damper jams applied through the typed damper seam; the
+/// hot-water loop takes the plan's reuse dropouts through the demand
+/// seam and its pump derates through the `CoolingProfile` ride-through
+/// seam. Every check is a comparison principle: a fault can only move
+/// the bill toward the fully-broken bound, never past it and never
+/// below nominal, and a pump derate can only shorten ride-through.
+fn backend_phase(seed: u64, cfg: &ScenarioConfig, plan: &FaultPlan, checker: &mut Checker) {
+    use tts_cooling::climate::{Site, WeatherConfig, WeatherSeries};
+    use tts_cooling::freecooling::cooling_electricity_cost_damped;
+    use tts_cooling::hotwater::{hot_water_bill_with_demand, HotWaterLoop};
+    use tts_cooling::{CoolingSystem, Economizer, Tariff};
+    use tts_units::KiloWatts;
+
+    // A gently diurnal cooling-load profile over the scenario window.
+    let dt = Seconds::new(60.0);
+    let buckets = ((cfg.window_s / dt.value()).ceil() as usize).max(4);
+    let loads_w: Vec<f64> = (0..buckets)
+        .map(|i| {
+            let phase = i as f64 / buckets as f64 * std::f64::consts::TAU;
+            80_000.0 * (1.0 + 0.25 * phase.sin())
+        })
+        .collect();
+    let tariff = Tariff::paper_default();
+    let weather = WeatherSeries::generate(&WeatherConfig {
+        site: Site::Temperate,
+        seed: seed ^ 0x5ca1_ab1e,
+        days: 1,
+    });
+
+    // --- Economizer under damper jams -------------------------------
+    let jams: Vec<(f64, f64, f64)> = plan
+        .faults
+        .iter()
+        .filter_map(|f| match *f {
+            Fault::EconomizerDamperStuck {
+                at_s,
+                duration_s,
+                stuck_frac,
+            } => Some((at_s, at_s + duration_s, stuck_frac)),
+            _ => None,
+        })
+        .collect();
+    let damper = |t: Seconds| -> f64 {
+        jams.iter()
+            .filter(|(a, b, _)| (*a..*b).contains(&t.value()))
+            .map(|(_, _, frac)| *frac)
+            .fold(1.0, f64::min)
+    };
+    let econ = Economizer::around(CoolingSystem::new(KiloWatts::new(200.0), 4.0));
+    let nominal = cooling_electricity_cost_damped(&loads_w, dt, &econ, &tariff, &weather, |_| 1.0);
+    let faulted = cooling_electricity_cost_damped(&loads_w, dt, &econ, &tariff, &weather, damper);
+    let mechanical =
+        cooling_electricity_cost_damped(&loads_w, dt, &econ, &tariff, &weather, |_| 0.0);
+    let eps = 1e-9 * mechanical.value().max(1.0);
+    checker.check(
+        "economizer.jam_not_cheaper",
+        faulted.value() + eps >= nominal.value(),
+        || {
+            format!(
+                "jammed damper cut the bill: {} < {}",
+                faulted.value(),
+                nominal.value()
+            )
+        },
+    );
+    checker.check(
+        "economizer.jam_bounded_by_mechanical",
+        faulted.value() <= mechanical.value() + eps,
+        || {
+            format!(
+                "jammed bill {} above fully-mechanical bound {}",
+                faulted.value(),
+                mechanical.value()
+            )
+        },
+    );
+    checker.check(
+        "economizer.bills_physical",
+        nominal.value().is_finite() && nominal.value() >= 0.0 && mechanical.value() >= 0.0,
+        || format!("non-physical economizer bill {nominal:?}"),
+    );
+
+    // --- Hot-water loop: reuse dropouts -----------------------------
+    let dropouts: Vec<(f64, f64)> = plan
+        .faults
+        .iter()
+        .filter_map(|f| match *f {
+            Fault::ReuseDropout { at_s, duration_s } => Some((at_s, at_s + duration_s)),
+            _ => None,
+        })
+        .collect();
+    let demand = |t: Seconds| -> f64 {
+        if dropouts.iter().any(|(a, b)| (*a..*b).contains(&t.value())) {
+            0.0
+        } else {
+            1.0
+        }
+    };
+    let water = HotWaterLoop::idatacool();
+    let bill_nominal = hot_water_bill_with_demand(&loads_w, dt, &water, &tariff, &weather, |_| 1.0);
+    let bill_faulted = hot_water_bill_with_demand(&loads_w, dt, &water, &tariff, &weather, demand);
+    checker.check(
+        "hotwater.credit_physical",
+        bill_faulted.heat_reused_kwh <= bill_faulted.heat_rejected_kwh + 1e-9
+            && bill_faulted.reuse_credit.value() >= 0.0,
+        || {
+            format!(
+                "reused {} of {} kWh rejected",
+                bill_faulted.heat_reused_kwh, bill_faulted.heat_rejected_kwh
+            )
+        },
+    );
+    checker.check(
+        "hotwater.dropout_cuts_credit",
+        bill_faulted.reuse_credit.value() <= bill_nominal.reuse_credit.value() + 1e-9,
+        || {
+            format!(
+                "dropout raised the credit: {} > {}",
+                bill_faulted.reuse_credit.value(),
+                bill_nominal.reuse_credit.value()
+            )
+        },
+    );
+    checker.check(
+        "hotwater.dropout_not_cheaper",
+        bill_faulted.net().value() + 1e-9 >= bill_nominal.net().value(),
+        || {
+            format!(
+                "dropout cut the net bill: {} < {}",
+                bill_faulted.net().value(),
+                bill_nominal.net().value()
+            )
+        },
+    );
+    checker.check(
+        "hotwater.energy_cost_unaffected_by_demand",
+        (bill_faulted.energy_cost.value() - bill_nominal.energy_cost.value()).abs() <= 1e-9,
+        || "reuse demand changed the electricity side of the bill".to_string(),
+    );
+
+    // --- Hot-water loop: pump derates through ride-through ----------
+    let derates: Vec<(f64, f64, f64)> = plan
+        .faults
+        .iter()
+        .filter_map(|f| match *f {
+            Fault::PumpDerate {
+                at_s,
+                duration_s,
+                flow_frac,
+            } => Some((at_s, at_s + duration_s, flow_frac)),
+            _ => None,
+        })
+        .collect();
+    let flow = |t: Seconds| -> f64 {
+        derates
+            .iter()
+            .filter(|(a, b, _)| (*a..*b).contains(&t.value()))
+            .map(|(_, _, frac)| *frac)
+            .fold(1.0, f64::min)
+    };
+    let room = RoomModel::cluster_room();
+    let window = Seconds::new(cfg.window_s.max(1_800.0));
+    let run = |profile: &dyn tts_cooling::CoolingProfile| {
+        ride_through_degraded(
+            &room,
+            Watts::new(120_000.0),
+            DegradedCooling {
+                plant_capacity: Watts::new(140_000.0),
+                profile,
+            },
+            WattsPerKelvin::new(1008.0 * 5.0),
+            Joules::new(1008.0 * 2.0e5),
+            Celsius::new(28.0),
+            window,
+        )
+    };
+    let full = |_: Seconds| 1.0;
+    let healthy = run(&full);
+    let derated = run(&flow);
+    let ttc =
+        |r: &tts_cooling::RideThrough| r.time_to_critical.map_or(f64::INFINITY, |t| t.value());
+    checker.check(
+        "hotwater.pump_derate_shortens_ride_through",
+        ttc(&derated) <= ttc(&healthy) + 1e-9,
+        || {
+            format!(
+                "pump derate lengthened ride-through: {} -> {}",
+                ttc(&healthy),
+                ttc(&derated)
+            )
+        },
+    );
+    checker.check(
+        "hotwater.derated_runs_hotter",
+        derated.peak_room_temp.value() + 1e-9 >= healthy.peak_room_temp.value(),
+        || {
+            format!(
+                "pump derate cooled the room: {} -> {}",
+                healthy.peak_room_temp.value(),
+                derated.peak_room_temp.value()
+            )
+        },
     );
 }
 

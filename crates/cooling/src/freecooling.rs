@@ -9,6 +9,7 @@
 //! Shifting cooling work from a hot, expensive afternoon to a cold, cheap
 //! night is worth more than the plain kWh accounting suggests.
 
+use crate::climate::AmbientSource;
 use crate::system::CoolingSystem;
 use crate::tariff::Tariff;
 use tts_units::{Celsius, Dollars, Seconds, TempDelta, Watts};
@@ -96,22 +97,47 @@ impl Economizer {
     pub fn electrical_power(&self, load: Watts, ambient: Celsius) -> Watts {
         Watts::new(load.value().max(0.0) / self.effective_cop(ambient))
     }
+
+    /// Effective COP with the outside-air damper at `damper` ∈ [0, 1]:
+    /// 1 is the nominal blend, 0 is a stuck-closed damper (fully
+    /// mechanical regardless of ambient). This is the typed seam the
+    /// chaos engine's `EconomizerDamperStuck` fault injects through.
+    pub fn effective_cop_damped(&self, ambient: Celsius, damper: f64) -> f64 {
+        let nominal = self.effective_cop(ambient);
+        self.plant.cop() + damper.clamp(0.0, 1.0) * (nominal - self.plant.cop())
+    }
 }
 
 /// Integrates the electricity bill for a cooling-load trace under a tariff
-/// and ambient cycle. `loads` are sampled every `dt` starting at t = 0
-/// (midnight).
-pub fn cooling_electricity_cost(
+/// and any [`AmbientSource`] (the fixed [`AmbientCycle`] or a generated
+/// [`crate::climate::WeatherSeries`]). `loads` are sampled every `dt`
+/// starting at t = 0 (midnight).
+pub fn cooling_electricity_cost<A: AmbientSource + ?Sized>(
     loads_w: &[f64],
     dt: Seconds,
     economizer: &Economizer,
     tariff: &Tariff,
-    ambient: &AmbientCycle,
+    ambient: &A,
+) -> Dollars {
+    cooling_electricity_cost_damped(loads_w, dt, economizer, tariff, ambient, |_| 1.0)
+}
+
+/// [`cooling_electricity_cost`] with a time-varying damper position (the
+/// `EconomizerDamperStuck` fault seam): `damper(t)` ∈ [0, 1] scales the
+/// economizer's approach to free cooling at each step.
+pub fn cooling_electricity_cost_damped<A: AmbientSource + ?Sized>(
+    loads_w: &[f64],
+    dt: Seconds,
+    economizer: &Economizer,
+    tariff: &Tariff,
+    ambient: &A,
+    damper: impl Fn(Seconds) -> f64,
 ) -> Dollars {
     let mut total = Dollars::ZERO;
     for (i, &load) in loads_w.iter().enumerate() {
         let t = Seconds::new(i as f64 * dt.value());
-        let power = economizer.electrical_power(Watts::new(load), ambient.at(t));
+        let cop = economizer.effective_cop_damped(ambient.ambient_at(t), damper(t));
+        let power = Watts::new(load.max(0.0) / cop);
         let energy = power * dt;
         total += tariff.cost(energy, t);
     }
@@ -180,6 +206,35 @@ mod tests {
         assert!(
             night_cost.value() < 0.8 * day_cost.value(),
             "night {night_cost} vs day {day_cost}"
+        );
+    }
+
+    #[test]
+    fn stuck_damper_degrades_toward_mechanical() {
+        let e = Economizer::around(plant());
+        let cold = Celsius::new(5.0);
+        // Damper fully open: the nominal blend. Fully stuck: the plant COP.
+        assert_eq!(e.effective_cop_damped(cold, 1.0), e.effective_cop(cold));
+        assert_eq!(e.effective_cop_damped(cold, 0.0), e.plant.cop());
+        // Monotone in the damper position, and clamped outside [0, 1].
+        let half = e.effective_cop_damped(cold, 0.5);
+        assert!(half > e.plant.cop() && half < e.free_cooling_cop);
+        assert_eq!(e.effective_cop_damped(cold, 2.0), e.effective_cop(cold));
+        assert_eq!(e.effective_cop_damped(cold, -1.0), e.plant.cop());
+    }
+
+    #[test]
+    fn stuck_damper_raises_the_bill() {
+        let e = Economizer::around(plant());
+        let a = AmbientCycle::temperate();
+        let t = Tariff::paper_default();
+        let dt = Seconds::new(3600.0);
+        let loads = [80_000.0; 24];
+        let nominal = cooling_electricity_cost(&loads, dt, &e, &t, &a);
+        let stuck = cooling_electricity_cost_damped(&loads, dt, &e, &t, &a, |_| 0.0);
+        assert!(
+            stuck.value() > nominal.value(),
+            "stuck {stuck} vs nominal {nominal}"
         );
     }
 

@@ -10,16 +10,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod climate;
 pub mod emergency;
 pub mod freecooling;
+pub mod hotwater;
 pub mod system;
 pub mod tariff;
 
+pub use climate::{AmbientSource, Site, WeatherConfig, WeatherSeries};
 pub use emergency::{
     ride_through, ride_through_degraded, ConstantDerating, CoolingProfile, DegradedCooling,
     RideThrough, RoomModel, TotalOutage,
 };
 pub use freecooling::{AmbientCycle, Economizer};
+pub use hotwater::{
+    hot_water_bill, hot_water_bill_with_demand, HotWaterBill, HotWaterLoop, ReuseContract,
+};
 pub use system::CoolingSystem;
 pub use tariff::Tariff;
 

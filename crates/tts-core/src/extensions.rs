@@ -5,8 +5,8 @@
 //! relocation alternative of §5.2, partial (rack-by-rack) deployment,
 //! flash-crowd response, and the wax's multi-year degradation outlook.
 
-use tts_cooling::freecooling::{cooling_electricity_cost, AmbientCycle, Economizer};
-use tts_cooling::{CoolingSystem, Tariff};
+use tts_cooling::freecooling::{cooling_electricity_cost, Economizer};
+use tts_cooling::{CoolingSystem, Site, Tariff, WeatherConfig, WeatherSeries};
 use tts_dcsim::cluster::ClusterConfig;
 use tts_dcsim::heterogeneous::{deployment_sweep, DeploymentPoint};
 use tts_dcsim::relocation::{wax_vs_relocation, yearly_saving};
@@ -18,9 +18,16 @@ use tts_workload::{FlashCrowd, GoogleTrace};
 
 use crate::scenario::Scenario;
 
+/// The weather seed [`cooling_opex_study`] bills against: one fixed
+/// temperate year so the study (and its golden artifacts) stay
+/// deterministic.
+pub const OPEX_WEATHER_SEED: u64 = 42;
+
 /// The Figure 1 "additional advantages", quantified: yearly cooling
 /// electricity bill for one cluster with and without PCM, under the
-/// paper's tariff and a temperate-climate economizer.
+/// paper's tariff and a temperate-climate economizer driven by a seeded
+/// weather year (diurnal + seasonal + stochastic fronts) rather than the
+/// old fixed sinusoid.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CoolingOpexStudy {
     /// Bill without wax, $/yr.
@@ -39,7 +46,7 @@ pub fn cooling_opex_study(class: ServerClass) -> CoolingOpexStudy {
     let plant = CoolingSystem::sized_for(Watts::new(study.run.peak_no_wax.value() * 1000.0));
     let economizer = Economizer::around(plant);
     let tariff = Tariff::paper_default();
-    let ambient = AmbientCycle::temperate();
+    let ambient = WeatherSeries::generate(&WeatherConfig::year(Site::Temperate, OPEX_WEATHER_SEED));
     let dt = Seconds::new((study.run.times_h[1] - study.run.times_h[0]) * 3600.0);
     let to_watts = |kw: &[f64]| -> Vec<f64> { kw.iter().map(|v| v * 1000.0).collect() };
     let cost_nw = cooling_electricity_cost(
@@ -233,6 +240,40 @@ mod tests {
             "saving {}",
             s.saving
         );
+    }
+
+    #[test]
+    fn opex_weather_sweeps_the_economizer_through_all_three_regimes() {
+        // The old fixed AmbientCycle::temperate() sinusoid (18 ± 7 °C)
+        // never dipped under the 12 °C free-cooling threshold, so the
+        // opex study exercised only the blend/mechanical corner. The
+        // seeded temperate weather year must cross the full crossover
+        // blend: free (< 12 °C), blended, and mechanical (≥ 24 °C) hours
+        // all present, with the blend strictly between the endpoints.
+        let weather =
+            WeatherSeries::generate(&WeatherConfig::year(Site::Temperate, OPEX_WEATHER_SEED));
+        let economizer =
+            Economizer::around(CoolingSystem::sized_for(tts_units::Watts::new(200_000.0)));
+        let (mut free, mut blend, mut mech) = (0usize, 0usize, 0usize);
+        for &c in weather.samples() {
+            if c < 12.0 {
+                free += 1;
+            } else if c < 24.0 {
+                blend += 1;
+            } else {
+                mech += 1;
+            }
+            let cop = economizer.effective_cop(tts_units::Celsius::new(c));
+            let free_cop = economizer.effective_cop(tts_units::Celsius::new(0.0));
+            let mech_cop = economizer.effective_cop(tts_units::Celsius::new(30.0));
+            assert!(
+                (mech_cop..=free_cop).contains(&cop),
+                "blend must interpolate: {c} °C → COP {cop}"
+            );
+        }
+        assert!(free > 0, "no free-cooling hours in the temperate year");
+        assert!(blend > 0, "no blended hours in the temperate year");
+        assert!(mech > 0, "no mechanical hours in the temperate year");
     }
 
     #[test]

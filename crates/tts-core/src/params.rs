@@ -177,6 +177,15 @@ pub struct Params {
     pub budget: Option<usize>,
     /// CMA-ES generation cap for the design search.
     pub generations: Option<usize>,
+    /// Climate-site count for the scenario matrix (prefix of
+    /// temperate/tropical/desert).
+    pub sites: Option<usize>,
+    /// Cooling-backend count for the scenario matrix (prefix of
+    /// chiller/economizer/hotwater).
+    pub backends: Option<usize>,
+    /// Demand-trace count for the scenario matrix (prefix of
+    /// diurnal/weekly/flash/training).
+    pub traces: Option<usize>,
 }
 
 /// `threads` — honoured by every experiment.
@@ -332,6 +341,39 @@ pub const GENERATIONS: ParamSpec = ParamSpec {
     get: |p| p.generations.map(|v| v as f64),
 };
 
+/// `sites` — scenario-matrix climate-site count.
+pub const SITES: ParamSpec = ParamSpec {
+    name: "sites",
+    kind: ParamKind::Int { min: 1, max: 3 },
+    unit: "",
+    default: "3",
+    doc: "Climate sites swept (prefix of temperate/tropical/desert).",
+    set: |p, v| p.sites = Some(v as usize),
+    get: |p| p.sites.map(|v| v as f64),
+};
+
+/// `backends` — scenario-matrix cooling-backend count.
+pub const BACKENDS: ParamSpec = ParamSpec {
+    name: "backends",
+    kind: ParamKind::Int { min: 1, max: 3 },
+    unit: "",
+    default: "3",
+    doc: "Cooling backends swept (prefix of chiller/economizer/hotwater).",
+    set: |p, v| p.backends = Some(v as usize),
+    get: |p| p.backends.map(|v| v as f64),
+};
+
+/// `traces` — scenario-matrix demand-trace count.
+pub const TRACES: ParamSpec = ParamSpec {
+    name: "traces",
+    kind: ParamKind::Int { min: 1, max: 4 },
+    unit: "",
+    default: "4",
+    doc: "Demand traces swept (prefix of diurnal/weekly/flash/training).",
+    set: |p, v| p.traces = Some(v as usize),
+    get: |p| p.traces.map(|v| v as f64),
+};
+
 /// Every spec, in canonical order — the universe [`Params::set_fields`]
 /// and [`Params::ensure_only`] scan.
 pub const ALL: &[ParamSpec] = &[
@@ -347,6 +389,9 @@ pub const ALL: &[ParamSpec] = &[
     TRANCHES,
     BUDGET,
     GENERATIONS,
+    SITES,
+    BACKENDS,
+    TRACES,
 ];
 
 /// The schema every experiment supports at minimum.
@@ -388,6 +433,9 @@ pub const SCHEDULE: &[ParamSpec] = &[
 
 /// `design` — surrogate-assisted design-search knobs.
 pub const DESIGN: &[ParamSpec] = &[THREADS, SEED, SERVERS, BUDGET, GENERATIONS];
+
+/// `scenarios` — scenario-matrix knobs (site × backend × trace axes).
+pub const SCENARIOS: &[ParamSpec] = &[THREADS, SEED, SITES, BACKENDS, TRACES];
 
 /// The names in a schema, in order.
 pub fn names(schema: &[ParamSpec]) -> Vec<&'static str> {

@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod demand;
 pub mod diurnal;
 pub mod events;
 pub mod google;
@@ -35,6 +36,10 @@ pub mod normalize;
 pub mod series;
 pub mod weekly;
 
+pub use demand::{
+    flash_crowd_trace, seasonal_trace, training_burst_trace, FlashCrowdTraceConfig,
+    SeasonalTraceConfig, TrainingBurstConfig,
+};
 pub use events::{FlashCrowd, LoadStep};
 pub use google::GoogleTrace;
 pub use jobs::{Job, JobStream, JobType};

@@ -159,6 +159,36 @@ fn discrete_sim_metrics_sidecar_is_byte_identical_across_thread_counts() {
 }
 
 #[test]
+fn scenarios_matrix_json_is_byte_identical_across_thread_counts() {
+    // The scenario matrix fans its (site × backend × trace) cells out
+    // through the ordered executor; the golden contract is that the
+    // machine-readable summary — the same bytes `--write` files and
+    // `ttsd` serves — is identical at 1, 4, and 8 workers.
+    let render = |threads: usize| -> String {
+        with_threads(threads, || {
+            let exp = thermal_time_shifting::experiment::find("scenarios").expect("registered");
+            let ctx = thermal_time_shifting::ExecCtx::disabled();
+            let params = thermal_time_shifting::experiment::Params {
+                sites: Some(2),
+                backends: Some(3),
+                traces: Some(2),
+                seed: Some(42),
+                ..Default::default()
+            };
+            let fig = exp.run_with(&ctx, &params).expect("supported params");
+            exp.emit_json(&fig).to_string_pretty()
+        })
+    };
+    let one = render(1);
+    let four = render(4);
+    let eight = render(8);
+    assert_eq!(one.as_bytes(), four.as_bytes());
+    assert_eq!(one.as_bytes(), eight.as_bytes());
+    // The summary carries the matrix aggregate the CI gate checks.
+    assert!(one.contains("hotwater_reuse_win_cells"));
+}
+
+#[test]
 fn different_seeds_change_the_noise_not_the_physics() {
     let base = ValidationConfig {
         idle_before_h: 0.25,
